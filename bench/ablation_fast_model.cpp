@@ -1,0 +1,79 @@
+// Ablation: accuracy and speed of the calibrated behavioural cell model
+// against the full electrical simulation (DESIGN.md: the fast model makes
+// Shmoo grids and march-coverage sweeps affordable; this bench bounds its
+// error).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/border.hpp"
+#include "stress/stress.hpp"
+#include "analysis/fast_model.hpp"
+#include "bench/bench_common.hpp"
+#include "numeric/interp.hpp"
+
+using namespace dramstress;
+
+namespace {
+
+void BM_SpiceWriteCycle(benchmark::State& state) {
+  dram::DramColumn column;
+  const defect::Defect d{defect::DefectKind::O3, dram::Side::True};
+  defect::Injection inj(column, d, 200e3);
+  dram::ColumnSimulator sim(column, stress::nominal_condition());
+  for (auto _ : state) {
+    const auto r = sim.run({dram::Operation::w0()}, 2.4, dram::Side::True);
+    benchmark::DoNotOptimize(r.final_vc);
+  }
+}
+BENCHMARK(BM_SpiceWriteCycle);
+
+void BM_FastModelWriteCycle(benchmark::State& state) {
+  dram::DramColumn column;
+  const defect::Defect d{defect::DefectKind::O3, dram::Side::True};
+  dram::ColumnSimulator sim(column, stress::nominal_condition());
+  analysis::FastCellModel model =
+      analysis::FastCellModel::calibrate(column, d, sim);
+  model.set_defect_resistance(200e3);
+  for (auto _ : state) {
+    model.set_vc(2.4);
+    model.write(0);
+    benchmark::DoNotOptimize(model.vc());
+  }
+}
+BENCHMARK(BM_FastModelWriteCycle);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("ablation -- fast behavioural model vs full SPICE");
+
+  dram::DramColumn column;
+  dram::ColumnSimulator sim(column, stress::nominal_condition());
+
+  // Vc-after-w0 agreement across the resistance sweep.
+  const defect::Defect d{defect::DefectKind::O3, dram::Side::True};
+  analysis::FastCellModel model =
+      analysis::FastCellModel::calibrate(column, d, sim);
+  util::CsvTable csv({"r_ohm", "vc_spice", "vc_fast", "error_v"});
+  double worst = 0.0;
+  for (double r : numeric::logspace(30e3, 3e6, 9)) {
+    defect::Injection inj(column, d, r);
+    const auto spice = sim.run({dram::Operation::w0()}, 2.4, dram::Side::True);
+    model.set_defect_resistance(r);
+    model.set_vc(2.4);
+    model.write(0);
+    const double err = model.vc() - spice.vc_after(0);
+    worst = std::max(worst, std::abs(err));
+    csv.add_row({r, spice.vc_after(0), model.vc(), err});
+    std::printf("R=%-10s spice=%.3f fast=%.3f err=%+.3f V\n",
+                util::eng(r, "Ohm").c_str(), spice.vc_after(0), model.vc(),
+                err);
+  }
+  bench::write_csv(csv, "ablation_fast_model");
+  std::printf("worst-case Vc error over the sweep: %.3f V\n\n", worst);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation: sensitivity of the border resistance to the transient step
+// size and the integration method (DESIGN.md: fixed-step implicit
+// integration keeps sweeps deterministic; this bench quantifies the
+// accuracy cost).  Includes google-benchmark timings of one full memory
+// cycle per configuration.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/border.hpp"
+#include "stress/stress.hpp"
+#include "bench/bench_common.hpp"
+
+using namespace dramstress;
+
+namespace {
+
+double border_at(double dt, circuit::Integrator integ) {
+  dram::DramColumn column;
+  const defect::Defect d{defect::DefectKind::O3, dram::Side::True};
+  dram::SimSettings settings;
+  settings.dt = dt;
+  settings.integrator = integ;
+  dram::ColumnSimulator sim(column, stress::nominal_condition(), settings);
+  const analysis::BorderResult br = analysis::analyze_defect(column, d, sim);
+  return br.br.value_or(0.0);
+}
+
+void BM_MemoryCycle(benchmark::State& state) {
+  const double dt = static_cast<double>(state.range(0)) * 1e-12;
+  dram::DramColumn column;
+  dram::SimSettings settings;
+  settings.dt = dt;
+  dram::ColumnSimulator sim(column, stress::nominal_condition(), settings);
+  for (auto _ : state) {
+    const auto r = sim.run({dram::Operation::w1()}, 0.0, dram::Side::True);
+    benchmark::DoNotOptimize(r.final_vc);
+  }
+  state.SetLabel(dramstress::util::format("dt=%g ps", dt * 1e12));
+}
+BENCHMARK(BM_MemoryCycle)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("ablation -- transient step size & integrator vs. BR");
+
+  util::CsvTable csv({"dt_ps", "trapezoidal", "br_ohm"});
+  const double reference = border_at(0.05e-9, circuit::Integrator::BackwardEuler);
+  std::printf("%-10s %-14s %-14s %s\n", "dt [ps]", "integrator", "BR",
+              "error vs 50 ps BE");
+  for (double dt : {0.05e-9, 0.1e-9, 0.2e-9, 0.4e-9}) {
+    for (auto integ : {circuit::Integrator::BackwardEuler,
+                       circuit::Integrator::Trapezoidal}) {
+      const double br = border_at(dt, integ);
+      const bool trap = integ == circuit::Integrator::Trapezoidal;
+      std::printf("%-10.0f %-14s %-14s %+.1f%%\n", dt * 1e12,
+                  trap ? "trapezoidal" : "backward-Euler",
+                  util::eng(br, "Ohm").c_str(),
+                  100.0 * (br - reference) / reference);
+      csv.add_row({dt * 1e12, trap ? 1.0 : 0.0, br});
+    }
+  }
+  bench::write_csv(csv, "ablation_timestep");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

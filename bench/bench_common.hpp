@@ -1,0 +1,80 @@
+// Shared helpers for the figure/table regeneration benches.
+//
+// Every bench prints the paper artifact it regenerates (ASCII plot or
+// table) to stdout and writes machine-readable CSV next to the working
+// directory (EXPERIMENTS.md indexes the shape criteria per artifact).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/result_plane.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::bench {
+
+inline void banner(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void write_csv(const util::CsvTable& table, const std::string& name) {
+  const std::string path = name + ".csv";
+  table.write_file(path);
+  std::printf("[csv] wrote %s (%zu rows)\n", path.c_str(), table.num_rows());
+}
+
+/// Render a result plane the way the paper's Figs. 2/6 panels look:
+/// every operation curve plus the bold Vsa curve over log R.
+inline std::string render_plane(const analysis::ResultPlane& plane,
+                                const std::string& title) {
+  std::vector<util::Series> series;
+  static const char glyphs[] = {'1', '2', '3', '4', '5', '6', 'a', 'b',
+                                'c', 'd', 'e', 'f'};
+  for (size_t c = 0; c < plane.curves.size(); ++c) {
+    util::Series s;
+    const auto& curve = plane.curves[c];
+    s.name = util::format("(%d)%s%s", curve.op_number,
+                          dram::to_string(plane.op),
+                          curve.from_above ? " (from above Vsa)"
+                          : plane.op == dram::OpKind::R ? " (from below Vsa)"
+                                                        : "");
+    s.glyph = glyphs[c % sizeof(glyphs)];
+    s.x = plane.r_values;
+    s.y = curve.vc;
+    series.push_back(std::move(s));
+  }
+  util::Series vsa;
+  vsa.name = "Vsa threshold";
+  vsa.glyph = '#';
+  vsa.x = plane.r_values;
+  vsa.y = plane.vsa;
+  series.push_back(std::move(vsa));
+
+  util::PlotOptions opt;
+  opt.title = title;
+  opt.log_x = true;
+  opt.x_label = "R [Ohm]";
+  opt.y_label = "Vc";
+  return util::ascii_plot(series, opt);
+}
+
+/// CSV dump of a plane (one row per R: curves..., vsa).
+inline util::CsvTable plane_csv(const analysis::ResultPlane& plane) {
+  std::vector<std::string> cols{"r_ohm"};
+  for (const auto& c : plane.curves)
+    cols.push_back(util::format("vc_op%d%s", c.op_number,
+                                c.from_above ? "_above" : ""));
+  cols.push_back("vsa");
+  util::CsvTable table(cols);
+  for (size_t i = 0; i < plane.r_values.size(); ++i) {
+    std::vector<double> row{plane.r_values[i]};
+    for (const auto& c : plane.curves) row.push_back(c.vc[i]);
+    row.push_back(plane.vsa[i]);
+    table.add_row(row);
+  }
+  return table;
+}
+
+}  // namespace dramstress::bench

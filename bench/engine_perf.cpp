@@ -1,0 +1,71 @@
+// Engine microbenchmarks: the cost centres of the whole flow.
+//  * dense LU factorization at MNA-typical sizes,
+//  * one Newton-converged transient step of the full column,
+//  * a complete memory operation cycle,
+//  * one Vsa extraction (the inner loop of every result plane).
+#include <benchmark/benchmark.h>
+
+#include "analysis/vsa.hpp"
+#include "defect/defect.hpp"
+#include "circuit/mna.hpp"
+#include "dram/column_sim.hpp"
+#include "numeric/lu.hpp"
+#include "stress/stress.hpp"
+
+using namespace dramstress;
+
+namespace {
+
+void BM_LuFactor(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  numeric::Matrix a(n, n);
+  unsigned seed = 7;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      seed = seed * 1664525u + 1013904223u;
+      a(i, j) = static_cast<double>(seed % 1000) / 1000.0;
+    }
+    a(i, i) += static_cast<double>(n);
+  }
+  numeric::LuSolver lu;
+  for (auto _ : state) {
+    lu.factor(a);
+    benchmark::DoNotOptimize(lu.size());
+  }
+}
+BENCHMARK(BM_LuFactor)->Arg(16)->Arg(32)->Arg(48)->Arg(64);
+
+void BM_ColumnCycleW1(benchmark::State& state) {
+  dram::DramColumn column;
+  dram::ColumnSimulator sim(column, stress::nominal_condition());
+  for (auto _ : state) {
+    const auto r = sim.run({dram::Operation::w1()}, 0.0, dram::Side::True);
+    benchmark::DoNotOptimize(r.final_vc);
+  }
+}
+BENCHMARK(BM_ColumnCycleW1);
+
+void BM_ColumnReadCycle(benchmark::State& state) {
+  dram::DramColumn column;
+  dram::ColumnSimulator sim(column, stress::nominal_condition());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.read_of_initial(1.8, dram::Side::True));
+  }
+}
+BENCHMARK(BM_ColumnReadCycle);
+
+void BM_VsaExtraction(benchmark::State& state) {
+  dram::DramColumn column;
+  const defect::Defect d{defect::DefectKind::O3, dram::Side::True};
+  defect::Injection inj(column, d, 200e3);
+  dram::ColumnSimulator sim(column, stress::nominal_condition());
+  for (auto _ : state) {
+    const auto v = analysis::extract_vsa(sim, dram::Side::True);
+    benchmark::DoNotOptimize(v.threshold);
+  }
+}
+BENCHMARK(BM_VsaExtraction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

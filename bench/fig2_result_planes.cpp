@@ -1,0 +1,64 @@
+// Regenerates paper Fig. 2: result planes of the w0, w1 and r operations
+// for the cell open (O3) at the nominal stress condition
+// (tcyc = 60 ns, T = +27 C, Vdd = 2.4 V).
+//
+// Shape criteria (paper):
+//  * w0 plane: successive w0 curves, residual Vc rising with R; the
+//    intersection of a w0 curve with the Vsa curve marks the border
+//    resistance (~185 kOhm in the paper; our technology lands nearby).
+//  * w1 plane: successive w1 curves charging toward a settlement level.
+//  * r plane: Vsa curve bends toward GND as R grows (easier to detect 1,
+//    harder to detect 0); read walks restore toward the rails.
+#include <cstdio>
+
+#include "analysis/border.hpp"
+#include "bench/bench_common.hpp"
+#include "util/strings.hpp"
+
+using namespace dramstress;
+
+int main() {
+  bench::banner("Fig. 2 -- result planes for the cell open (nominal SC)");
+
+  dram::DramColumn column;
+  const defect::Defect d{defect::DefectKind::O3, dram::Side::True};
+  const dram::OperatingConditions nominal{2.4, 27.0, 60e-9, 0.5};
+  dram::ColumnSimulator sim(column, nominal);
+
+  analysis::PlaneOptions opt;
+  opt.num_r_points = 13;
+  opt.ops_per_point = 3;
+  opt.r_lo = 10e3;
+  opt.r_hi = 10e6;
+
+  const analysis::PlaneSet planes =
+      analysis::generate_plane_set(column, d, sim, opt);
+
+  std::printf("%s\n", bench::render_plane(planes.w0, "(a) plane of w0").c_str());
+  std::printf("%s\n", bench::render_plane(planes.w1, "(b) plane of w1").c_str());
+  std::printf("%s\n", bench::render_plane(planes.r, "(c) plane of r").c_str());
+
+  bench::write_csv(bench::plane_csv(planes.w0), "fig2_w0_plane");
+  bench::write_csv(bench::plane_csv(planes.w1), "fig2_w1_plane");
+  bench::write_csv(bench::plane_csv(planes.r), "fig2_r_plane");
+
+  // Graphical border estimate: last w0 curve against Vsa.
+  const auto graphical =
+      analysis::plane_border_resistance(planes.w0, planes.w0.curves.size() - 1);
+  if (graphical.has_value()) {
+    std::printf("graphical BR ((%zu)w0 x Vsa intersection): %s\n",
+                planes.w0.curves.size(),
+                util::eng(*graphical, "Ohm").c_str());
+  }
+
+  // Operational border + derived detection condition (Section 3).
+  const analysis::BorderResult br = analysis::analyze_defect(column, d, sim);
+  if (br.br.has_value()) {
+    std::printf("operational BR: %s   detection condition: %s\n",
+                util::eng(*br.br, "Ohm").c_str(), br.condition.str().c_str());
+    std::printf("paper reference: BR ~185 kOhm, condition 'w1 w1 w0 r0'\n");
+  }
+  std::printf("mid-point voltage Vmp = %.2f V (paper: Vdd/2 region)\n",
+              planes.w0.vmp);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Regenerates paper Fig. 3: the effect of the clock cycle time on a w0
+// operation and on a read, with the O3 open at 200 kOhm
+// (Vdd = 2.4 V, T = +27 C).
+//
+// Shape criteria (paper Section 4.1):
+//  * reducing tcyc 60 -> 55 ns leaves a *higher* Vc after the w0 (the write
+//    is cut short => more stressful for the write);
+//  * the read outcome is unchanged (timing has no impact on Vsa);
+//  * conclusion: reducing the cycle time is more stressful for the test.
+#include "bench/fig_sweep_common.hpp"
+
+using namespace dramstress;
+using dramstress::bench::SweepEntry;
+
+int main() {
+  bench::banner("Fig. 3 -- timing stress (tcyc 60 ns vs 55 ns)");
+  stress::StressCondition c60 = stress::nominal_condition();
+  stress::StressCondition c55 = c60;
+  c55.tcyc = 55e-9;
+  bench::run_axis_figure("fig3_timing",
+                         {{"tcyc=60 ns", c60}, {"tcyc=55 ns", c55}}, 200e3,
+                         /*read_probe_offset=*/-0.10, /*read_del=*/0.0);
+  std::printf(
+      "\npaper reference: Vc(w0) = 1.0 V @60 ns vs 1.19 V @55 ns; read "
+      "unchanged -> reduce tcyc.\n");
+  return 0;
+}

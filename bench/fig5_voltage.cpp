@@ -1,0 +1,62 @@
+// Regenerates paper Fig. 5: the effect of the supply voltage on a w0
+// operation and on a read, with the O3 open at 200 kOhm
+// (tcyc = 60 ns, T = +27 C).
+//
+// Shape criteria (paper Section 4.3):
+//  * raising Vdd weakens the w0 (higher residual Vc): 0.9/1.0/1.2 V at
+//    2.1/2.4/2.7 V in the paper;
+//  * raising Vdd *helps* the read of a 0 (the marginal level reads 1 at
+//    2.1 V but 0 at 2.4/2.7 V) -- the two effects conflict;
+//  * conclusion: the direction cannot be decided from the probes; the
+//    border resistance must be computed per voltage (Section 4.3).
+#include "bench/fig_sweep_common.hpp"
+
+#include "analysis/border.hpp"
+
+using namespace dramstress;
+using dramstress::bench::SweepEntry;
+
+int main() {
+  bench::banner("Fig. 5 -- supply-voltage stress (2.1 / 2.4 / 2.7 V)");
+  stress::StressCondition low = stress::nominal_condition();
+  low.vdd = 2.1;
+  stress::StressCondition nom = stress::nominal_condition();
+  stress::StressCondition high = stress::nominal_condition();
+  high.vdd = 2.7;
+  // The marginal level sits between Vsa(2.1 V) and Vsa(2.4 V), i.e.
+  // "slightly below" the nominal threshold as in the paper.
+  bench::run_axis_figure("fig5_voltage",
+                         {{"Vdd=2.1 V", low}, {"Vdd=2.4 V", nom},
+                          {"Vdd=2.7 V", high}},
+                         200e3, /*read_probe_offset=*/-0.07, /*read_del=*/0.0);
+
+  // The BR-comparison the conflict forces (paper: BR = 160/200/255 kOhm at
+  // 2.1/2.4/2.7 V -- lowest at 2.1 V).
+  bench::banner("border-resistance comparison per supply voltage");
+  dram::DramColumn column;
+  const defect::Defect d{defect::DefectKind::O3, dram::Side::True};
+  // Hold the *test* fixed (derived at the nominal corner) and move only the
+  // supply, exactly as Section 4.3 re-evaluates the same curves per Vdd.
+  analysis::BorderResult nominal_br;
+  {
+    dram::ColumnSimulator sim(column, nom);
+    nominal_br = analysis::analyze_defect(column, d, sim);
+  }
+  std::printf("  fixed test: '%s'\n", nominal_br.condition.str().c_str());
+  const auto range = defect::default_sweep_range(d.kind);
+  util::CsvTable table({"vdd", "br_ohm"});
+  for (const auto& sc : {low, nom, high}) {
+    dram::ColumnSimulator sim(column, sc);
+    const analysis::BorderResult br = analysis::find_border_resistance(
+        column, d, sim, nominal_br.condition, range);
+    std::printf("  Vdd=%.1f V: BR = %s\n", sc.vdd,
+                br.br ? util::eng(*br.br, "Ohm").c_str() : "none");
+    table.add_row({sc.vdd, br.br.value_or(0.0)});
+  }
+  bench::write_csv(table, "fig5_voltage_br");
+  std::printf(
+      "\npaper reference: conflicting probe directions resolved by BR "
+      "comparison; the paper's model favoured 2.1 V, see EXPERIMENTS.md "
+      "for our model's outcome.\n");
+  return 0;
+}

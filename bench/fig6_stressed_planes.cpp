@@ -1,0 +1,112 @@
+// Regenerates paper Fig. 6: the result planes of the cell open under the
+// combined stress combination (SC), plus the Section 4.4 observations.
+//
+// Shape criteria (paper):
+//  1. the border resistance drops vs. the nominal planes (200 -> 150 kOhm
+//     in the paper);
+//  2. the stressed SC needs a detection condition with *more* charging
+//     writes than the nominal one;
+//  3. the SC can induce write-1 fails in a resistance window;
+//  4. the SC is strong enough that even at R = 0 a single write cannot
+//     drive the cell rail-to-rail.
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/border.hpp"
+#include "bench/bench_common.hpp"
+#include "stress/optimizer.hpp"
+
+using namespace dramstress;
+
+namespace {
+
+int count_writes(const analysis::DetectionCondition& c) {
+  int n = 0;
+  for (const auto& op : c.ops)
+    if (op.kind == dram::OpKind::W0 || op.kind == dram::OpKind::W1) ++n;
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 6 -- result planes under the optimized SC");
+
+  dram::DramColumn column;
+  const defect::Defect d{defect::DefectKind::O3, dram::Side::True};
+
+  // Full Section-4 optimization gives the SC.
+  const stress::OptimizationResult opt =
+      stress::optimize_stresses(column, d, stress::nominal_condition());
+  std::printf("optimized SC: %s\n", stress::describe(opt.stressed_sc).c_str());
+  std::printf("paper's SC:   Vdd=2.1 V, tcyc=55 ns, T=+87 C\n\n");
+
+  dram::ColumnSimulator sim(column, opt.stressed_sc);
+  analysis::PlaneOptions popt;
+  popt.num_r_points = 13;
+  popt.ops_per_point = 3;
+  popt.r_lo = 10e3;
+  popt.r_hi = 10e6;
+  const analysis::PlaneSet planes =
+      analysis::generate_plane_set(column, d, sim, popt);
+  std::printf("%s\n", bench::render_plane(planes.w0, "(a) plane of w0 (stressed)").c_str());
+  std::printf("%s\n", bench::render_plane(planes.w1, "(b) plane of w1 (stressed)").c_str());
+  std::printf("%s\n", bench::render_plane(planes.r, "(c) plane of r (stressed)").c_str());
+  bench::write_csv(bench::plane_csv(planes.w0), "fig6_w0_plane");
+  bench::write_csv(bench::plane_csv(planes.w1), "fig6_w1_plane");
+  bench::write_csv(bench::plane_csv(planes.r), "fig6_r_plane");
+
+  // Observation 1: BR drop.
+  std::printf("1) BR: nominal %s -> stressed %s (paper: 200k -> 150k)\n",
+              opt.nominal_border.br
+                  ? util::eng(*opt.nominal_border.br, "Ohm").c_str()
+                  : "none",
+              opt.stressed_border.br
+                  ? util::eng(*opt.stressed_border.br, "Ohm").c_str()
+                  : "none");
+
+  // Observation 2: the stressed detection condition needs at least as many
+  // charging writes.
+  const int wn = count_writes(opt.nominal_border.condition);
+  const int ws = count_writes(opt.stressed_border.condition);
+  std::printf("2) detection condition: nominal '%s' (%d writes) -> stressed "
+              "'%s' (%d writes)\n",
+              opt.nominal_border.condition.str().c_str(), wn,
+              opt.stressed_border.condition.str().c_str(), ws);
+
+  // Observation 3: write-1 fail range under the SC: resistances where a
+  // single w1 from a stored 0 does not cross the sense threshold (the
+  // paper's two dots on the (1)w1 curve of Fig. 6(b)).
+  {
+    util::CsvTable w1fail({"r_ohm", "vc_after_1w1", "vsa", "w1_fails"});
+    double lo = 0.0;
+    double hi = 0.0;
+    for (double r : numeric::logspace(30e3, 10e6, 12)) {
+      defect::Injection inj(column, d, r);
+      const auto run = sim.run({dram::Operation::w1()}, 0.0, d.side);
+      const double vsa = analysis::extract_vsa(sim, d.side).threshold;
+      const bool fail = run.final_vc < vsa;
+      if (fail && lo == 0.0) lo = r;
+      if (fail) hi = r;
+      w1fail.add_row({r, run.final_vc, vsa, fail ? 1.0 : 0.0});
+    }
+    if (lo > 0.0)
+      std::printf("3) stressed single-w1 fail range: %s .. %s (paper: "
+                  "50k .. 200k window)\n",
+                  util::eng(lo, "Ohm").c_str(), util::eng(hi, "Ohm").c_str());
+    else
+      std::printf("3) no single-w1 fail range at the stressed SC\n");
+    bench::write_csv(w1fail, "fig6_w1_fail_range");
+  }
+
+  // Observation 4: even with R ~ 0 a single operation cannot rail the cell.
+  {
+    defect::Injection inj(column, d, 1.0);
+    const auto w1 = sim.run({dram::Operation::w1()}, 0.0, d.side);
+    const auto w0 = sim.run({dram::Operation::w0()}, opt.stressed_sc.vdd, d.side);
+    std::printf("4) at R=0: one w1 reaches %.2f V (of %.2f), one w0 leaves "
+                "%.2f V (of 0)\n",
+                w1.vc_after(0), opt.stressed_sc.vdd, w0.vc_after(0));
+  }
+  return 0;
+}

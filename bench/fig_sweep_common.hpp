@@ -1,0 +1,110 @@
+// Shared machinery for Figs. 3-5: overlaid Vc(t) traces of a single w0
+// operation and a single read, swept over one stress axis.
+#pragma once
+
+#include <cstdio>
+
+#include "analysis/vsa.hpp"
+#include "bench/bench_common.hpp"
+#include "dram/column_sim.hpp"
+#include "stress/stress.hpp"
+
+namespace dramstress::bench {
+
+struct SweepEntry {
+  std::string label;
+  stress::StressCondition condition;
+};
+
+/// Time window of the first operation cycle in a compiled sequence.
+inline double first_op_start(const stress::StressCondition& sc,
+                             const dram::CommandTiming& timing) {
+  return (1.0 - sc.duty) * sc.tcyc + timing.idle_cycles * sc.tcyc;
+}
+
+/// Extract the "vc" probe of the first operation cycle, time-shifted so the
+/// wordline rise is t = 0.
+inline util::Series cycle_series(const dram::RunResult& run,
+                                 const stress::StressCondition& sc,
+                                 const dram::CommandTiming& timing,
+                                 const std::string& label, char glyph) {
+  const double t0 = first_op_start(sc, timing);
+  const size_t p = run.trace.probe_index("vc");
+  util::Series s;
+  s.name = label;
+  s.glyph = glyph;
+  for (size_t i = 0; i < run.trace.time.size(); ++i) {
+    const double t = run.trace.time[i];
+    if (t < t0) continue;
+    s.x.push_back(t - t0);
+    s.y.push_back(run.trace.samples[p][i]);
+  }
+  return s;
+}
+
+/// Run the Fig. 3/4/5 experiment: for each sweep entry, simulate one w0 on
+/// a cell holding Vdd (top panel) and one read of a marginal level near the
+/// nominal Vsa (bottom panel), then print both overlays and a summary.
+/// `r_defect` is the injected O3 open (paper: 200 kOhm).
+/// `read_probe_offset` sets the marginal read level relative to the nominal
+/// Vsa; `read_del` optionally inserts a retention pause before the read
+/// (used by the temperature figure, where leakage needs exposure time).
+inline void run_axis_figure(const std::string& figure_name,
+                            const std::vector<SweepEntry>& sweep,
+                            double r_defect, double read_probe_offset,
+                            double read_del) {
+  dram::DramColumn column;
+  const defect::Defect d{defect::DefectKind::O3, dram::Side::True};
+  defect::Injection inj(column, d, r_defect);
+  const dram::CommandTiming timing{};
+
+  // Nominal Vsa anchors the marginal read level.
+  const stress::StressCondition nominal = stress::nominal_condition();
+  double vsa_nom = 0.0;
+  {
+    dram::ColumnSimulator sim(column, nominal);
+    vsa_nom = analysis::extract_vsa(sim, d.side).threshold;
+  }
+  const double read_init = vsa_nom + read_probe_offset;
+  std::printf("nominal Vsa(R=%s) = %.3f V; marginal read level = %.3f V\n",
+              util::eng(r_defect, "Ohm").c_str(), vsa_nom, read_init);
+
+  std::vector<util::Series> w0_series;
+  std::vector<util::Series> rd_series;
+  util::CsvTable summary({"sweep_value_index", "vc_after_w0", "read_bit"});
+  static const char glyphs[] = {'*', 'o', '+'};
+
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const auto& entry = sweep[i];
+    dram::ColumnSimulator sim(column, entry.condition);
+
+    const dram::RunResult w0 =
+        sim.run({dram::Operation::w0()}, entry.condition.vdd, d.side);
+    w0_series.push_back(cycle_series(w0, entry.condition, timing,
+                                     entry.label, glyphs[i % 3]));
+    std::printf("  %-18s: Vc after w0 = %.3f V\n", entry.label.c_str(),
+                w0.vc_after(0));
+
+    dram::OpSequence read_seq;
+    if (read_del > 0.0) read_seq.push_back(dram::Operation::del(read_del));
+    read_seq.push_back(dram::Operation::r());
+    const dram::RunResult rd = sim.run(read_seq, read_init, d.side);
+    rd_series.push_back(cycle_series(rd, entry.condition, timing,
+                                     entry.label, glyphs[i % 3]));
+    std::printf("  %-18s: read of %.2f V -> %d\n", entry.label.c_str(),
+                read_init, rd.last_read_bit());
+    summary.add_row({static_cast<double>(i), w0.vc_after(0),
+                     static_cast<double>(rd.last_read_bit())});
+  }
+
+  util::PlotOptions plot;
+  plot.title = "Vc during a w0 operation (cell starts at Vdd)";
+  plot.x_label = "t since WL rise [s]";
+  plot.y_label = "Vc";
+  std::printf("\n%s", util::ascii_plot(w0_series, plot).c_str());
+  plot.title = "Vc during a read of the marginal level";
+  std::printf("\n%s", util::ascii_plot(rd_series, plot).c_str());
+  write_csv(summary, figure_name);
+}
+
+}  // namespace dramstress::bench

@@ -1,0 +1,13 @@
+one DRAM cell: boosted write-1, wordline close, hot retention decay
+.model acc NMOS (vto=0.75 kp=120u n=1.35 tcv=1.5m bex=-2.0 w=0.1u l=0.9u)
+.model junction D (is=0.5n eg=0.65 xti=3)
+Vbl bl 0 DC 2.4
+Vwl wl 0 PWL(0 0 5n 0 6n 4.4 45n 4.4 46n 0)
+Macc bl wl sn 0 acc
+Cs sn 0 150f
+Dleak 0 sn junction
+.temp 87
+.ic V(sn)=0
+.tran 0.1n 60n
+.probe sn bl
+.end

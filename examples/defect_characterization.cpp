@@ -1,0 +1,89 @@
+// Characterize a defect electrically: sweep its resistance, draw the
+// result planes (paper Fig. 2), extract the sense threshold Vsa(R) and the
+// border resistance, and derive the detection condition a test needs.
+//
+// Usage: defect_characterization [o1|o2|o3|sg|sv|b1|b2|b3] [true|comp]
+#include <cstdio>
+#include <cstring>
+
+#include "analysis/border.hpp"
+#include "analysis/result_plane.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/strings.hpp"
+
+using namespace dramstress;
+
+namespace {
+
+defect::DefectKind parse_kind(const char* s) {
+  using defect::DefectKind;
+  if (std::strcmp(s, "o1") == 0) return DefectKind::O1;
+  if (std::strcmp(s, "o2") == 0) return DefectKind::O2;
+  if (std::strcmp(s, "o3") == 0) return DefectKind::O3;
+  if (std::strcmp(s, "sg") == 0) return DefectKind::Sg;
+  if (std::strcmp(s, "sv") == 0) return DefectKind::Sv;
+  if (std::strcmp(s, "b1") == 0) return DefectKind::B1;
+  if (std::strcmp(s, "b2") == 0) return DefectKind::B2;
+  if (std::strcmp(s, "b3") == 0) return DefectKind::B3;
+  std::fprintf(stderr, "unknown defect kind '%s', using o3\n", s);
+  return DefectKind::O3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  defect::Defect d{defect::DefectKind::O3, dram::Side::True};
+  if (argc > 1) d.kind = parse_kind(argv[1]);
+  if (argc > 2 && std::strcmp(argv[2], "comp") == 0) d.side = dram::Side::Comp;
+
+  std::printf("characterizing %s at the nominal corner\n\n", d.name().c_str());
+  dram::DramColumn column;
+  const dram::OperatingConditions nominal{2.4, 27.0, 60e-9, 0.5};
+  dram::ColumnSimulator sim(column, nominal);
+
+  // Result planes over the defect's natural resistance range.
+  const auto range = defect::default_sweep_range(d.kind);
+  analysis::PlaneOptions popt;
+  popt.num_r_points = 9;
+  popt.ops_per_point = 2;
+  popt.r_lo = range.lo * 10;  // skip the benign low decade
+  popt.r_hi = range.hi;
+  const analysis::ResultPlane w0 =
+      analysis::generate_plane(column, d, sim, dram::OpKind::W0, popt);
+  const analysis::ResultPlane w1 =
+      analysis::generate_plane(column, d, sim, dram::OpKind::W1, popt);
+
+  auto plot = [](const analysis::ResultPlane& plane, const char* title) {
+    std::vector<util::Series> series;
+    for (size_t c = 0; c < plane.curves.size(); ++c) {
+      series.push_back({util::format("(%d)%s", plane.curves[c].op_number,
+                                     dram::to_string(plane.op)),
+                        static_cast<char>('1' + c), plane.r_values,
+                        plane.curves[c].vc});
+    }
+    series.push_back({"Vsa", '#', plane.r_values, plane.vsa});
+    util::PlotOptions o;
+    o.title = title;
+    o.log_x = true;
+    o.x_label = "R [Ohm]";
+    std::printf("%s\n", util::ascii_plot(series, o).c_str());
+  };
+  plot(w0, "plane of w0 (cell starts high)");
+  plot(w1, "plane of w1 (cell starts low)");
+
+  // Border resistance + detection condition (paper Section 3).
+  const analysis::BorderResult br = analysis::analyze_defect(column, d, sim);
+  if (!br.br.has_value()) {
+    std::printf("no faulty behaviour anywhere in [%s, %s]\n",
+                util::eng(range.lo, "Ohm").c_str(),
+                util::eng(range.hi, "Ohm").c_str());
+    return 0;
+  }
+  std::printf("border resistance: %s (faults for %s values)\n",
+              util::eng(*br.br, "Ohm").c_str(),
+              br.fault_at_high_r ? "larger" : "smaller");
+  std::printf("detection condition: %s\n", br.condition.str().c_str());
+  std::printf("failing range: %.2f decades of resistance\n",
+              br.failing_decades(range));
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Evaluate the fault coverage of industrial march tests over the paper's
+// defect library, at the nominal corner and at a stressed corner -- the
+// production question the paper's method answers ("how should each stress
+// be applied to achieve a higher fault coverage of a given test").
+#include <cstdio>
+
+#include "memtest/coverage.hpp"
+#include "stress/stress.hpp"
+#include "util/strings.hpp"
+
+using namespace dramstress;
+
+int main() {
+  dram::DramColumn column;
+
+  const stress::StressCondition nominal = stress::nominal_condition();
+  // A typical production stress corner: short cycle, hot, high supply.
+  stress::StressCondition stressed = nominal;
+  stressed.tcyc = 55e-9;
+  stressed.temp_c = 87.0;
+  stressed.vdd = 2.7;
+
+  const auto universe = memtest::default_defect_universe(5);
+  std::printf("defect universe: %zu (defect, resistance) instances\n\n",
+              universe.size());
+
+  memtest::CoverageOptions opt;
+  opt.memory_cells = 16;
+
+  std::printf("%-28s %-10s %-10s\n", "march test", "nominal", "stressed");
+  for (const memtest::MarchTest& test : memtest::standard_test_suite()) {
+    const auto base =
+        memtest::evaluate_coverage(column, universe, test, nominal, opt);
+    const auto hot =
+        memtest::evaluate_coverage(column, universe, test, stressed, opt);
+    std::printf("%-28s %5.1f%%     %5.1f%%\n", test.name.c_str(),
+                100.0 * base.fraction(), 100.0 * hot.fraction());
+  }
+
+  std::printf("\nmarch notation: %s\n", memtest::march_cminus().str().c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: optimize the test stresses for one DRAM cell defect.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// The three lines that matter:
+//   core::StressFlow flow;                       // calibrated DRAM column
+//   auto result = flow.optimize(defect);         // paper Sections 3 + 4
+//   ... result.stressed_sc / result.stressed_border ...
+#include <cstdio>
+
+#include "core/flow.hpp"
+#include "util/strings.hpp"
+
+using namespace dramstress;
+
+int main() {
+  // The library ships a calibrated folded-bitline DRAM column; StressFlow
+  // wires the fault analysis and the stress optimizer around it.
+  core::StressFlow flow;
+
+  // The paper's running example: a resistive open at the storage node of a
+  // cell on the true bitline (Fig. 1 / O3 in Fig. 7).
+  const defect::Defect d{defect::DefectKind::O3, dram::Side::True};
+
+  std::printf("optimizing stresses for %s ...\n\n", d.name().c_str());
+  const stress::OptimizationResult result = flow.optimize(d);
+
+  std::printf("nominal corner : %s\n", stress::describe(result.nominal_sc).c_str());
+  std::printf("  border resistance  : %s\n",
+              util::eng(result.nominal_border.br.value(), "Ohm").c_str());
+  std::printf("  detection condition: %s\n\n",
+              result.nominal_border.condition.str().c_str());
+
+  for (const stress::AxisDecision& dec : result.decisions) {
+    std::printf("stress %-5s -> %-8s (decided by %s)\n",
+                stress::to_string(dec.axis), dec.direction().c_str(),
+                stress::to_string(dec.method));
+  }
+
+  std::printf("\nstressed corner: %s\n", stress::describe(result.stressed_sc).c_str());
+  std::printf("  border resistance  : %s\n",
+              util::eng(result.stressed_border.br.value(), "Ohm").c_str());
+  std::printf("  detection condition: %s\n",
+              result.stressed_border.condition.str().c_str());
+  std::printf("  failing-range gain : %.2f decades of resistance\n",
+              result.coverage_gain_decades());
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Classic Shmoo plotting (paper Section 2): apply a test to the defective
+// column over a 2-D stress grid and print the pass/fail map -- then show
+// what the paper's method adds: the per-stress explanation.
+#include <cstdio>
+
+#include "analysis/border.hpp"
+#include "numeric/interp.hpp"
+#include "stress/probe.hpp"
+#include "stress/shmoo.hpp"
+#include "util/strings.hpp"
+
+using namespace dramstress;
+
+int main() {
+  dram::DramColumn column;
+  const defect::Defect d{defect::DefectKind::O3, dram::Side::True};
+  const stress::StressCondition nominal = stress::nominal_condition();
+
+  // Derive the test (Section 3) and place the defect just past the border.
+  analysis::BorderResult br;
+  {
+    dram::ColumnSimulator sim(column, nominal);
+    br = analysis::analyze_defect(column, d, sim);
+  }
+  const double r = br.br.value() * 1.1;
+  std::printf("defect: %s at %s; test: '%s'\n\n", d.name().c_str(),
+              util::eng(r, "Ohm").c_str(), br.condition.str().c_str());
+
+  stress::ShmooOptions opt;
+  opt.x_axis = stress::StressAxis::CycleTime;
+  opt.y_axis = stress::StressAxis::SupplyVoltage;
+  opt.x_values = numeric::linspace(52e-9, 68e-9, 9);
+  opt.y_values = numeric::linspace(2.0, 2.8, 7);
+  const stress::ShmooPlot plot =
+      stress::shmoo_plot(column, d, r, br.condition, nominal, opt);
+  std::printf("%s\n", plot.render().c_str());
+  std::printf("(%ld full test simulations for one defect value)\n\n",
+              plot.simulations);
+
+  // What the Shmoo cannot tell you: which internal effect each stress has.
+  const stress::AxisProbe probe =
+      stress::probe_axis(column, d, r, br.condition, nominal,
+                         stress::StressAxis::CycleTime);
+  std::printf("probe explanation for tcyc (2 targeted sims per value):\n");
+  for (const auto& c : probe.candidates) {
+    std::printf("  tcyc=%s: critical-write residual %.3f V, Vsa %.3f V\n",
+                util::eng(c.value, "s").c_str(), c.write_residual, c.vsa);
+  }
+  std::printf("=> the write weakens at short cycles while Vsa stays put: "
+              "timing stresses the write, not the read (paper 4.1).\n");
+  return 0;
+}

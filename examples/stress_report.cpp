@@ -1,0 +1,36 @@
+// Generate the markdown diagnostic report for a defect: the document a
+// product engineer would attach to a test-program change request.
+//
+// Usage: stress_report [o1|o2|o3|sg|sv|b1|b2] [true|comp] > report.md
+#include <cstdio>
+#include <cstring>
+
+#include "core/flow.hpp"
+#include "core/report.hpp"
+
+using namespace dramstress;
+
+int main(int argc, char** argv) {
+  defect::Defect d{defect::DefectKind::O3, dram::Side::True};
+  if (argc > 1) {
+    const std::string k = argv[1];
+    using defect::DefectKind;
+    if (k == "o1") d.kind = DefectKind::O1;
+    else if (k == "o2") d.kind = DefectKind::O2;
+    else if (k == "o3") d.kind = DefectKind::O3;
+    else if (k == "sg") d.kind = DefectKind::Sg;
+    else if (k == "sv") d.kind = DefectKind::Sv;
+    else if (k == "b1") d.kind = DefectKind::B1;
+    else if (k == "b2") d.kind = DefectKind::B2;
+  }
+  if (argc > 2 && std::strcmp(argv[2], "comp") == 0)
+    d.side = dram::Side::Comp;
+
+  core::StressFlow flow;
+  std::fprintf(stderr, "optimizing %s (takes a minute)...\n",
+               d.name().c_str());
+  const stress::OptimizationResult result = flow.optimize(d);
+  const std::string report = core::optimization_report(flow.column(), result);
+  std::fputs(report.c_str(), stdout);
+  return 0;
+}

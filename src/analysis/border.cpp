@@ -1,0 +1,139 @@
+#include "analysis/border.hpp"
+
+#include <cmath>
+
+#include "numeric/interp.hpp"
+#include "numeric/rootfind.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::analysis {
+
+double BorderResult::failing_decades(const defect::SweepRange& range) const {
+  if (!br.has_value()) return fails_everywhere
+                                  ? std::log10(range.hi / range.lo)
+                                  : 0.0;
+  return fault_at_high_r ? std::log10(range.hi / *br)
+                         : std::log10(*br / range.lo);
+}
+
+BorderResult find_border_resistance(dram::DramColumn& column,
+                                    const defect::Defect& d,
+                                    const dram::ColumnSimulator& sim,
+                                    const DetectionCondition& cond,
+                                    const defect::SweepRange& range,
+                                    const BorderOptions& opt) {
+  require(opt.scan_points >= 3, "find_border_resistance: need >= 3 scan points");
+  BorderResult result;
+  result.condition = cond;
+  result.fault_at_high_r = defect::is_series(d.kind);
+
+  defect::Injection inj(column, d, range.lo);
+  auto fails_at = [&](double r) {
+    inj.set_value(r);
+    return condition_fails(sim, d.side, cond);
+  };
+
+  // Coarse scan, then refine the transition adjacent to the faulty side.
+  const auto grid = numeric::logspace(range.lo, range.hi, opt.scan_points);
+  std::vector<bool> fail(grid.size());
+  for (size_t i = 0; i < grid.size(); ++i) fail[i] = fails_at(grid[i]);
+
+  // Locate the boundary: for series defects, the *first* failing point
+  // scanning up; for shunts, the *last* failing point.
+  std::optional<size_t> edge;
+  if (result.fault_at_high_r) {
+    for (size_t i = 0; i < grid.size(); ++i)
+      if (fail[i]) { edge = i; break; }
+  } else {
+    for (size_t i = grid.size(); i-- > 0;)
+      if (fail[i]) { edge = i; break; }
+  }
+  if (!edge.has_value()) {
+    result.br = std::nullopt;
+    return result;  // never fails
+  }
+
+  const size_t e = *edge;
+  const bool whole_range_faulty =
+      (result.fault_at_high_r && e == 0) ||
+      (!result.fault_at_high_r && e == grid.size() - 1);
+  if (whole_range_faulty) {
+    result.fails_everywhere = true;
+    result.br = result.fault_at_high_r ? range.lo : range.hi;
+    return result;
+  }
+
+  const double lo = result.fault_at_high_r ? grid[e - 1] : grid[e];
+  const double hi = result.fault_at_high_r ? grid[e] : grid[e + 1];
+  result.br = numeric::bisect_predicate_log(
+      [&](double r) { return fails_at(r); }, lo, hi, {.x_tol = opt.log_tol});
+  return result;
+}
+
+BorderResult analyze_defect(dram::DramColumn& column, const defect::Defect& d,
+                            const dram::ColumnSimulator& sim,
+                            const BorderOptions& opt) {
+  const defect::SweepRange range = defect::default_sweep_range(d.kind);
+  // Construct the candidate conditions at a mid-range reference (their
+  // charging counts need a representative, not extreme, resistance), then
+  // apply the paper's criterion: keep the condition whose failing
+  // resistance range is widest.  Candidate order breaks near-ties
+  // deterministically (transition conditions first).
+  const double k_reference = defect::is_series(d.kind)
+                                 ? std::sqrt(range.lo * range.hi)
+                                 : 10e3;
+  std::vector<DetectionCondition> candidates;
+  {
+    defect::Injection inj(column, d, k_reference);
+    candidates = candidate_conditions(sim, d.side, opt.detection);
+  }
+
+  BorderResult result;
+  result.fault_at_high_r = defect::is_series(d.kind);
+  double best_decades = -1.0;
+  const double kTieTolerance = 0.15;  // decades
+  for (const DetectionCondition& cand : candidates) {
+    // A valid test must pass on the healthy column at this corner
+    // (e.g. a 100 us retention pause falsely fails everything at +87 C).
+    if (!condition_valid_on_healthy(sim, d.side, cand)) continue;
+    const BorderResult r =
+        find_border_resistance(column, d, sim, cand, range, opt);
+    if (!r.br.has_value()) continue;
+    const double decades = r.failing_decades(range);
+    if (decades > best_decades + kTieTolerance) {
+      best_decades = decades;
+      result = r;
+    }
+  }
+  if (!result.br.has_value()) return result;  // not detectable by any candidate
+  // Iterate: the charging count that saturates the cell depends on the
+  // resistance; re-derive it at the found border.
+  for (int it = 0; it < opt.refine_iterations && result.br.has_value(); ++it) {
+    std::optional<DetectionCondition> refined;
+    {
+      defect::Injection inj(column, d, *result.br * (result.fault_at_high_r
+                                                         ? 1.05
+                                                         : 0.95));
+      refined = derive_detection_condition(sim, d.side, opt.detection);
+    }
+    if (refined.has_value() &&
+        !condition_valid_on_healthy(sim, d.side, *refined))
+      refined.reset();
+    if (!refined.has_value() || refined->str() == result.condition.str()) break;
+    const BorderResult again =
+        find_border_resistance(column, d, sim, *refined, range, opt);
+    if (!again.br.has_value()) break;
+    util::log_debug(util::format("analyze_defect(%s): refined '%s' -> '%s', "
+                                 "BR %s -> %s",
+                                 d.name().c_str(), result.condition.str().c_str(),
+                                 refined->str().c_str(),
+                                 util::eng(*result.br, "Ohm").c_str(),
+                                 util::eng(*again.br, "Ohm").c_str()));
+    result = again;
+  }
+  return result;
+}
+
+}  // namespace dramstress::analysis

@@ -1,0 +1,60 @@
+// Border resistance extraction (paper Section 3).
+//
+// The border resistance (BR) of a defect under a given test is the defect
+// resistance at which the memory starts to show faulty behaviour: for
+// series defects (opens) faults appear for R >= BR, for shunt defects
+// (shorts/bridges) for R <= BR.  The optimization criterion of the paper
+// (Section 3) is to drive each stress in the direction that moves BR so
+// that the failing resistance range is maximized.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "analysis/detection.hpp"
+#include "defect/defect.hpp"
+
+namespace dramstress::analysis {
+
+struct BorderOptions {
+  int scan_points = 9;        // coarse log grid before bisection
+  double log_tol = 0.02;      // bisection tolerance in ln(R)
+  DetectionOptions detection;
+  /// Iterations of (find BR -> re-derive charging count at BR).  The paper
+  /// notes the detection condition itself depends on where BR lands
+  /// (Fig. 6: the stressed SC needs more charging writes).
+  int refine_iterations = 2;
+};
+
+struct BorderResult {
+  /// The border resistance; nullopt if the test never fails in the range.
+  std::optional<double> br;
+  /// True if the faulty region is R >= br (series defect), false if R <= br.
+  bool fault_at_high_r = true;
+  /// The detection condition whose failing range br delimits.
+  DetectionCondition condition;
+  /// True if the test fails across the entire sweep range.
+  bool fails_everywhere = false;
+
+  /// Width of the failing range in decades of resistance (the coverage
+  /// proxy the paper's criterion maximizes); 0 when br is absent.
+  double failing_decades(const defect::SweepRange& range) const;
+};
+
+/// Find the BR of `cond` for defect `d` (injection swept over `range`).
+BorderResult find_border_resistance(dram::DramColumn& column,
+                                    const defect::Defect& d,
+                                    const dram::ColumnSimulator& sim,
+                                    const DetectionCondition& cond,
+                                    const defect::SweepRange& range,
+                                    const BorderOptions& opt = {});
+
+/// Full Section-3 flow: derive a detection condition at a surely-faulty
+/// reference value, find its BR, then iterate the charging count at the BR
+/// (refine_iterations times).  Returns nullopt in BorderResult::br if no
+/// candidate condition ever fails.
+BorderResult analyze_defect(dram::DramColumn& column, const defect::Defect& d,
+                            const dram::ColumnSimulator& sim,
+                            const BorderOptions& opt = {});
+
+}  // namespace dramstress::analysis

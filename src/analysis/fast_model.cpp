@@ -1,0 +1,164 @@
+#include "analysis/fast_model.hpp"
+
+#include <cmath>
+
+#include "numeric/rootfind.hpp"
+#include "util/error.hpp"
+
+namespace dramstress::analysis {
+
+using defect::Defect;
+using defect::DefectKind;
+using dram::Operation;
+using dram::OpSequence;
+using dram::Side;
+
+FastCellModel::FastCellModel(const Defect& d, FastModelParams params)
+    : d_(d), params_(std::move(params)) {}
+
+FastCellModel FastCellModel::calibrate(dram::DramColumn& column,
+                                       const Defect& d,
+                                       const dram::ColumnSimulator& sim,
+                                       const FastCalibOptions& opt) {
+  const auto& cond = sim.conditions();
+  FastModelParams p;
+  p.vdd = cond.vdd;
+  p.vbl = column.tech().vbl_frac * cond.vdd;
+  p.cs = column.tech().cs;
+
+  // --- write-path fit: two w0 runs through the generic series path --------
+  // (the write path is the same for every defect kind; O3 is the knob).
+  {
+    const Defect probe{DefectKind::O3, d.side};
+    defect::Injection inj(column, probe, opt.r1);
+    // Use the physical-high -> physical-low transition on this side (w0 on
+    // a true-side cell, w1 on a comp-side cell).
+    const double init_high = cond.vdd;
+    const dram::RunResult r1 = sim.run(
+        {d.side == Side::True ? Operation::w0() : Operation::w1()}, init_high,
+        d.side);
+    inj.set_value(opt.r2);
+    const dram::RunResult r2 = sim.run(
+        {d.side == Side::True ? Operation::w0() : Operation::w1()}, init_high,
+        d.side);
+    const double f1 = std::max(1e-6, r1.vc_after(0) / init_high);
+    const double f2 = std::max(1e-6, r2.vc_after(0) / init_high);
+    // f_i = exp(-tw / ((Ri + rs) cs))  =>  ln f1 / ln f2 = (R2+rs)/(R1+rs).
+    const double q = std::log(f1) / std::log(f2);
+    double rs = (opt.r2 - q * opt.r1) / (q - 1.0);
+    if (!(rs > 0.0 && rs < 10.0 * opt.r1)) rs = 20e3;  // guarded fallback
+    p.r_series = rs;
+    p.t_write = -std::log(f1) * (opt.r1 + rs) * p.cs;
+
+    // Settlement of a physical-high write at a moderate defect value.
+    inj.set_value(opt.r1);
+    const OpSequence w1s(6, d.side == Side::True ? Operation::w1()
+                                                 : Operation::w0());
+    const dram::RunResult rset = sim.run(w1s, 0.0, d.side);
+    // Invert the exponential settle to get the asymptotic target.
+    const double tau = (opt.r1 + rs) * p.cs;
+    const double a = 1.0 - std::exp(-p.t_write / tau);
+    const double step0 = rset.vc_after(0);
+    p.v1_target = a > 1e-6 ? std::min(cond.vdd, step0 / a) : cond.vdd;
+  }
+
+  // --- Vsa(R) ------------------------------------------------------------
+  if (defect::is_series(d.kind)) {
+    const auto range = defect::default_sweep_range(d.kind);
+    const auto rs = numeric::logspace(range.lo, range.hi, opt.vsa_points);
+    std::vector<double> xs;
+    std::vector<double> ys;
+    defect::Injection inj(column, d, rs.front());
+    for (double r : rs) {
+      inj.set_value(r);
+      xs.push_back(std::log10(r));
+      ys.push_back(extract_vsa(sim, d.side).threshold);
+    }
+    p.vsa_vs_log10r = numeric::PiecewiseLinear(xs, ys);
+    p.vsa_varies = true;
+  } else {
+    p.vsa_const = extract_vsa(sim, d.side).threshold;
+    p.vsa_varies = false;
+  }
+
+  // --- leakage: pure hold on the pristine cell ---------------------------
+  {
+    const dram::RunResult hold =
+        sim.run({Operation::del(opt.leak_probe)}, cond.vdd, d.side);
+    const double dv = cond.vdd - hold.final_vc;
+    p.leak_current = std::max(0.0, dv * p.cs / opt.leak_probe);
+  }
+
+  return FastCellModel(d, p);
+}
+
+double FastCellModel::vsa_threshold() const {
+  if (!params_.vsa_varies) return params_.vsa_const;
+  return params_.vsa_vs_log10r(std::log10(std::max(1.0, r_defect_)));
+}
+
+double FastCellModel::shunt_level() const {
+  switch (d_.kind) {
+    case DefectKind::Sg: return 0.0;
+    case DefectKind::Sv: return params_.vdd;
+    case DefectKind::B1: return params_.vbl;
+    case DefectKind::B2: return 0.0;  // wordline rests low
+    default: return 0.0;
+  }
+}
+
+void FastCellModel::set_defect_resistance(double ohms) {
+  require(ohms > 0.0, "FastCellModel: resistance must be positive");
+  r_defect_ = ohms;
+}
+
+void FastCellModel::exponential_write(double target, double extra_series) {
+  const double rs = params_.r_series + extra_series;
+  if (defect::is_series(d_.kind)) {
+    const double tau = (rs + r_defect_) * params_.cs;
+    vc_ = target + (vc_ - target) * std::exp(-params_.t_write / tau);
+    return;
+  }
+  // Shunt: driver toward `target` through rs, shunt toward its level
+  // through r_defect_.  First-order: settle toward the divider.
+  const double g1 = 1.0 / rs;
+  const double g2 = 1.0 / r_defect_;
+  const double vss = (target * g1 + shunt_level() * g2) / (g1 + g2);
+  const double tau = params_.cs / (g1 + g2);
+  vc_ = vss + (vc_ - vss) * std::exp(-params_.t_write / tau);
+}
+
+void FastCellModel::write(int logical) {
+  require(logical == 0 || logical == 1, "FastCellModel: logical must be 0/1");
+  double target = dram::physical_level(d_.side, logical, params_.vdd);
+  // Physical-high writes settle below vdd (wordline-boost limit).
+  if (target > 0.0) target = std::min(target, params_.v1_target);
+  exponential_write(target, 0.0);
+}
+
+int FastCellModel::read() {
+  const double th = vsa_threshold();
+  const bool high = vc_ > th;
+  const int bit = (d_.side == Side::True) == high ? 1 : 0;
+  // Destructive read + restore of the *sensed* value.
+  double target = dram::physical_level(d_.side, bit, params_.vdd);
+  if (target > 0.0) target = std::min(target, params_.v1_target);
+  exponential_write(target, 0.0);
+  return bit;
+}
+
+void FastCellModel::idle(double seconds) {
+  require(seconds >= 0.0, "FastCellModel: idle time must be >= 0");
+  if (seconds == 0.0) return;
+  // Junction leakage (constant current toward ground, floor at 0).
+  vc_ -= params_.leak_current * seconds / params_.cs;
+  if (vc_ < 0.0) vc_ = 0.0;
+  // Shunt decay toward the far node.
+  if (!defect::is_series(d_.kind)) {
+    const double tau = r_defect_ * params_.cs;
+    const double lvl = shunt_level();
+    vc_ = lvl + (vc_ - lvl) * std::exp(-seconds / tau);
+  }
+}
+
+}  // namespace dramstress::analysis

@@ -1,0 +1,87 @@
+// Calibrated behavioural cell model.
+//
+// Full SPICE runs cost milliseconds per memory cycle; Shmoo plots and march
+// tests over whole (simulated) memories need millions of operations.  This
+// model reduces the defective cell to first-order dynamics whose constants
+// are calibrated against the electrical column:
+//   * writes move Vc exponentially toward a target with a time constant
+//     (R_defect + r_series) * Cs over an effective window t_w;
+//   * shunt defects add a resistive divider/decay toward their far node;
+//   * reads compare Vc against the calibrated Vsa(R) curve and restore;
+//   * idle time applies junction leakage and shunt decay.
+// The ablation bench (bench/ablation_fast_model) quantifies the BR error
+// of this model against the full electrical simulation.
+#pragma once
+
+#include "analysis/vsa.hpp"
+#include "defect/defect.hpp"
+#include "dram/column_sim.hpp"
+#include "numeric/interp.hpp"
+
+namespace dramstress::analysis {
+
+struct FastCalibOptions {
+  double r1 = 100e3;  // series-fit probe resistances
+  double r2 = 400e3;
+  int vsa_points = 5;       // samples of the Vsa(R) curve (series defects)
+  double leak_probe = 20e-6;  // s, idle window used to measure leakage
+};
+
+/// Calibrated parameters (exposed for inspection/testing).
+struct FastModelParams {
+  double vdd = 2.4;
+  double vbl = 1.2;
+  double cs = 150e-15;
+  double r_series = 0.0;   // effective healthy series resistance of the path
+  double t_write = 0.0;    // effective write window, s
+  double v1_target = 0.0;  // settlement level of a physical-high write
+  double leak_current = 0.0;  // A, pulls Vc down during idle
+  /// Vsa as a function of log10(R) for series defects; constant for shunts.
+  numeric::PiecewiseLinear vsa_vs_log10r;
+  double vsa_const = 0.0;
+  bool vsa_varies = false;
+};
+
+class FastCellModel {
+public:
+  /// Calibrate against the electrical column for `d` under the simulator's
+  /// conditions.  The column's injected state is restored afterwards.
+  static FastCellModel calibrate(dram::DramColumn& column,
+                                 const defect::Defect& d,
+                                 const dram::ColumnSimulator& sim,
+                                 const FastCalibOptions& opt = {});
+
+  /// Construct directly from parameters (tests, custom models).
+  FastCellModel(const defect::Defect& d, FastModelParams params);
+
+  // --- behavioural operations ------------------------------------------
+  void set_defect_resistance(double ohms);
+  double defect_resistance() const { return r_defect_; }
+
+  void set_vc(double volts) { vc_ = volts; }
+  double vc() const { return vc_; }
+
+  /// Write logical x (one cycle): exponential move toward the physical
+  /// target including the shunt divider.
+  void write(int logical);
+  /// Read: threshold against Vsa(R), then restore the read value.
+  int read();
+  /// Quiet time: leakage plus shunt decay.
+  void idle(double seconds);
+
+  const FastModelParams& params() const { return params_; }
+  const defect::Defect& defect() const { return d_; }
+
+private:
+  double vsa_threshold() const;
+  /// Shunt far-node voltage (Sg -> 0, Sv -> vdd, B1 -> vbl, B2 -> 0).
+  double shunt_level() const;
+  void exponential_write(double target, double tau_extra_r);
+
+  defect::Defect d_;
+  FastModelParams params_;
+  double r_defect_ = 1e15;
+  double vc_ = 0.0;
+};
+
+}  // namespace dramstress::analysis

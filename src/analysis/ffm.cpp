@@ -1,0 +1,124 @@
+#include "analysis/ffm.hpp"
+
+#include "util/strings.hpp"
+
+namespace dramstress::analysis {
+
+using dram::Operation;
+using dram::OpSequence;
+using dram::Side;
+
+const char* to_string(FaultModel model) {
+  switch (model) {
+    case FaultModel::StuckAt0: return "SAF-0";
+    case FaultModel::StuckAt1: return "SAF-1";
+    case FaultModel::TransitionUp: return "TF-up";
+    case FaultModel::TransitionDown: return "TF-down";
+    case FaultModel::Retention1: return "DRF-1";
+    case FaultModel::Retention0: return "DRF-0";
+    case FaultModel::ReadDisturb1: return "RDF-1";
+    case FaultModel::ReadDisturb0: return "RDF-0";
+  }
+  return "?";
+}
+
+bool FfmReport::has(FaultModel m) const {
+  for (FaultModel x : models)
+    if (x == m) return true;
+  return false;
+}
+
+std::string FfmReport::str() const {
+  if (models.empty()) return "fault-free";
+  std::vector<std::string> parts;
+  parts.reserve(models.size());
+  for (FaultModel m : models) parts.emplace_back(to_string(m));
+  return util::join(parts, ", ");
+}
+
+namespace {
+
+OpSequence writes(int value, int count) {
+  return OpSequence(static_cast<size_t>(count),
+                    value == 1 ? Operation::w1() : Operation::w0());
+}
+
+}  // namespace
+
+FfmReport classify_ffm(const dram::ColumnSimulator& sim, Side side,
+                       const FfmProbeOptions& opt) {
+  FfmReport report;
+  const double vdd = sim.conditions().vdd;
+  auto add = [&report](FaultModel m) {
+    if (!report.has(m)) report.models.push_back(m);
+  };
+
+  // --- stuck-at: saturated writes of x still read as ~x ------------------
+  // (probed first; a stuck cell also fails the transition probes, which
+  // are then redundant and skipped).
+  bool stuck0 = false;
+  bool stuck1 = false;
+  {
+    OpSequence seq = writes(1, opt.saturate_ops);
+    seq.push_back(Operation::r());
+    stuck0 = sim.run(seq, dram::physical_level(side, 0, vdd), side)
+                 .last_read_bit() == 0;
+    if (stuck0) add(FaultModel::StuckAt0);
+  }
+  {
+    OpSequence seq = writes(0, opt.saturate_ops);
+    seq.push_back(Operation::r());
+    stuck1 = sim.run(seq, dram::physical_level(side, 1, vdd), side)
+                 .last_read_bit() == 1;
+    if (stuck1) add(FaultModel::StuckAt1);
+  }
+
+  // --- transition faults: a *single* opposing write after saturation ------
+  if (!stuck0) {
+    OpSequence seq = writes(0, opt.saturate_ops);
+    seq.push_back(Operation::w1());
+    seq.push_back(Operation::r());
+    if (sim.run(seq, dram::physical_level(side, 1, vdd), side)
+            .last_read_bit() == 0)
+      add(FaultModel::TransitionUp);
+  }
+  if (!stuck1) {
+    OpSequence seq = writes(1, opt.saturate_ops);
+    seq.push_back(Operation::w0());
+    seq.push_back(Operation::r());
+    if (sim.run(seq, dram::physical_level(side, 0, vdd), side)
+            .last_read_bit() == 1)
+      add(FaultModel::TransitionDown);
+  }
+
+  // --- retention faults: saturated level + pause -------------------------
+  if (!stuck0) {
+    OpSequence seq = writes(1, opt.saturate_ops);
+    seq.push_back(Operation::del(opt.retention_time));
+    seq.push_back(Operation::r());
+    if (sim.run(seq, dram::physical_level(side, 0, vdd), side)
+            .last_read_bit() == 0)
+      add(FaultModel::Retention1);
+  }
+  if (!stuck1) {
+    OpSequence seq = writes(0, opt.saturate_ops);
+    seq.push_back(Operation::del(opt.retention_time));
+    seq.push_back(Operation::r());
+    if (sim.run(seq, dram::physical_level(side, 1, vdd), side)
+            .last_read_bit() == 1)
+      add(FaultModel::Retention0);
+  }
+
+  // --- read-disturb: reading a full physical level misreads --------------
+  if (!stuck0 && !report.has(FaultModel::TransitionUp)) {
+    if (sim.read_of_initial(dram::physical_level(side, 1, vdd), side) == 0)
+      add(FaultModel::ReadDisturb1);
+  }
+  if (!stuck1 && !report.has(FaultModel::TransitionDown)) {
+    if (sim.read_of_initial(dram::physical_level(side, 0, vdd), side) == 1)
+      add(FaultModel::ReadDisturb0);
+  }
+  return report;
+}
+
+}  // namespace dramstress::analysis

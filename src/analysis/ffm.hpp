@@ -1,0 +1,53 @@
+// Functional fault model (FFM) classification.
+//
+// Memory-test practice describes faulty behaviour in terms of functional
+// fault models: stuck-at faults, transition faults, data-retention faults,
+// read-disturb faults.  This module probes the electrically simulated
+// defect with targeted operation sequences and reports which FFMs the
+// defect exhibits at a given resistance and stress condition -- the bridge
+// between the paper's electrical analysis and the march-test literature
+// (the detection conditions of Section 3 are exactly the sensitizing
+// sequences of these FFMs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "defect/defect.hpp"
+#include "dram/column_sim.hpp"
+
+namespace dramstress::analysis {
+
+enum class FaultModel {
+  StuckAt0,        // cell reads 0 no matter what was written
+  StuckAt1,
+  TransitionUp,    // 0 -> 1 write fails (a single w1 after saturated 0)
+  TransitionDown,  // 1 -> 0 write fails
+  Retention1,      // a stored 1 decays away within the probe pause
+  Retention0,      // a stored 0 drifts up within the probe pause
+  ReadDisturb1,    // reading a full 1 returns 0
+  ReadDisturb0,    // reading a full 0 returns 1
+};
+
+const char* to_string(FaultModel model);
+
+struct FfmProbeOptions {
+  int saturate_ops = 4;        // writes used to saturate a level
+  double retention_time = 100e-6;
+};
+
+struct FfmReport {
+  std::vector<FaultModel> models;  // in classification order, no duplicates
+
+  bool has(FaultModel m) const;
+  bool fault_free() const { return models.empty(); }
+  /// e.g. "TF-up, DRF-1".
+  std::string str() const;
+};
+
+/// Classify the defect currently injected into the simulator's column for
+/// the addressed cell on `side`.
+FfmReport classify_ffm(const dram::ColumnSimulator& sim, dram::Side side,
+                       const FfmProbeOptions& opt = {});
+
+}  // namespace dramstress::analysis

@@ -1,0 +1,110 @@
+#include "analysis/result_plane.hpp"
+
+#include "util/error.hpp"
+
+namespace dramstress::analysis {
+
+using dram::Operation;
+using dram::OpKind;
+using dram::OpSequence;
+
+numeric::PiecewiseLinear ResultPlane::curve_interp(size_t curve_index) const {
+  require(curve_index < curves.size(), "ResultPlane: curve index out of range");
+  return numeric::PiecewiseLinear(r_values, curves[curve_index].vc);
+}
+
+numeric::PiecewiseLinear ResultPlane::vsa_interp() const {
+  return numeric::PiecewiseLinear(r_values, vsa);
+}
+
+namespace {
+
+Operation op_of(OpKind kind) {
+  switch (kind) {
+    case OpKind::W0: return Operation::w0();
+    case OpKind::W1: return Operation::w1();
+    case OpKind::R: return Operation::r();
+    case OpKind::Del: break;
+  }
+  throw ModelError("result plane: op must be w0, w1 or r");
+}
+
+}  // namespace
+
+ResultPlane generate_plane(dram::DramColumn& column, const defect::Defect& d,
+                           const dram::ColumnSimulator& sim, OpKind op,
+                           const PlaneOptions& opt) {
+  require(opt.num_r_points >= 2, "result plane: need >= 2 R points");
+  require(opt.ops_per_point >= 1, "result plane: need >= 1 op");
+  const double vdd = sim.conditions().vdd;
+
+  ResultPlane plane;
+  plane.op = op;
+  plane.vmp = 0.5 * vdd;
+  plane.r_values = numeric::logspace(opt.r_lo, opt.r_hi, opt.num_r_points);
+
+  const int n_ops = opt.ops_per_point;
+  if (op == OpKind::R) {
+    for (int k = 0; k < n_ops; ++k) {
+      plane.curves.push_back({k + 1, false, {}});
+      plane.curves.push_back({k + 1, true, {}});
+    }
+  } else {
+    for (int k = 0; k < n_ops; ++k) plane.curves.push_back({k + 1, false, {}});
+  }
+
+  defect::Injection inj(column, d, plane.r_values.front());
+  for (double r : plane.r_values) {
+    inj.set_value(r);
+    const VsaResult vsa = extract_vsa(sim, d.side, opt.vsa);
+    plane.vsa_raw.push_back(vsa);
+    plane.vsa.push_back(vsa.threshold);
+
+    if (op == OpKind::R) {
+      // Two read walks bracketing the threshold, as in Fig. 2(c).
+      const OpSequence reads(static_cast<size_t>(n_ops), Operation::r());
+      const double below = std::max(0.0, vsa.threshold - opt.read_probe_offset);
+      const double above = std::min(vdd, vsa.threshold + opt.read_probe_offset);
+      const dram::RunResult rb = sim.run(reads, below, d.side);
+      const dram::RunResult ra = sim.run(reads, above, d.side);
+      for (int k = 0; k < n_ops; ++k) {
+        plane.curves[static_cast<size_t>(2 * k)].vc.push_back(
+            rb.vc_after(static_cast<size_t>(k)));
+        plane.curves[static_cast<size_t>(2 * k + 1)].vc.push_back(
+            ra.vc_after(static_cast<size_t>(k)));
+      }
+    } else {
+      // Write walks start from the opposite rail: the w0 plane starts from
+      // a stored 1, the w1 plane from a stored 0 (physical level depends on
+      // the side the cell hangs on).
+      const int target = op == OpKind::W0 ? 0 : 1;
+      const double init = dram::physical_level(d.side, 1 - target, vdd);
+      const OpSequence writes(static_cast<size_t>(n_ops), op_of(op));
+      const dram::RunResult rr = sim.run(writes, init, d.side);
+      for (int k = 0; k < n_ops; ++k)
+        plane.curves[static_cast<size_t>(k)].vc.push_back(
+            rr.vc_after(static_cast<size_t>(k)));
+    }
+  }
+  return plane;
+}
+
+PlaneSet generate_plane_set(dram::DramColumn& column, const defect::Defect& d,
+                            const dram::ColumnSimulator& sim,
+                            const PlaneOptions& opt) {
+  PlaneSet set;
+  set.w0 = generate_plane(column, d, sim, OpKind::W0, opt);
+  set.w1 = generate_plane(column, d, sim, OpKind::W1, opt);
+  set.r = generate_plane(column, d, sim, OpKind::R, opt);
+  return set;
+}
+
+std::optional<double> plane_border_resistance(const ResultPlane& write_plane,
+                                              size_t curve_index) {
+  const auto curve = write_plane.curve_interp(curve_index);
+  const auto vsa = write_plane.vsa_interp();
+  return numeric::first_crossing(curve, vsa, write_plane.r_values.front(),
+                                 write_plane.r_values.back(), 1024);
+}
+
+}  // namespace dramstress::analysis

@@ -1,0 +1,35 @@
+#include "analysis/vsa.hpp"
+
+#include "numeric/rootfind.hpp"
+
+namespace dramstress::analysis {
+
+VsaResult extract_vsa(const dram::ColumnSimulator& sim, dram::Side side,
+                      const VsaOptions& opt) {
+  const double vdd = sim.conditions().vdd;
+  const int at_zero = sim.read_of_initial(0.0, side);
+  const int at_vdd = sim.read_of_initial(vdd, side);
+
+  VsaResult out;
+  if (at_zero == 1 && at_vdd == 1) {
+    out.kind = VsaResult::Kind::AlwaysOne;
+    out.threshold = 0.0;
+    return out;
+  }
+  if (at_zero == 0 && at_vdd == 0) {
+    out.kind = VsaResult::Kind::AlwaysZero;
+    out.threshold = vdd;
+    return out;
+  }
+  // At this point the read flips somewhere in (0, vdd).  A healthy column
+  // reads 0 at 0 V and 1 at vdd; an inverted pair would indicate a
+  // catastrophic defect -- treat the flip boundary as the threshold either
+  // way (bisection only needs the endpoints to differ).
+  out.kind = VsaResult::Kind::Normal;
+  out.threshold = numeric::bisect_predicate(
+      [&](double v) { return sim.read_of_initial(v, side) == at_zero; }, 0.0,
+      vdd, {.x_tol = opt.tolerance});
+  return out;
+}
+
+}  // namespace dramstress::analysis

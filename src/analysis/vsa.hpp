@@ -1,0 +1,37 @@
+// Sense-amplifier threshold voltage extraction (paper Section 3).
+//
+// Vsa is the stored cell voltage above which a read returns 1 and below
+// which it returns 0, for the current defect value and stress condition.
+// The paper brackets it with +-0.2 V probe reads; we extract it to a
+// configurable tolerance by bisection on the read outcome.
+#pragma once
+
+#include "dram/column_sim.hpp"
+
+namespace dramstress::analysis {
+
+struct VsaResult {
+  enum class Kind {
+    Normal,      // a genuine threshold inside (0, vdd)
+    AlwaysZero,  // every initial voltage reads 0 (threshold above vdd)
+    AlwaysOne,   // every initial voltage reads 1 (threshold below ground)
+  };
+  Kind kind = Kind::Normal;
+  /// The threshold, clamped to vdd for AlwaysZero and 0 for AlwaysOne so it
+  /// can be plotted as the paper's bold Vsa curve.
+  double threshold = 0.0;
+
+  bool always_zero() const { return kind == Kind::AlwaysZero; }
+  bool always_one() const { return kind == Kind::AlwaysOne; }
+};
+
+struct VsaOptions {
+  double tolerance = 3e-3;  // V
+};
+
+/// Extract Vsa under the simulator's current conditions for the addressed
+/// cell on `side` (with whatever defect is currently injected).
+VsaResult extract_vsa(const dram::ColumnSimulator& sim, dram::Side side,
+                      const VsaOptions& opt = {});
+
+}  // namespace dramstress::analysis

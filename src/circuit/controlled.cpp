@@ -1,0 +1,98 @@
+#include "circuit/controlled.hpp"
+
+#include "util/error.hpp"
+
+namespace dramstress::circuit {
+
+// -------------------------------------------------------------------- Vcvs
+
+Vcvs::Vcvs(std::string name, NodeId plus, NodeId minus, NodeId ctrl_plus,
+           NodeId ctrl_minus, double gain)
+    : Device(std::move(name)), p_(plus), n_(minus), cp_(ctrl_plus),
+      cn_(ctrl_minus), gain_(gain) {}
+
+void Vcvs::stamp(const StampContext& ctx, Stamper& s) const {
+  const int b = branch_base();
+  const double i = ctx.branch(b);
+  s.res_node(p_, i);
+  s.res_node(n_, -i);
+  s.jac_node_branch(p_, b, 1.0);
+  s.jac_node_branch(n_, b, -1.0);
+  // v(p) - v(n) - gain * (v(cp) - v(cn)) = 0.
+  s.res_branch(b, ctx.v(p_) - ctx.v(n_) - gain_ * (ctx.v(cp_) - ctx.v(cn_)));
+  s.jac_branch_node(b, p_, 1.0);
+  s.jac_branch_node(b, n_, -1.0);
+  s.jac_branch_node(b, cp_, -gain_);
+  s.jac_branch_node(b, cn_, gain_);
+}
+
+// -------------------------------------------------------------------- Vccs
+
+Vccs::Vccs(std::string name, NodeId plus, NodeId minus, NodeId ctrl_plus,
+           NodeId ctrl_minus, double gm)
+    : Device(std::move(name)), p_(plus), n_(minus), cp_(ctrl_plus),
+      cn_(ctrl_minus), gm_(gm) {}
+
+void Vccs::stamp(const StampContext& ctx, Stamper& s) const {
+  const double i = gm_ * (ctx.v(cp_) - ctx.v(cn_));
+  s.res_node(p_, i);
+  s.res_node(n_, -i);
+  s.jac_node_node(p_, cp_, gm_);
+  s.jac_node_node(p_, cn_, -gm_);
+  s.jac_node_node(n_, cp_, -gm_);
+  s.jac_node_node(n_, cn_, gm_);
+}
+
+// ---------------------------------------------------------------- Inductor
+
+Inductor::Inductor(std::string name, NodeId a, NodeId b, double henries)
+    : Device(std::move(name)), a_(a), b_(b), henries_(henries) {
+  require(henries > 0.0, "Inductor: inductance must be positive: " + this->name());
+}
+
+void Inductor::stamp(const StampContext& ctx, Stamper& s) const {
+  const int b = branch_base();
+  const double i = ctx.branch(b);
+  s.res_node(a_, i);
+  s.res_node(b_, -i);
+  s.jac_node_branch(a_, b, 1.0);
+  s.jac_node_branch(b_, b, -1.0);
+
+  const double v = ctx.v(a_) - ctx.v(b_);
+  switch (ctx.mode) {
+    case AnalysisMode::DcOp:
+      // Short circuit: v = 0.
+      s.res_branch(b, v);
+      s.jac_branch_node(b, a_, 1.0);
+      s.jac_branch_node(b, b_, -1.0);
+      break;
+    case AnalysisMode::TransientBe: {
+      const double r = henries_ / ctx.dt;
+      s.res_branch(b, v - r * (i - i_state_));
+      s.jac_branch_node(b, a_, 1.0);
+      s.jac_branch_node(b, b_, -1.0);
+      s.jac_branch_branch(b, b, -r);
+      break;
+    }
+    case AnalysisMode::TransientTrap: {
+      const double r = 2.0 * henries_ / ctx.dt;
+      s.res_branch(b, v - r * (i - i_state_) + v_state_);
+      s.jac_branch_node(b, a_, 1.0);
+      s.jac_branch_node(b, b_, -1.0);
+      s.jac_branch_branch(b, b, -r);
+      break;
+    }
+  }
+}
+
+void Inductor::init_state(const StampContext& ctx) {
+  i_state_ = ctx.branch(branch_base());
+  v_state_ = ctx.v(a_) - ctx.v(b_);
+}
+
+void Inductor::commit_step(const StampContext& ctx) {
+  i_state_ = ctx.branch(branch_base());
+  v_state_ = ctx.v(a_) - ctx.v(b_);
+}
+
+}  // namespace dramstress::circuit

@@ -1,0 +1,73 @@
+// Linear controlled sources and the inductor.
+//
+// These complete the classic SPICE element set: VCVS (E element) and VCCS
+// (G element) let users model behavioural blocks (ideal sense amplifiers,
+// level shifters) next to the transistor-level ones, and the inductor
+// covers package/bond-wire parasitics in supply-noise studies.
+#pragma once
+
+#include "circuit/device.hpp"
+
+namespace dramstress::circuit {
+
+/// Voltage-controlled voltage source: v(p) - v(n) = gain * (v(cp) - v(cn)).
+/// One branch-current unknown, like the independent voltage source.
+class Vcvs : public Device {
+public:
+  Vcvs(std::string name, NodeId plus, NodeId minus, NodeId ctrl_plus,
+       NodeId ctrl_minus, double gain);
+
+  void stamp(const StampContext& ctx, Stamper& s) const override;
+  int num_branches() const override { return 1; }
+
+  double gain() const { return gain_; }
+
+private:
+  NodeId p_;
+  NodeId n_;
+  NodeId cp_;
+  NodeId cn_;
+  double gain_;
+};
+
+/// Voltage-controlled current source: i(p->n) = gm * (v(cp) - v(cn)).
+class Vccs : public Device {
+public:
+  Vccs(std::string name, NodeId plus, NodeId minus, NodeId ctrl_plus,
+       NodeId ctrl_minus, double gm);
+
+  void stamp(const StampContext& ctx, Stamper& s) const override;
+
+  double gm() const { return gm_; }
+
+private:
+  NodeId p_;
+  NodeId n_;
+  NodeId cp_;
+  NodeId cn_;
+  double gm_;
+};
+
+/// Linear inductor with backward-Euler / trapezoidal companion models.
+/// Carries one branch-current unknown (current a -> b); a short circuit in
+/// the DC operating point.
+class Inductor : public Device {
+public:
+  Inductor(std::string name, NodeId a, NodeId b, double henries);
+
+  void stamp(const StampContext& ctx, Stamper& s) const override;
+  int num_branches() const override { return 1; }
+  void init_state(const StampContext& ctx) override;
+  void commit_step(const StampContext& ctx) override;
+
+  double inductance() const { return henries_; }
+
+private:
+  NodeId a_;
+  NodeId b_;
+  double henries_;
+  double i_state_ = 0.0;  // accepted branch current
+  double v_state_ = 0.0;  // accepted branch voltage
+};
+
+}  // namespace dramstress::circuit

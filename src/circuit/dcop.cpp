@@ -1,0 +1,37 @@
+#include "circuit/dcop.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::circuit {
+
+numeric::Vector dc_operating_point(MnaSystem& sys, const DcOpOptions& opt) {
+  numeric::Vector x(static_cast<size_t>(sys.num_unknowns()), 0.0);
+
+  StampContext ctx;
+  ctx.mode = AnalysisMode::DcOp;
+  ctx.time = opt.time;
+  ctx.temperature = opt.temperature;
+
+  NewtonOptions newton = opt.newton;
+  double gmin = opt.gmin_start;
+  bool any = false;
+  while (true) {
+    newton.gmin = gmin;
+    const NewtonResult r = sys.solve(ctx, x, newton);
+    if (r.converged) any = true;
+    if (gmin <= opt.gmin_target) {
+      if (!r.converged) {
+        throw ConvergenceError(util::format(
+            "dc_operating_point: Newton failed at final gmin %.1e "
+            "(residual %.3e after %d iterations)",
+            gmin, r.residual, r.iterations));
+      }
+      return x;
+    }
+    gmin = std::max(gmin / opt.gmin_factor, opt.gmin_target);
+  }
+  (void)any;
+}
+
+}  // namespace dramstress::circuit

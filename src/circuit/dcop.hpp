@@ -1,0 +1,22 @@
+// DC operating point with gmin stepping.
+#pragma once
+
+#include "circuit/mna.hpp"
+
+namespace dramstress::circuit {
+
+struct DcOpOptions {
+  NewtonOptions newton;
+  /// gmin stepping ladder: start value and target (the netlist gmin).
+  double gmin_start = 1e-3;
+  double gmin_target = 1e-12;
+  double gmin_factor = 10.0;  // reduction per rung
+  double temperature = 300.15;  // K
+  double time = 0.0;            // sources evaluated at this time
+};
+
+/// Solve for the DC operating point (capacitors open).  Returns the unknown
+/// vector; throws ConvergenceError if no rung of the gmin ladder converges.
+numeric::Vector dc_operating_point(MnaSystem& sys, const DcOpOptions& opt = {});
+
+}  // namespace dramstress::circuit

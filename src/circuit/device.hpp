@@ -1,0 +1,114 @@
+// Device interface for the MNA engine.
+//
+// Formulation: the Newton iteration solves J(x) dx = -f(x), where f is the
+// vector of KCL residuals (sum of currents *leaving* each non-ground node)
+// followed by one constitutive residual per source branch.  Devices stamp
+// both the residual f and the Jacobian J at the current iterate.
+#pragma once
+
+#include <string>
+
+#include "numeric/matrix.hpp"
+
+namespace dramstress::circuit {
+
+/// Node handle.  0 is ground; positive ids are created by Netlist::node().
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+enum class AnalysisMode {
+  DcOp,           // capacitors open, sources at t=0 value
+  TransientBe,    // backward-Euler companion for storage elements
+  TransientTrap,  // trapezoidal companion for storage elements
+};
+
+class Netlist;
+
+/// Everything a device needs to evaluate itself at the current iterate.
+struct StampContext {
+  AnalysisMode mode = AnalysisMode::DcOp;
+  double time = 0.0;         // s; for transient, the time being solved for
+  double dt = 0.0;           // s; transient step size
+  double temperature = 300.15;  // K
+  const numeric::Vector* x = nullptr;       // current Newton iterate
+  int num_nodes = 0;         // non-ground node count (branch unknowns follow)
+
+  /// Voltage of `n` in the current iterate (0 for ground).
+  double v(NodeId n) const {
+    return n == kGround ? 0.0 : (*x)[static_cast<size_t>(n - 1)];
+  }
+  /// Current of branch unknown `b` (absolute branch index) in the iterate.
+  double branch(int b) const {
+    return (*x)[static_cast<size_t>(num_nodes + b)];
+  }
+};
+
+/// Accumulates Jacobian and residual entries, mapping node ids / branch
+/// indices to unknown indices and silently dropping ground rows/columns.
+class Stamper {
+public:
+  Stamper(numeric::Matrix& jac, numeric::Vector& res, int num_nodes)
+      : jac_(jac), res_(res), num_nodes_(num_nodes) {}
+
+  // --- node-row stamps (KCL residuals) ---
+  void res_node(NodeId n, double current_leaving) {
+    if (n != kGround) res_[idx(n)] += current_leaving;
+  }
+  void jac_node_node(NodeId r, NodeId c, double g) {
+    if (r != kGround && c != kGround) jac_(idx(r), idx(c)) += g;
+  }
+  void jac_node_branch(NodeId r, int b, double g) {
+    if (r != kGround) jac_(idx(r), bidx(b)) += g;
+  }
+
+  // --- branch-row stamps (constitutive residuals) ---
+  void res_branch(int b, double residual) { res_[bidx(b)] += residual; }
+  void jac_branch_node(int b, NodeId c, double g) {
+    if (c != kGround) jac_(bidx(b), idx(c)) += g;
+  }
+  void jac_branch_branch(int br, int bc, double g) {
+    jac_(bidx(br), bidx(bc)) += g;
+  }
+
+private:
+  size_t idx(NodeId n) const { return static_cast<size_t>(n - 1); }
+  size_t bidx(int b) const { return static_cast<size_t>(num_nodes_ + b); }
+  numeric::Matrix& jac_;
+  numeric::Vector& res_;
+  int num_nodes_;
+};
+
+/// Base class for all circuit elements.
+class Device {
+public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  /// Add this device's contribution to the residual and Jacobian.
+  virtual void stamp(const StampContext& ctx, Stamper& s) const = 0;
+
+  /// Number of branch-current unknowns this device introduces.
+  virtual int num_branches() const { return 0; }
+
+  /// Called by the MNA setup with this device's first absolute branch index.
+  void set_branch_base(int base) { branch_base_ = base; }
+  int branch_base() const { return branch_base_; }
+
+  /// Initialize internal state from a converged solution at t = t0
+  /// (start of a transient; capacitors remember their voltage, zero current).
+  virtual void init_state(const StampContext& /*ctx*/) {}
+
+  /// Update internal state after an accepted transient step.
+  virtual void commit_step(const StampContext& /*ctx*/) {}
+
+  const std::string& name() const { return name_; }
+
+private:
+  std::string name_;
+  int branch_base_ = -1;
+};
+
+}  // namespace dramstress::circuit

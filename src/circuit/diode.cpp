@@ -1,0 +1,51 @@
+#include "circuit/diode.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace dramstress::circuit {
+
+Diode::Diode(std::string name, NodeId anode, NodeId cathode, DiodeParams params)
+    : Device(std::move(name)), anode_(anode), cathode_(cathode), p_(params) {}
+
+double Diode::saturation_current(double kelvin) const {
+  const double vt_nom = units::thermal_voltage(p_.tnom);
+  const double vt = units::thermal_voltage(kelvin);
+  return p_.is_tnom * std::pow(kelvin / p_.tnom, p_.xti) *
+         std::exp(p_.eg / vt_nom - p_.eg / vt);
+}
+
+double Diode::current(double v, double kelvin, double* conductance) const {
+  const double is = saturation_current(kelvin);
+  const double nvt = p_.n * units::thermal_voltage(kelvin);
+  // Limited exponential: linearize beyond v_crit to keep Newton stable.
+  const double v_crit = 40.0 * nvt;
+  double i;
+  double g;
+  if (v < v_crit) {
+    const double e = std::exp(v / nvt);
+    i = is * (e - 1.0);
+    g = is * e / nvt;
+  } else {
+    const double e = std::exp(v_crit / nvt);
+    g = is * e / nvt;
+    i = is * (e - 1.0) + g * (v - v_crit);
+  }
+  if (conductance != nullptr) *conductance = g;
+  return i;
+}
+
+void Diode::stamp(const StampContext& ctx, Stamper& s) const {
+  const double v = ctx.v(anode_) - ctx.v(cathode_);
+  double g = 0.0;
+  const double i = current(v, ctx.temperature, &g);
+  s.res_node(anode_, i);
+  s.res_node(cathode_, -i);
+  s.jac_node_node(anode_, anode_, g);
+  s.jac_node_node(anode_, cathode_, -g);
+  s.jac_node_node(cathode_, anode_, -g);
+  s.jac_node_node(cathode_, cathode_, g);
+}
+
+}  // namespace dramstress::circuit

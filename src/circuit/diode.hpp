@@ -1,0 +1,42 @@
+// Junction diode with strongly temperature-dependent saturation current.
+//
+// In the DRAM column the storage-node junction diode is the carrier of the
+// paper's third temperature mechanism: cell leakage grows steeply with T,
+// which is what makes high temperature pull a marginal stored '1' below the
+// sense threshold (Section 4.2 / Fig. 4 of the paper).
+#pragma once
+
+#include "circuit/device.hpp"
+
+namespace dramstress::circuit {
+
+struct DiodeParams {
+  double is_tnom = 1e-15;   // A, saturation current at tnom
+  double n = 1.0;           // emission coefficient
+  double tnom = 300.15;     // K, reference temperature
+  /// Temperature exponent xti and activation energy (eV) for
+  /// Is(T) = Is(tnom) * (T/tnom)^xti * exp(Eg/Vt(tnom) - Eg/Vt(T)).
+  double xti = 3.0;
+  double eg = 1.12;
+};
+
+/// Diode conducting from anode to cathode.
+class Diode : public Device {
+public:
+  Diode(std::string name, NodeId anode, NodeId cathode, DiodeParams params);
+
+  void stamp(const StampContext& ctx, Stamper& s) const override;
+
+  /// Saturation current at absolute temperature T (exposed for tests).
+  double saturation_current(double kelvin) const;
+
+  /// Diode current for junction voltage v at temperature T.
+  double current(double v, double kelvin, double* conductance = nullptr) const;
+
+private:
+  NodeId anode_;
+  NodeId cathode_;
+  DiodeParams p_;
+};
+
+}  // namespace dramstress::circuit

@@ -1,0 +1,82 @@
+#include "circuit/mna.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::circuit {
+
+MnaSystem::MnaSystem(Netlist& netlist) : netlist_(&netlist) {
+  num_nodes_ = netlist.num_nodes();
+  int branch = 0;
+  for (const auto& dev : netlist.devices()) {
+    dev->set_branch_base(branch);
+    branch += dev->num_branches();
+  }
+  num_branches_ = branch;
+  const size_t n = static_cast<size_t>(num_unknowns());
+  jac_ = numeric::Matrix(n, n);
+  res_.assign(n, 0.0);
+  dx_.assign(n, 0.0);
+}
+
+void MnaSystem::assemble(const StampContext& ctx, double gmin,
+                         numeric::Matrix& jac, numeric::Vector& res) const {
+  jac.zero();
+  std::fill(res.begin(), res.end(), 0.0);
+  Stamper stamper(jac, res, num_nodes_);
+  for (const auto& dev : netlist_->devices()) dev->stamp(ctx, stamper);
+  // gmin to ground on every node: keeps floating nodes (isolated storage
+  // nodes with the access transistor off) non-singular and models a
+  // negligible substrate leakage floor.
+  for (int i = 0; i < num_nodes_; ++i) {
+    const size_t k = static_cast<size_t>(i);
+    jac(k, k) += gmin;
+    res[k] += gmin * (*ctx.x)[k];
+  }
+}
+
+NewtonResult MnaSystem::solve(StampContext ctx, numeric::Vector& x,
+                              const NewtonOptions& opt) const {
+  require(x.size() == static_cast<size_t>(num_unknowns()),
+          "MnaSystem::solve: unknown vector has wrong size");
+  ctx.x = &x;
+  ctx.num_nodes = num_nodes_;
+
+  NewtonResult result;
+  for (int iter = 0; iter < opt.max_iter; ++iter) {
+    assemble(ctx, opt.gmin, jac_, res_);
+    lu_.factor(jac_);
+    lu_.solve_into(res_, dx_);  // dx_ = J^{-1} f ; the update is -dx_
+
+    // Damping: clamp the largest node-voltage update.
+    double max_dv = 0.0;
+    for (int i = 0; i < num_nodes_; ++i)
+      max_dv = std::max(max_dv, std::fabs(dx_[static_cast<size_t>(i)]));
+    const double scale = max_dv > opt.max_step ? opt.max_step / max_dv : 1.0;
+    for (size_t i = 0; i < x.size(); ++i) x[i] -= scale * dx_[i];
+
+    result.iterations = iter + 1;
+    result.residual = numeric::norm_inf(res_);
+    const double step = scale * max_dv;
+    if (step < opt.v_tol && result.residual < opt.res_tol) {
+      result.converged = true;
+      return result;
+    }
+  }
+  // Final residual check: accept if the residual alone is tiny (can happen
+  // when the update is limited by conditioning, not by physics).
+  assemble(ctx, opt.gmin, jac_, res_);
+  result.residual = numeric::norm_inf(res_);
+  result.converged = result.residual < opt.res_tol;
+  if (!result.converged) {
+    util::log_debug(util::format(
+        "Newton: no convergence after %d iterations (residual %.3e) at t=%.4g",
+        result.iterations, result.residual, ctx.time));
+  }
+  return result;
+}
+
+}  // namespace dramstress::circuit

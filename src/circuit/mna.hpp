@@ -1,0 +1,65 @@
+// Modified-nodal-analysis assembly and the damped Newton iteration shared by
+// the DC operating point and every transient step.
+#pragma once
+
+#include "circuit/netlist.hpp"
+#include "numeric/lu.hpp"
+#include "numeric/matrix.hpp"
+
+namespace dramstress::circuit {
+
+struct NewtonOptions {
+  double v_tol = 1e-6;       // V, convergence on max |dx| for node voltages
+  double res_tol = 1e-9;     // A, convergence on max KCL residual
+  int max_iter = 120;
+  double max_step = 0.5;     // V, per-iteration voltage update clamp
+  double gmin = 1e-12;       // S, conductance to ground at every node
+};
+
+struct NewtonResult {
+  bool converged = false;
+  int iterations = 0;
+  double residual = 0.0;  // final max |f|
+};
+
+/// Binds a Netlist to an unknown vector layout:
+///   unknowns [0, num_nodes)                 -> node voltages
+///   unknowns [num_nodes, num_nodes+branches) -> source branch currents
+class MnaSystem {
+public:
+  explicit MnaSystem(Netlist& netlist);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_branches() const { return num_branches_; }
+  int num_unknowns() const { return num_nodes_ + num_branches_; }
+
+  Netlist& netlist() { return *netlist_; }
+  const Netlist& netlist() const { return *netlist_; }
+
+  /// Assemble residual f(x) and Jacobian J(x) for the given context
+  /// (ctx.x must point at x).  gmin is added on every node diagonal.
+  void assemble(const StampContext& ctx, double gmin, numeric::Matrix& jac,
+                numeric::Vector& res) const;
+
+  /// Damped Newton: iterate J dx = -f from the given starting point.
+  /// `ctx` carries mode/time/dt/temperature; ctx.x is set internally.
+  NewtonResult solve(StampContext ctx, numeric::Vector& x,
+                     const NewtonOptions& opt) const;
+
+  /// Voltage of node n in an unknown vector.
+  static double voltage(const numeric::Vector& x, NodeId n) {
+    return n == kGround ? 0.0 : x[static_cast<size_t>(n - 1)];
+  }
+
+private:
+  Netlist* netlist_;
+  int num_nodes_ = 0;
+  int num_branches_ = 0;
+  // Scratch storage reused across Newton iterations.
+  mutable numeric::Matrix jac_;
+  mutable numeric::Vector res_;
+  mutable numeric::Vector dx_;
+  mutable numeric::LuSolver lu_;
+};
+
+}  // namespace dramstress::circuit

@@ -1,0 +1,81 @@
+// MOSFET large-signal model.
+//
+// An EKV-flavoured charge-sheet approximation is used instead of the
+// classic SPICE level-1 square law because it is:
+//  * source/drain symmetric -- a DRAM access transistor conducts in both
+//    directions (write vs. read/restore), and the square law's hard
+//    saturation split is not symmetric;
+//  * continuous from subthreshold to strong inversion, so Newton never
+//    sees a derivative jump at Vgs = Vth;
+//  * naturally temperature dependent through Vth(T), mobility(T) and the
+//    thermal voltage -- exactly the mechanisms the paper invokes for the
+//    temperature stress (Section 4.2).
+//
+// Ids = Ispec * [F((Vp-Vs)/Vt) - F((Vp-Vd)/Vt)] * (1 + lambda |Vds|)
+//   with Vp = (Vg - Vth)/n,  F(u) = ln(1 + e^{u/2})^2,
+//   Ispec = 2 n kp (W/L) Vt^2,  all voltages bulk-referenced.
+//
+// Gate and bulk are ideal (no DC current); device capacitances are modelled
+// as explicit Capacitor elements in the netlist where they matter.
+#pragma once
+
+#include "circuit/device.hpp"
+
+namespace dramstress::circuit {
+
+enum class MosType { Nmos, Pmos };
+
+struct MosfetParams {
+  double w = 1e-6;        // channel width, m
+  double l = 0.25e-6;     // channel length, m
+  double kp_tnom = 120e-6;  // transconductance u0*Cox, A/V^2, at tnom
+  double vth0 = 0.7;      // |Vth| at tnom, V
+  double n = 1.35;        // subthreshold slope factor
+  double lambda = 0.02;   // channel-length modulation, 1/V
+  double tnom = 300.15;   // reference temperature, K
+  double tcv = 1.5e-3;    // |Vth| decrease per kelvin of warming, V/K
+  double bex = -1.5;      // mobility temperature exponent
+};
+
+/// Operating-point currents/conductances returned by evaluate().
+struct MosOperatingPoint {
+  double ids = 0.0;  // drain -> source current, A (sign per device type)
+  double gm = 0.0;   // dIds/dVg
+  double gds = 0.0;  // dIds/dVd
+  double gs = 0.0;   // dIds/dVs
+  double gb = 0.0;   // dIds/dVb
+};
+
+class Mosfet : public Device {
+public:
+  Mosfet(std::string name, MosType type, NodeId drain, NodeId gate,
+         NodeId source, NodeId bulk, MosfetParams params);
+
+  void stamp(const StampContext& ctx, Stamper& s) const override;
+
+  /// Large-signal evaluation at explicit terminal voltages (exposed for
+  /// characterization tests and the fast behavioural model calibration).
+  MosOperatingPoint evaluate(double vd, double vg, double vs, double vb,
+                             double kelvin) const;
+
+  /// Threshold voltage magnitude at temperature T.
+  double vth(double kelvin) const;
+
+  const MosfetParams& params() const { return p_; }
+  MosType type() const { return type_; }
+
+  /// Scale the channel width by `factor` (used to model sense-amp device
+  /// mismatch, one of the mechanisms behind the read-vs-temperature
+  /// non-monotonicity in Fig. 4).
+  void scale_width(double factor);
+
+private:
+  MosType type_;
+  NodeId d_;
+  NodeId g_;
+  NodeId s_;
+  NodeId b_;
+  MosfetParams p_;
+};
+
+}  // namespace dramstress::circuit

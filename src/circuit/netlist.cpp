@@ -1,0 +1,98 @@
+#include "circuit/netlist.hpp"
+
+#include "util/error.hpp"
+
+namespace dramstress::circuit {
+
+NodeId Netlist::node(const std::string& name) {
+  if (name == "0" || name == "gnd") return kGround;
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  names_.push_back(name);
+  const NodeId id = static_cast<NodeId>(names_.size());
+  by_name_.emplace(name, id);
+  return id;
+}
+
+bool Netlist::has_node(const std::string& name) const {
+  return name == "0" || name == "gnd" || by_name_.count(name) != 0;
+}
+
+NodeId Netlist::find_node(const std::string& name) const {
+  if (name == "0" || name == "gnd") return kGround;
+  const auto it = by_name_.find(name);
+  require(it != by_name_.end(), "Netlist: unknown node: " + name);
+  return it->second;
+}
+
+const std::string& Netlist::node_name(NodeId n) const {
+  static const std::string kGroundName = "gnd";
+  if (n == kGround) return kGroundName;
+  require(n >= 1 && n <= static_cast<NodeId>(names_.size()),
+          "Netlist: node id out of range");
+  return names_[static_cast<size_t>(n - 1)];
+}
+
+template <typename T, typename... Args>
+T* Netlist::add(Args&&... args) {
+  auto dev = std::make_unique<T>(std::forward<Args>(args)...);
+  T* raw = dev.get();
+  require(device_by_name_.count(raw->name()) == 0,
+          "Netlist: duplicate device name: " + raw->name());
+  device_by_name_.emplace(raw->name(), raw);
+  devices_.push_back(std::move(dev));
+  return raw;
+}
+
+Resistor* Netlist::add_resistor(const std::string& name, NodeId a, NodeId b,
+                                double ohms) {
+  return add<Resistor>(name, a, b, ohms);
+}
+
+Capacitor* Netlist::add_capacitor(const std::string& name, NodeId a, NodeId b,
+                                  double farads) {
+  return add<Capacitor>(name, a, b, farads);
+}
+
+VoltageSource* Netlist::add_voltage_source(const std::string& name, NodeId plus,
+                                           NodeId minus, Waveform volts) {
+  return add<VoltageSource>(name, plus, minus, std::move(volts));
+}
+
+CurrentSource* Netlist::add_current_source(const std::string& name, NodeId a,
+                                           NodeId b, Waveform amps) {
+  return add<CurrentSource>(name, a, b, std::move(amps));
+}
+
+Diode* Netlist::add_diode(const std::string& name, NodeId anode, NodeId cathode,
+                          DiodeParams params) {
+  return add<Diode>(name, anode, cathode, params);
+}
+
+Mosfet* Netlist::add_mosfet(const std::string& name, MosType type, NodeId drain,
+                            NodeId gate, NodeId source, NodeId bulk,
+                            MosfetParams params) {
+  return add<Mosfet>(name, type, drain, gate, source, bulk, params);
+}
+
+Vcvs* Netlist::add_vcvs(const std::string& name, NodeId plus, NodeId minus,
+                        NodeId ctrl_plus, NodeId ctrl_minus, double gain) {
+  return add<Vcvs>(name, plus, minus, ctrl_plus, ctrl_minus, gain);
+}
+
+Vccs* Netlist::add_vccs(const std::string& name, NodeId plus, NodeId minus,
+                        NodeId ctrl_plus, NodeId ctrl_minus, double gm) {
+  return add<Vccs>(name, plus, minus, ctrl_plus, ctrl_minus, gm);
+}
+
+Inductor* Netlist::add_inductor(const std::string& name, NodeId a, NodeId b,
+                                double henries) {
+  return add<Inductor>(name, a, b, henries);
+}
+
+Device* Netlist::find_device(const std::string& name) const {
+  const auto it = device_by_name_.find(name);
+  return it == device_by_name_.end() ? nullptr : it->second;
+}
+
+}  // namespace dramstress::circuit

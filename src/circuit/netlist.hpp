@@ -1,0 +1,75 @@
+// Netlist: node registry plus owned device list.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/controlled.hpp"
+#include "circuit/device.hpp"
+#include "circuit/diode.hpp"
+#include "circuit/mosfet.hpp"
+#include "circuit/passive.hpp"
+#include "circuit/source.hpp"
+
+namespace dramstress::circuit {
+
+/// Owns nodes and devices.  Typed factory methods return non-owning
+/// pointers so callers (e.g. defect injection, the DRAM command engine)
+/// can adjust parameters or waveforms after construction.
+class Netlist {
+public:
+  Netlist() = default;
+
+  /// Return the node with this name, creating it on first use.
+  /// "0" and "gnd" map to ground.
+  NodeId node(const std::string& name);
+
+  /// Look up an existing node; throws ModelError if absent.
+  NodeId find_node(const std::string& name) const;
+  bool has_node(const std::string& name) const;
+
+  /// Name of a node id (for diagnostics).
+  const std::string& node_name(NodeId n) const;
+
+  /// Number of non-ground nodes.
+  int num_nodes() const { return static_cast<int>(names_.size()); }
+
+  // --- typed device factories -----------------------------------------
+  Resistor* add_resistor(const std::string& name, NodeId a, NodeId b, double ohms);
+  Capacitor* add_capacitor(const std::string& name, NodeId a, NodeId b, double farads);
+  VoltageSource* add_voltage_source(const std::string& name, NodeId plus,
+                                    NodeId minus, Waveform volts);
+  CurrentSource* add_current_source(const std::string& name, NodeId a, NodeId b,
+                                    Waveform amps);
+  Diode* add_diode(const std::string& name, NodeId anode, NodeId cathode,
+                   DiodeParams params);
+  Mosfet* add_mosfet(const std::string& name, MosType type, NodeId drain,
+                     NodeId gate, NodeId source, NodeId bulk, MosfetParams params);
+  Vcvs* add_vcvs(const std::string& name, NodeId plus, NodeId minus,
+                 NodeId ctrl_plus, NodeId ctrl_minus, double gain);
+  Vccs* add_vccs(const std::string& name, NodeId plus, NodeId minus,
+                 NodeId ctrl_plus, NodeId ctrl_minus, double gm);
+  Inductor* add_inductor(const std::string& name, NodeId a, NodeId b,
+                         double henries);
+
+  const std::vector<std::unique_ptr<Device>>& devices() const { return devices_; }
+  std::vector<std::unique_ptr<Device>>& devices() { return devices_; }
+
+  /// Find a device by name (nullptr if absent).
+  Device* find_device(const std::string& name) const;
+
+  size_t num_devices() const { return devices_.size(); }
+
+private:
+  template <typename T, typename... Args>
+  T* add(Args&&... args);
+
+  std::vector<std::string> names_;  // index i -> node id i+1
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::unordered_map<std::string, Device*> device_by_name_;
+};
+
+}  // namespace dramstress::circuit

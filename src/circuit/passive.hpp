@@ -1,0 +1,71 @@
+// Linear passive elements: resistor, capacitor, independent current source.
+#pragma once
+
+#include "circuit/device.hpp"
+#include "circuit/waveform.hpp"
+
+namespace dramstress::circuit {
+
+/// Two-terminal linear resistor.  The resistance is mutable so defect
+/// injection can sweep a defect's value without rebuilding the netlist.
+class Resistor : public Device {
+public:
+  Resistor(std::string name, NodeId a, NodeId b, double ohms);
+
+  void stamp(const StampContext& ctx, Stamper& s) const override;
+
+  void set_resistance(double ohms);
+  double resistance() const { return ohms_; }
+
+  NodeId a() const { return a_; }
+  NodeId b() const { return b_; }
+
+private:
+  NodeId a_;
+  NodeId b_;
+  double ohms_;
+};
+
+/// Two-terminal linear capacitor with backward-Euler / trapezoidal
+/// companion models.  Open circuit in DC operating point analysis.
+class Capacitor : public Device {
+public:
+  Capacitor(std::string name, NodeId a, NodeId b, double farads);
+
+  void stamp(const StampContext& ctx, Stamper& s) const override;
+  void init_state(const StampContext& ctx) override;
+  void commit_step(const StampContext& ctx) override;
+
+  double capacitance() const { return farads_; }
+  NodeId a() const { return a_; }
+  NodeId b() const { return b_; }
+
+private:
+  /// Device current (a -> b) implied by the companion model at the iterate.
+  double current(const StampContext& ctx, double* dI_dv = nullptr) const;
+
+  NodeId a_;
+  NodeId b_;
+  double farads_;
+  // State from the last accepted step.
+  double v_state_ = 0.0;  // capacitor voltage v(a) - v(b)
+  double i_state_ = 0.0;  // capacitor current a -> b
+};
+
+/// Independent current source driving `amps(t)` from node a to node b
+/// (through the device; i.e. the current leaves node a).
+class CurrentSource : public Device {
+public:
+  CurrentSource(std::string name, NodeId a, NodeId b, Waveform amps);
+
+  void stamp(const StampContext& ctx, Stamper& s) const override;
+
+  void set_waveform(Waveform w) { amps_ = std::move(w); }
+
+private:
+  NodeId a_;
+  NodeId b_;
+  Waveform amps_;
+};
+
+}  // namespace dramstress::circuit

@@ -1,0 +1,38 @@
+// Independent voltage source with a branch-current unknown.
+#pragma once
+
+#include "circuit/device.hpp"
+#include "circuit/waveform.hpp"
+
+namespace dramstress::circuit {
+
+/// Ideal voltage source: v(plus) - v(minus) = volts(t).
+/// Introduces one branch current unknown (current flowing plus -> minus
+/// through the source, i.e. delivered out of the plus terminal externally
+/// is -i_branch).
+class VoltageSource : public Device {
+public:
+  VoltageSource(std::string name, NodeId plus, NodeId minus, Waveform volts);
+
+  void stamp(const StampContext& ctx, Stamper& s) const override;
+  int num_branches() const override { return 1; }
+
+  /// Replace the stimulus (used per operation sequence by the DRAM engine).
+  void set_waveform(Waveform w) { volts_ = std::move(w); }
+  const Waveform& waveform() const { return volts_; }
+
+  /// Source voltage at time t.
+  double value(double t) const { return volts_.value(t); }
+
+  /// Branch current (plus -> minus through source) at the given iterate.
+  double branch_current(const StampContext& ctx) const {
+    return ctx.branch(branch_base());
+  }
+
+private:
+  NodeId plus_;
+  NodeId minus_;
+  Waveform volts_;
+};
+
+}  // namespace dramstress::circuit

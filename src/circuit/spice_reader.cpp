@@ -1,0 +1,345 @@
+#include "circuit/spice_reader.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::circuit {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Physical lines joined per SPICE continuation rules ('+' prefix).
+std::vector<std::pair<int, std::string>> logical_lines(const std::string& text) {
+  std::vector<std::pair<int, std::string>> out;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip trailing comments ('$' and ';') and whitespace.
+    for (const char c : {'$', ';'}) {
+      const auto pos = line.find(c);
+      if (pos != std::string::npos) line.erase(pos);
+    }
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(line.back())))
+      line.pop_back();
+    size_t start = 0;
+    while (start < line.size() && std::isspace(static_cast<unsigned char>(line[start])))
+      ++start;
+    line.erase(0, start);
+    if (line.empty() || line[0] == '*') continue;
+    if (line[0] == '+') {
+      require(!out.empty(), util::format(
+          "spice line %d: continuation '+' with no previous card", line_no));
+      out.back().second += " " + line.substr(1);
+    } else {
+      out.emplace_back(line_no, line);
+    }
+  }
+  return out;
+}
+
+/// Split a card into tokens; parentheses and '=' become separators but the
+/// grouped PWL(...) content keeps its numbers.
+std::vector<std::string> tokenize(const std::string& card) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char raw : card) {
+    const char c = raw;
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '(' || c == ')' ||
+        c == '=' || c == ',') {
+      if (!cur.empty()) {
+        tokens.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) tokens.push_back(cur);
+  return tokens;
+}
+
+struct ModelCard {
+  enum class Kind { Nmos, Pmos, Diode } kind = Kind::Nmos;
+  MosfetParams mos;
+  DiodeParams diode;
+};
+
+class Parser {
+public:
+  SpiceDeck parse(const std::string& text) {
+    deck_.netlist = std::make_unique<Netlist>();
+    const auto lines = logical_lines(text);
+    require(!lines.empty(), "spice: empty deck");
+
+    // First pass: collect .model cards so elements can reference them in
+    // any order.
+    for (const auto& [no, card] : lines) {
+      if (lower(card).rfind(".model", 0) == 0) parse_model(no, tokenize(card));
+    }
+    // SPICE rule: the first line is the title (even if it looks like an
+    // element card -- the classic gotcha), unless it is a control card.
+    size_t first = 0;
+    if (!lines.empty() && lines[0].second[0] != '.') {
+      deck_.title = lines[0].second;
+      first = 1;
+    }
+    for (size_t i = first; i < lines.size(); ++i) {
+      const auto& [no, card] = lines[i];
+      const std::string low = lower(card);
+      if (low.rfind(".model", 0) == 0) continue;  // already handled
+      if (low.rfind(".end", 0) == 0) break;
+      if (card[0] == '.')
+        parse_control(no, tokenize(card));
+      else
+        parse_element(no, tokenize(card));
+    }
+    return std::move(deck_);
+  }
+
+private:
+  [[noreturn]] void fail(int no, const std::string& msg) const {
+    throw ModelError(util::format("spice line %d: %s", no, msg.c_str()));
+  }
+
+  double num(int no, const std::string& tok) const {
+    try {
+      return parse_spice_number(tok);
+    } catch (const ModelError& e) {
+      fail(no, e.what());
+    }
+  }
+
+  NodeId node(const std::string& name) { return deck_.netlist->node(lower(name)); }
+
+  void parse_model(int no, const std::vector<std::string>& t) {
+    if (t.size() < 3) fail(no, ".model needs a name and a type");
+    const std::string name = lower(t[1]);
+    const std::string type = lower(t[2]);
+    ModelCard model;
+    if (type == "nmos")
+      model.kind = ModelCard::Kind::Nmos;
+    else if (type == "pmos")
+      model.kind = ModelCard::Kind::Pmos;
+    else if (type == "d")
+      model.kind = ModelCard::Kind::Diode;
+    else
+      fail(no, "unknown model type '" + type + "'");
+
+    for (size_t i = 3; i + 1 < t.size(); i += 2) {
+      const std::string key = lower(t[i]);
+      const double value = num(no, t[i + 1]);
+      if (model.kind == ModelCard::Kind::Diode) {
+        if (key == "is") model.diode.is_tnom = value;
+        else if (key == "n") model.diode.n = value;
+        else if (key == "xti") model.diode.xti = value;
+        else if (key == "eg") model.diode.eg = value;
+        else fail(no, "unknown diode parameter '" + key + "'");
+      } else {
+        if (key == "vto") model.mos.vth0 = value;
+        else if (key == "kp") model.mos.kp_tnom = value;
+        else if (key == "n") model.mos.n = value;
+        else if (key == "lambda") model.mos.lambda = value;
+        else if (key == "tcv") model.mos.tcv = value;
+        else if (key == "bex") model.mos.bex = value;
+        else if (key == "w") model.mos.w = value;
+        else if (key == "l") model.mos.l = value;
+        else fail(no, "unknown MOS parameter '" + key + "'");
+      }
+    }
+    models_[name] = model;
+  }
+
+  Waveform parse_source(int no, const std::vector<std::string>& t, size_t i) {
+    if (i >= t.size()) fail(no, "source needs a value");
+    const std::string kind = lower(t[i]);
+    if (kind == "dc") {
+      if (i + 1 >= t.size()) fail(no, "DC needs a value");
+      return Waveform::dc(num(no, t[i + 1]));
+    }
+    if (kind == "pulse") {
+      // PULSE(v0 v1 delay rise fall width period)
+      if (i + 7 >= t.size()) fail(no, "PULSE needs 7 values");
+      return Waveform::pulse(num(no, t[i + 1]), num(no, t[i + 2]),
+                             num(no, t[i + 3]), num(no, t[i + 4]),
+                             num(no, t[i + 5]), num(no, t[i + 6]),
+                             num(no, t[i + 7]));
+    }
+    if (kind == "pwl") {
+      Waveform w = Waveform::pwl();
+      size_t k = i + 1;
+      if (k + 1 >= t.size()) fail(no, "PWL needs at least one (t, v) pair");
+      for (; k + 1 < t.size(); k += 2)
+        w.add_point(num(no, t[k]), num(no, t[k + 1]));
+      if (k != t.size()) fail(no, "PWL has an odd number of values");
+      return w;
+    }
+    // Bare number = DC.
+    return Waveform::dc(num(no, t[i]));
+  }
+
+  void parse_element(int no, const std::vector<std::string>& t) {
+    const std::string name = lower(t[0]);
+    const char kind = name[0];
+    switch (kind) {
+      case 'r': {
+        if (t.size() != 4) fail(no, "R card: Rname n1 n2 value");
+        deck_.netlist->add_resistor(name, node(t[1]), node(t[2]), num(no, t[3]));
+        return;
+      }
+      case 'c': {
+        if (t.size() != 4) fail(no, "C card: Cname n1 n2 value");
+        deck_.netlist->add_capacitor(name, node(t[1]), node(t[2]), num(no, t[3]));
+        return;
+      }
+      case 'v': {
+        if (t.size() < 4) fail(no, "V card: Vname n+ n- DC v | PWL(...)");
+        deck_.netlist->add_voltage_source(name, node(t[1]), node(t[2]),
+                                          parse_source(no, t, 3));
+        return;
+      }
+      case 'i': {
+        if (t.size() < 4) fail(no, "I card: Iname n+ n- DC v | PWL(...)");
+        deck_.netlist->add_current_source(name, node(t[1]), node(t[2]),
+                                          parse_source(no, t, 3));
+        return;
+      }
+      case 'd': {
+        if (t.size() != 4) fail(no, "D card: Dname anode cathode model");
+        const auto it = models_.find(lower(t[3]));
+        if (it == models_.end() || it->second.kind != ModelCard::Kind::Diode)
+          fail(no, "unknown diode model '" + t[3] + "'");
+        deck_.netlist->add_diode(name, node(t[1]), node(t[2]), it->second.diode);
+        return;
+      }
+      case 'l': {
+        if (t.size() != 4) fail(no, "L card: Lname n1 n2 value");
+        deck_.netlist->add_inductor(name, node(t[1]), node(t[2]), num(no, t[3]));
+        return;
+      }
+      case 'e': {
+        if (t.size() != 6) fail(no, "E card: Ename n+ n- cp cn gain");
+        deck_.netlist->add_vcvs(name, node(t[1]), node(t[2]), node(t[3]),
+                                node(t[4]), num(no, t[5]));
+        return;
+      }
+      case 'g': {
+        if (t.size() != 6) fail(no, "G card: Gname n+ n- cp cn gm");
+        deck_.netlist->add_vccs(name, node(t[1]), node(t[2]), node(t[3]),
+                                node(t[4]), num(no, t[5]));
+        return;
+      }
+      case 'm': {
+        if (t.size() < 6) fail(no, "M card: Mname d g s b model [W v] [L v]");
+        const auto it = models_.find(lower(t[5]));
+        if (it == models_.end() || it->second.kind == ModelCard::Kind::Diode)
+          fail(no, "unknown MOS model '" + t[5] + "'");
+        MosfetParams params = it->second.mos;
+        for (size_t i = 6; i + 1 < t.size(); i += 2) {
+          const std::string key = lower(t[i]);
+          if (key == "w") params.w = num(no, t[i + 1]);
+          else if (key == "l") params.l = num(no, t[i + 1]);
+          else fail(no, "unknown MOS instance parameter '" + key + "'");
+        }
+        const MosType type = it->second.kind == ModelCard::Kind::Nmos
+                                 ? MosType::Nmos
+                                 : MosType::Pmos;
+        deck_.netlist->add_mosfet(name, type, node(t[1]), node(t[2]),
+                                  node(t[3]), node(t[4]), params);
+        return;
+      }
+      default:
+        fail(no, util::format("unknown element card '%c'", kind));
+    }
+  }
+
+  void parse_control(int no, const std::vector<std::string>& t) {
+    const std::string card = lower(t[0]);
+    if (card == ".ic") {
+      // .ic V(node)=value ... ; tokenizer split it into "v", node, value.
+      size_t i = 1;
+      while (i < t.size()) {
+        if (lower(t[i]) == "v" && i + 2 < t.size()) {
+          deck_.initial_conditions[lower(t[i + 1])] = num(no, t[i + 2]);
+          i += 3;
+        } else {
+          fail(no, ".ic entries must look like V(node)=value");
+        }
+      }
+      return;
+    }
+    if (card == ".tran") {
+      if (t.size() < 3) fail(no, ".tran needs step and stop");
+      deck_.tran_step = num(no, t[1]);
+      deck_.tran_stop = num(no, t[2]);
+      return;
+    }
+    if (card == ".probe" || card == ".print") {
+      for (size_t i = 1; i < t.size(); ++i) {
+        std::string n = lower(t[i]);
+        if (n == "v") continue;  // tolerate .probe v(node) syntax
+        deck_.probes.push_back(n);
+      }
+      return;
+    }
+    if (card == ".temp") {
+      if (t.size() != 2) fail(no, ".temp needs one value");
+      deck_.temp_c = num(no, t[1]);
+      return;
+    }
+    fail(no, "unknown control card '" + card + "'");
+  }
+
+  SpiceDeck deck_;
+  std::map<std::string, ModelCard> models_;
+};
+
+}  // namespace
+
+double parse_spice_number(const std::string& token) {
+  require(!token.empty(), "empty number");
+  const std::string low = lower(token);
+  size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(low, &used);
+  } catch (const std::exception&) {
+    throw ModelError("not a number: '" + token + "'");
+  }
+  const std::string suffix = low.substr(used);
+  if (suffix.empty()) return value;
+  if (suffix.rfind("meg", 0) == 0) return value * 1e6;
+  switch (suffix[0]) {
+    case 'f': return value * 1e-15;
+    case 'p': return value * 1e-12;
+    case 'n': return value * 1e-9;
+    case 'u': return value * 1e-6;
+    case 'm': return value * 1e-3;
+    case 'k': return value * 1e3;
+    case 'g': return value * 1e9;
+    case 't': return value * 1e12;
+    default: break;
+  }
+  // Unit tails like "2.4v" or "30fF" are tolerated: the first suffix char
+  // decided the scale above; anything alphabetic that is not a known scale
+  // char is treated as a unit name.
+  if (std::isalpha(static_cast<unsigned char>(suffix[0]))) return value;
+  throw ModelError("bad numeric suffix in '" + token + "'");
+}
+
+SpiceDeck parse_spice(const std::string& text) {
+  Parser parser;
+  return parser.parse(text);
+}
+
+}  // namespace dramstress::circuit

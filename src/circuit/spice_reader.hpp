@@ -1,0 +1,64 @@
+// SPICE-dialect netlist reader.
+//
+// The paper's flow ran on a proprietary SPICE (Titan); this reader makes
+// the bundled engine usable the same way: parse a deck, run the transient,
+// probe nodes.  The supported dialect covers what DRAM cell modelling
+// needs:
+//
+//   * element cards
+//       Rname n1 n2 value
+//       Cname n1 n2 value
+//       Vname n+ n- DC value | PWL(t1 v1 ...) | PULSE(v0 v1 td tr tf pw per)
+//       Iname n+ n- DC value | PWL(...) | PULSE(...)
+//       Lname n1 n2 value
+//       Ename n+ n- cp cn gain        (VCVS)
+//       Gname n+ n- cp cn gm          (VCCS)
+//       Dname anode cathode model
+//       Mname d g s b model [W=value] [L=value]
+//   * control cards
+//       .model name NMOS|PMOS|D (param=value ...)
+//       .ic V(node)=value ...
+//       .tran step stop
+//       .probe node [node ...]
+//       .temp celsius
+//       .end
+//   * '*' comment lines, '+' continuation lines, engineering suffixes
+//     (f p n u m k meg g t), case-insensitive keywords.
+//
+// MOSFET model parameters: vto, kp, n, lambda, tcv, bex, w, l (defaults
+// from circuit::MosfetParams); diode: is, n, xti, eg.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace dramstress::circuit {
+
+/// A parsed deck: the netlist plus the control-card directives.
+struct SpiceDeck {
+  std::string title;
+  std::unique_ptr<Netlist> netlist;
+  /// .ic entries: node name -> initial voltage.
+  std::map<std::string, double> initial_conditions;
+  /// .probe entries, in order.
+  std::vector<std::string> probes;
+  /// .tran card (0/0 if absent).
+  double tran_step = 0.0;
+  double tran_stop = 0.0;
+  /// .temp card in Celsius (27 if absent).
+  double temp_c = 27.0;
+};
+
+/// Parse a deck from text.  Throws ModelError with a line reference on any
+/// syntax or semantic error.
+SpiceDeck parse_spice(const std::string& text);
+
+/// Parse an engineering-notation number ("2.4", "30f", "200k", "1meg").
+/// Exposed for tests.  Throws ModelError on garbage.
+double parse_spice_number(const std::string& token);
+
+}  // namespace dramstress::circuit

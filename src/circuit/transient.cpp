@@ -1,0 +1,135 @@
+#include "circuit/transient.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::circuit {
+
+double Trace::at(const std::string& name, double t) const {
+  const size_t p = probe_index(name);
+  require(!time.empty(), "Trace: empty");
+  size_t best = 0;
+  double best_d = std::fabs(time[0] - t);
+  for (size_t i = 1; i < time.size(); ++i) {
+    const double d = std::fabs(time[i] - t);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return samples[p][best];
+}
+
+double Trace::back(const std::string& name) const {
+  const size_t p = probe_index(name);
+  require(!samples[p].empty(), "Trace: empty probe " + name);
+  return samples[p].back();
+}
+
+size_t Trace::probe_index(const std::string& name) const {
+  for (size_t i = 0; i < names.size(); ++i)
+    if (names[i] == name) return i;
+  throw ModelError("Trace: unknown probe " + name);
+}
+
+TransientSim::TransientSim(MnaSystem& sys, TransientOptions options)
+    : sys_(&sys), opt_(options) {
+  x_.assign(static_cast<size_t>(sys.num_unknowns()), 0.0);
+  require(opt_.dt > 0.0, "TransientSim: dt must be positive");
+}
+
+void TransientSim::set_initial_condition(NodeId node, double volts) {
+  require(!started_, "TransientSim: initial conditions must precede run()");
+  require(node != kGround, "TransientSim: cannot set IC on ground");
+  x_[static_cast<size_t>(node - 1)] = volts;
+}
+
+void TransientSim::add_probe(const std::string& name, NodeId node) {
+  require(!started_, "TransientSim: probes must be added before run()");
+  probe_nodes_.push_back(node);
+  trace_.names.push_back(name);
+  trace_.samples.emplace_back();
+}
+
+void TransientSim::set_dt(double dt) {
+  require(dt > 0.0, "TransientSim: dt must be positive");
+  opt_.dt = dt;
+}
+
+void TransientSim::set_temperature(double kelvin) {
+  opt_.temperature = kelvin;
+}
+
+void TransientSim::ensure_started() {
+  if (started_) return;
+  started_ = true;
+  // UIC start: take the user-specified node voltages as the state at t=0
+  // and let storage elements remember them.
+  StampContext ctx;
+  ctx.mode = AnalysisMode::TransientBe;
+  ctx.time = time_;
+  ctx.dt = opt_.dt;
+  ctx.temperature = opt_.temperature;
+  ctx.x = &x_;
+  ctx.num_nodes = sys_->num_nodes();
+  for (const auto& dev : sys_->netlist().devices()) dev->init_state(ctx);
+  record();
+}
+
+void TransientSim::record() {
+  trace_.time.push_back(time_);
+  for (size_t i = 0; i < probe_nodes_.size(); ++i)
+    trace_.samples[i].push_back(voltage(probe_nodes_[i]));
+}
+
+void TransientSim::step(double dt, int depth) {
+  // First accepted step (and every retry) uses backward Euler: trapezoidal
+  // integration needs a consistent previous current, which BE provides.
+  const bool use_trap = opt_.integrator == Integrator::Trapezoidal &&
+                        first_step_done_ && depth == 0;
+  StampContext ctx;
+  ctx.mode = use_trap ? AnalysisMode::TransientTrap : AnalysisMode::TransientBe;
+  ctx.time = time_ + dt;
+  ctx.dt = dt;
+  ctx.temperature = opt_.temperature;
+  ctx.num_nodes = sys_->num_nodes();
+
+  numeric::Vector x_try = x_;  // warm start from the previous solution
+  const NewtonResult r = sys_->solve(ctx, x_try, opt_.newton);
+  if (!r.converged) {
+    if (depth >= opt_.max_step_halvings) {
+      throw ConvergenceError(util::format(
+          "transient: Newton failed at t=%.6g ns even at dt=%.3g ps "
+          "(residual %.3e)",
+          ctx.time * 1e9, dt * 1e12, r.residual));
+    }
+    step(0.5 * dt, depth + 1);
+    step(0.5 * dt, depth + 1);
+    return;
+  }
+  x_ = std::move(x_try);
+  time_ += dt;
+  first_step_done_ = true;
+  ctx.x = &x_;
+  for (const auto& dev : sys_->netlist().devices()) dev->commit_step(ctx);
+}
+
+void TransientSim::run(double t_end) {
+  ensure_started();
+  require(t_end > time_, "TransientSim::run: t_end must exceed current time");
+  // Guard against accumulation drift: derive the step count up front.
+  const double span = t_end - time_;
+  const int steps = std::max(1, static_cast<int>(std::ceil(span / opt_.dt - 1e-9)));
+  const double dt = span / steps;
+  for (int k = 0; k < steps; ++k) {
+    step(dt, 0);
+    if (++steps_since_record_ >= opt_.record_stride) {
+      steps_since_record_ = 0;
+      record();
+    }
+  }
+}
+
+}  // namespace dramstress::circuit

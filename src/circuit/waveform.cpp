@@ -1,0 +1,76 @@
+#include "circuit/waveform.hpp"
+
+#include "util/error.hpp"
+
+namespace dramstress::circuit {
+
+Waveform Waveform::dc(double value) {
+  Waveform w;
+  w.times_.push_back(0.0);
+  w.values_.push_back(value);
+  return w;
+}
+
+Waveform Waveform::pwl() { return Waveform{}; }
+
+Waveform Waveform::pulse(double v0, double v1, double delay, double rise,
+                         double fall, double width, double period,
+                         double t_end) {
+  require(rise > 0.0 && fall > 0.0 && width > 0.0,
+          "Waveform::pulse: rise/fall/width must be positive");
+  require(period >= rise + width + fall,
+          "Waveform::pulse: period shorter than rise+width+fall");
+  if (t_end <= 0.0) t_end = delay + 16.0 * period;
+  Waveform w = Waveform::pwl();
+  w.add_point(0.0, v0);
+  double t = delay;
+  while (t < t_end) {
+    if (t > w.end_time()) w.add_point(t, v0);
+    w.add_point(t + rise, v1);
+    w.add_point(t + rise + width, v1);
+    w.add_point(t + rise + width + fall, v0);
+    t += period;
+  }
+  return w;
+}
+
+void Waveform::add_point(double t, double value) {
+  require(times_.empty() || t > times_.back(),
+          "Waveform: breakpoints must have strictly increasing time");
+  times_.push_back(t);
+  values_.push_back(value);
+}
+
+void Waveform::hold_then_ramp(double t, double value, double ramp) {
+  require(ramp > 0.0, "Waveform: ramp must be positive");
+  if (times_.empty()) {
+    add_point(t, value);
+    return;
+  }
+  const double last = values_.back();
+  if (t > times_.back()) add_point(t, last);
+  add_point(times_.back() + ramp, value);
+}
+
+double Waveform::value(double t) const {
+  if (times_.empty()) return 0.0;
+  if (t <= times_.front()) return values_.front();
+  if (t >= times_.back()) return values_.back();
+  size_t lo = 0;
+  size_t hi = times_.size() - 1;
+  while (hi - lo > 1) {
+    const size_t mid = (lo + hi) / 2;
+    if (times_[mid] <= t)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  const double frac = (t - times_[lo]) / (times_[hi] - times_[lo]);
+  return values_[lo] + frac * (values_[hi] - values_[lo]);
+}
+
+double Waveform::last_value() const {
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+}  // namespace dramstress::circuit

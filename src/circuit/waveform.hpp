@@ -1,0 +1,54 @@
+// Time-domain stimulus description for independent sources.
+//
+// The DRAM command engine compiles an operation sequence (w0, w1, r, del)
+// into one piecewise-linear waveform per control signal (WL, EQ, SAE, CSL,
+// WE, data lines); finite rise/fall times keep the Newton iteration smooth.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dramstress::circuit {
+
+/// Piecewise-linear waveform; constant (DC) if it has a single point.
+/// Evaluation clamps to the first/last value outside the sample range.
+class Waveform {
+public:
+  /// DC value.
+  static Waveform dc(double value);
+
+  /// Empty PWL; append breakpoints with add_point (time strictly increasing).
+  static Waveform pwl();
+
+  /// SPICE-style PULSE(v0 v1 delay rise fall width period), expanded as a
+  /// PWL up to t_end (finite repetitions; t_end defaults to 16 periods).
+  static Waveform pulse(double v0, double v1, double delay, double rise,
+                        double fall, double width, double period,
+                        double t_end = 0.0);
+
+  /// Append a breakpoint (t must exceed the previous breakpoint's time).
+  void add_point(double t, double value);
+
+  /// Append a linear ramp from the current last value to `value`, taking
+  /// `ramp` seconds starting at time t (i.e. holds until t, reaches `value`
+  /// at t + ramp).  If the waveform is empty, starts at `value` directly.
+  void hold_then_ramp(double t, double value, double ramp);
+
+  /// Value at time t.
+  double value(double t) const;
+
+  /// Final value (value(inf)).
+  double last_value() const;
+
+  bool empty() const { return times_.empty(); }
+  size_t size() const { return times_.size(); }
+
+  /// Time of the last breakpoint (0 for DC).
+  double end_time() const { return times_.empty() ? 0.0 : times_.back(); }
+
+private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace dramstress::circuit

@@ -1,0 +1,87 @@
+// Top-level public API: the paper's complete flow.
+//
+// StressFlow wires the substrates together: it owns the DRAM column,
+// runs the Section-3 fault analysis and the Section-4 stress optimization
+// per defect, exploits the true/comp symmetry the paper notes in
+// Section 5.2, and renders the equivalent of the paper's Table 1.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   core::StressFlow flow;                       // calibrated default DRAM
+//   auto result = flow.optimize({defect::DefectKind::O3, dram::Side::True});
+//   std::cout << result.stressed_border.condition.str();
+//   auto table = flow.table1();
+//   std::cout << table.render();
+#pragma once
+
+#include <memory>
+
+#include "memtest/coverage.hpp"
+#include "stress/optimizer.hpp"
+#include "stress/shmoo.hpp"
+
+namespace dramstress::core {
+
+struct Table1Row {
+  defect::Defect defect;
+  std::optional<double> nominal_br;
+  std::optional<double> stressed_br;
+  std::string nominal_condition;
+  std::string stressed_condition;
+  /// Direction markers per stress axis: "dec", "inc" or "keep"; a '*'
+  /// suffix marks a decision that needed the border-resistance comparison.
+  std::string dir_tcyc;
+  std::string dir_duty;
+  std::string dir_temp;
+  std::string dir_vdd;
+  double gain_decades = 0.0;
+};
+
+struct Table1 {
+  stress::StressCondition nominal;
+  std::vector<Table1Row> rows;
+  std::string render() const;
+};
+
+class StressFlow {
+public:
+  explicit StressFlow(dram::TechnologyParams tech = dram::default_technology(),
+                      stress::StressCondition nominal =
+                          stress::nominal_condition(),
+                      stress::OptimizerOptions options = {});
+
+  dram::DramColumn& column() { return column_; }
+  const stress::StressCondition& nominal() const { return nominal_; }
+  const stress::OptimizerOptions& options() const { return options_; }
+
+  /// Section-3 fault analysis at the nominal corner.
+  analysis::BorderResult analyze(const defect::Defect& d);
+
+  /// Section-4 stress optimization for one defect.
+  stress::OptimizationResult optimize(const defect::Defect& d);
+
+  /// The paper's Table 1: every defect kind on both bitlines.  True-side
+  /// rows run the full optimization; comp-side rows reuse the mirrored
+  /// detection conditions and the true side's stressed corner (the paper:
+  /// identical borders and directions, data inverted).
+  Table1 table1(const std::vector<defect::DefectKind>& kinds = {
+                    defect::DefectKind::O1, defect::DefectKind::O2,
+                    defect::DefectKind::O3, defect::DefectKind::Sg,
+                    defect::DefectKind::Sv, defect::DefectKind::B1,
+                    defect::DefectKind::B2});
+
+  /// Border resistance of a mirrored condition on the comp side under an
+  /// arbitrary corner (used by table1; exposed for tests).
+  analysis::BorderResult mirrored_border(const defect::Defect& comp_defect,
+                                         const analysis::DetectionCondition&
+                                             true_condition,
+                                         const stress::StressCondition& sc);
+
+private:
+  dram::TechnologyParams tech_;
+  dram::DramColumn column_;
+  stress::StressCondition nominal_;
+  stress::OptimizerOptions options_;
+};
+
+}  // namespace dramstress::core

@@ -1,0 +1,125 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "analysis/vsa.hpp"
+#include "numeric/interp.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::core {
+
+using analysis::BorderResult;
+using defect::Defect;
+using util::eng;
+using util::format;
+
+namespace {
+
+void vsa_and_ffm_table(std::ostringstream& out, dram::DramColumn& column,
+                       const Defect& d, const dram::ColumnSimulator& sim,
+                       const ReportOptions& opt) {
+  const auto range = defect::default_sweep_range(d.kind);
+  out << "| R | Vsa | fault models |\n|---|---|---|\n";
+  for (double r :
+       numeric::logspace(range.lo * 30, range.hi, opt.r_samples)) {
+    defect::Injection inj(column, d, r);
+    const auto vsa = analysis::extract_vsa(sim, d.side);
+    const auto ffm = analysis::classify_ffm(sim, d.side, opt.ffm);
+    out << format("| %s | %.3f V | %s |\n", eng(r, "Ohm").c_str(),
+                  vsa.threshold, ffm.str().c_str());
+  }
+}
+
+void border_section(std::ostringstream& out, const BorderResult& border,
+                    const defect::SweepRange& range) {
+  if (!border.br.has_value()) {
+    out << "No faulty behaviour anywhere in ["
+        << eng(range.lo, "Ohm") << ", " << eng(range.hi, "Ohm") << "].\n";
+    return;
+  }
+  out << format(
+      "* border resistance: **%s** (faults for %s values)\n",
+      eng(*border.br, "Ohm").c_str(),
+      border.fault_at_high_r ? "larger" : "smaller");
+  out << format("* detection condition: `%s`\n",
+                border.condition.str().c_str());
+  out << format("* failing range: %.2f decades of resistance\n",
+                border.failing_decades(range));
+}
+
+}  // namespace
+
+std::string characterization_report(dram::DramColumn& column,
+                                    const Defect& defect,
+                                    const dram::ColumnSimulator& sim,
+                                    const BorderResult& border,
+                                    const ReportOptions& opt) {
+  std::ostringstream out;
+  out << "# Defect characterization: " << defect.name() << "\n\n";
+  out << "Corner: " << stress::describe(sim.conditions()) << "\n\n";
+  out << "## Border resistance\n\n";
+  border_section(out, border, defect::default_sweep_range(defect.kind));
+  out << "\n## Sense threshold and fault classification vs. R\n\n";
+  vsa_and_ffm_table(out, column, defect, sim, opt);
+  return out.str();
+}
+
+std::string optimization_report(dram::DramColumn& column,
+                                const stress::OptimizationResult& result,
+                                const ReportOptions& opt) {
+  std::ostringstream out;
+  const Defect& d = result.defect;
+  const auto range = defect::default_sweep_range(d.kind);
+
+  out << "# Stress optimization: " << d.name() << "\n\n";
+  out << "## Nominal corner\n\n" << stress::describe(result.nominal_sc)
+      << "\n\n";
+  border_section(out, result.nominal_border, range);
+
+  out << "\n## Per-stress evidence (paper Section 4)\n\n";
+  out << "| stress | candidates | critical-write residual [V] | Vsa [V] | "
+         "decision |\n|---|---|---|---|---|\n";
+  for (const stress::AxisDecision& dec : result.decisions) {
+    std::vector<std::string> values;
+    std::vector<std::string> residuals;
+    std::vector<std::string> vsas;
+    for (const auto& c : dec.probe.candidates) {
+      values.push_back(eng(c.value, stress::axis_unit(dec.axis)));
+      residuals.push_back(format("%.3f", c.write_residual));
+      vsas.push_back(format("%.3f", c.vsa));
+    }
+    out << format("| %s | %s | %s | %s | %s (%s) |\n",
+                  stress::to_string(dec.axis),
+                  util::join(values, " / ").c_str(),
+                  util::join(residuals, " / ").c_str(),
+                  util::join(vsas, " / ").c_str(), dec.direction().c_str(),
+                  stress::to_string(dec.method));
+  }
+
+  out << "\n## Stressed corner\n\n" << stress::describe(result.stressed_sc)
+      << "\n\n";
+  border_section(out, result.stressed_border, range);
+  out << format("\ncoverage gain: **%.2f decades** of failing resistance\n",
+                result.coverage_gain_decades());
+
+  // Fault classification under both corners, at the nominal border.
+  if (result.nominal_border.br.has_value()) {
+    const double r_probe = *result.nominal_border.br *
+                           (result.nominal_border.fault_at_high_r ? 1.3 : 0.77);
+    out << "\n## Fault classification at " << eng(r_probe, "Ohm") << "\n\n";
+    defect::Injection inj(column, d, r_probe);
+    {
+      dram::ColumnSimulator sim(column, result.nominal_sc);
+      out << "* nominal: "
+          << analysis::classify_ffm(sim, d.side, opt.ffm).str() << "\n";
+    }
+    {
+      dram::ColumnSimulator sim(column, result.stressed_sc);
+      out << "* stressed: "
+          << analysis::classify_ffm(sim, d.side, opt.ffm).str() << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace dramstress::core

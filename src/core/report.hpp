@@ -1,0 +1,35 @@
+// Markdown diagnostic reports.
+//
+// The deliverable a product engineer circulates after running the flow:
+// one self-contained document per defect with the fault classification,
+// the sense-threshold table, the border resistance, the per-stress probe
+// evidence and the final recommendation.  Rendered as plain markdown so it
+// drops into issue trackers and wikis.
+#pragma once
+
+#include <string>
+
+#include "analysis/ffm.hpp"
+#include "stress/optimizer.hpp"
+
+namespace dramstress::core {
+
+struct ReportOptions {
+  /// Resistance sample count for the Vsa / FFM tables.
+  int r_samples = 5;
+  analysis::FfmProbeOptions ffm;
+};
+
+/// Characterization-only report (paper Section 3) at one corner.
+std::string characterization_report(dram::DramColumn& column,
+                                    const defect::Defect& defect,
+                                    const dram::ColumnSimulator& sim,
+                                    const analysis::BorderResult& border,
+                                    const ReportOptions& opt = {});
+
+/// Full optimization report (paper Sections 3+4) from an optimizer result.
+std::string optimization_report(dram::DramColumn& column,
+                                const stress::OptimizationResult& result,
+                                const ReportOptions& opt = {});
+
+}  // namespace dramstress::core

@@ -1,0 +1,91 @@
+#include "defect/defect.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::defect {
+
+const char* to_string(DefectKind kind) {
+  switch (kind) {
+    case DefectKind::O1: return "O1";
+    case DefectKind::O2: return "O2";
+    case DefectKind::O3: return "O3";
+    case DefectKind::Sg: return "Sg";
+    case DefectKind::Sv: return "Sv";
+    case DefectKind::B1: return "B1";
+    case DefectKind::B2: return "B2";
+    case DefectKind::B3: return "B3";
+  }
+  return "?";
+}
+
+bool is_series(DefectKind kind) {
+  return kind == DefectKind::O1 || kind == DefectKind::O2 ||
+         kind == DefectKind::O3;
+}
+
+std::string Defect::name() const {
+  return util::format("%s (%s)", to_string(kind), dram::to_string(side));
+}
+
+const char* Defect::segment_key() const {
+  switch (kind) {
+    case DefectKind::O1: return "o1";
+    case DefectKind::O2: return "o2";
+    case DefectKind::O3: return "o3";
+    case DefectKind::Sg: return "sg";
+    case DefectKind::Sv: return "sv";
+    case DefectKind::B1: return "b1";
+    case DefectKind::B2: return "b2";
+    case DefectKind::B3: return "b3";
+  }
+  return "";
+}
+
+std::vector<Defect> extended_defect_set() {
+  std::vector<Defect> out = paper_defect_set();
+  out.push_back({DefectKind::B3, dram::Side::True});
+  out.push_back({DefectKind::B3, dram::Side::Comp});
+  return out;
+}
+
+std::vector<Defect> paper_defect_set() {
+  std::vector<Defect> out;
+  for (DefectKind k : {DefectKind::O1, DefectKind::O2, DefectKind::O3,
+                       DefectKind::Sg, DefectKind::Sv, DefectKind::B1,
+                       DefectKind::B2}) {
+    out.push_back({k, dram::Side::True});
+    out.push_back({k, dram::Side::Comp});
+  }
+  return out;
+}
+
+Injection::Injection(dram::DramColumn& column, const Defect& defect, double ohms)
+    : column_(&column), defect_(defect) {
+  pristine_ = is_series(defect.kind) ? dram::kSeriesPristineOhms
+                                     : dram::kShuntPristineOhms;
+  set_value(ohms);
+}
+
+Injection::~Injection() {
+  column_->segment(defect_.side, defect_.segment_key())
+      ->set_resistance(pristine_);
+}
+
+void Injection::set_value(double ohms) {
+  require(ohms > 0.0, "Injection: defect resistance must be positive");
+  column_->segment(defect_.side, defect_.segment_key())->set_resistance(ohms);
+}
+
+double Injection::value() const {
+  return column_->segment(defect_.side, defect_.segment_key())->resistance();
+}
+
+SweepRange default_sweep_range(DefectKind kind) {
+  if (is_series(kind)) return {1e3, 10e6};  // paper: 1 kOhm .. 1 MOhm+
+  // Shunts and bridges: retention-style borders live in the GOhm range
+  // (a 10 GOhm path still drains the storage capacitor in milliseconds).
+  return {1e3, 10e9};
+}
+
+}  // namespace dramstress::defect

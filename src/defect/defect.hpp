@@ -1,0 +1,82 @@
+// Defect taxonomy and injection (paper Section 5.1, Fig. 7).
+//
+// Seven resistive defects are modelled, each on the true or the
+// complementary bitline:
+//   O1, O2, O3 -- opens: series resistance on the bitline-to-storage path
+//                 (at the bitline contact, between access transistor and
+//                 the mid node, and at the storage capacitor, respectively);
+//   Sg         -- short: storage node to ground;
+//   Sv         -- short: storage node to Vdd;
+//   B1         -- bridge: storage node to its own bitline (across the
+//                 access transistor);
+//   B2         -- bridge: storage node to its own wordline;
+//   B3         -- bridge: storage node to the neighbouring cell's storage
+//                 node (inter-cell coupling; extension beyond the paper's
+//                 Fig. 7 set, cf. the authors' later bit-line-coupling
+//                 work).
+//
+// Injection only changes the value of a placeholder resistor that is
+// already part of the column netlist, so sweeps never rebuild the circuit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dram/column.hpp"
+
+namespace dramstress::defect {
+
+enum class DefectKind { O1, O2, O3, Sg, Sv, B1, B2, B3 };
+
+const char* to_string(DefectKind kind);
+
+/// True for opens (series defects): the fault appears for R *above* the
+/// border resistance.  Shorts and bridges are shunt defects: the fault
+/// appears for R *below* the border.
+bool is_series(DefectKind kind);
+
+/// A defect instance: kind + which bitline the defective cell hangs on.
+struct Defect {
+  DefectKind kind = DefectKind::O3;
+  dram::Side side = dram::Side::True;
+
+  std::string name() const;  // e.g. "O3 (true)"
+
+  /// The placeholder key in DramColumn::segment().
+  const char* segment_key() const;
+};
+
+/// All 7 x 2 defects of the paper's Table 1, in table order.
+std::vector<Defect> paper_defect_set();
+
+/// The paper set plus the inter-cell coupling bridge (B3) on both sides.
+std::vector<Defect> extended_defect_set();
+
+/// RAII injector: sets the defect resistance on construction / set_value,
+/// restores the pristine value on destruction.
+class Injection {
+public:
+  Injection(dram::DramColumn& column, const Defect& defect, double ohms);
+  ~Injection();
+
+  Injection(const Injection&) = delete;
+  Injection& operator=(const Injection&) = delete;
+
+  void set_value(double ohms);
+  double value() const;
+  const Defect& defect() const { return defect_; }
+
+private:
+  dram::DramColumn* column_;
+  Defect defect_;
+  double pristine_;
+};
+
+/// Default resistance sweep range for a defect kind (log-spaced analyses).
+struct SweepRange {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+SweepRange default_sweep_range(DefectKind kind);
+
+}  // namespace dramstress::defect

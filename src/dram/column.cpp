@@ -1,0 +1,223 @@
+#include "dram/column.hpp"
+
+#include "util/error.hpp"
+
+namespace dramstress::dram {
+
+using circuit::kGround;
+using circuit::MosType;
+using circuit::NodeId;
+using circuit::Waveform;
+
+const char* to_string(Side side) {
+  return side == Side::True ? "true" : "comp";
+}
+
+double physical_level(Side side, int logical, double vdd) {
+  require(logical == 0 || logical == 1, "physical_level: logical must be 0/1");
+  const bool high = (logical == 1) == (side == Side::True);
+  return high ? vdd : 0.0;
+}
+
+DramColumn::DramColumn(TechnologyParams tech) : tech_(tech) { build(); }
+
+NodeId DramColumn::cell_node(Side side) const {
+  return netlist_.find_node(prefix(side) + "_cn");
+}
+
+NodeId DramColumn::bitline(Side side) const {
+  return side == Side::True ? bt_ : bc_;
+}
+
+NodeId DramColumn::idle_cell_node(Side side) const {
+  return netlist_.find_node(side == Side::True ? "t1_cn" : "c1_cn");
+}
+
+NodeId DramColumn::ref_cell_node(Side side) const {
+  // The reference cell fires on the bitline *opposite* the addressed cell.
+  return netlist_.find_node(side == Side::True ? "rc_cn" : "rt_cn");
+}
+
+NodeId DramColumn::seg_node_nd(Side side) const {
+  return netlist_.find_node(prefix(side) + "_nd");
+}
+NodeId DramColumn::seg_node_ns(Side side) const {
+  return netlist_.find_node(prefix(side) + "_ns");
+}
+NodeId DramColumn::seg_node_nm(Side side) const {
+  return netlist_.find_node(prefix(side) + "_nm");
+}
+
+circuit::Resistor* DramColumn::segment(Side side, const std::string& key) const {
+  static const char* kKeys[] = {"o1", "o2", "o3", "sg", "sv", "b1", "b2", "b3"};
+  bool known = false;
+  for (const char* k : kKeys) known = known || key == k;
+  require(known, "DramColumn::segment: unknown defect key: " + key);
+  circuit::Device* dev = netlist_.find_device(prefix(side) + "_" + key);
+  require(dev != nullptr, "DramColumn::segment: missing device for " + key);
+  return static_cast<circuit::Resistor*>(dev);
+}
+
+void DramColumn::clear_defects() {
+  for (Side side : {Side::True, Side::Comp}) {
+    for (const char* k : {"o1", "o2", "o3"})
+      segment(side, k)->set_resistance(kSeriesPristineOhms);
+    for (const char* k : {"sg", "sv", "b1", "b2", "b3"})
+      segment(side, k)->set_resistance(kShuntPristineOhms);
+  }
+}
+
+void DramColumn::build_target_cell(Side side) {
+  const std::string p = prefix(side);
+  const NodeId bl = bitline(side);
+  const NodeId wl_node = netlist_.find_node(side == Side::True ? "wl0" : "wl0c");
+
+  const NodeId nd = netlist_.node(p + "_nd");
+  const NodeId ns = netlist_.node(p + "_ns");
+  const NodeId nm = netlist_.node(p + "_nm");
+  const NodeId cn = netlist_.node(p + "_cn");
+
+  // Series path with open-defect placeholders.
+  netlist_.add_resistor(p + "_o1", bl, nd, kSeriesPristineOhms);
+  netlist_.add_mosfet(p + "_acc", MosType::Nmos, nd, wl_node, ns, kGround,
+                      tech_.access);
+  netlist_.add_resistor(p + "_o2", ns, nm, kSeriesPristineOhms);
+  netlist_.add_resistor(p + "_o3", nm, cn, kSeriesPristineOhms);
+
+  // Storage and parasitics.
+  netlist_.add_capacitor(p + "_cs", cn, kGround, tech_.cs);
+  netlist_.add_capacitor(p + "_cnd", nd, kGround, tech_.c_parasitic);
+  netlist_.add_capacitor(p + "_cns", ns, kGround, tech_.c_parasitic);
+  netlist_.add_capacitor(p + "_cnm", nm, kGround, tech_.c_parasitic);
+
+  // Junction leakage: reverse-biased diode from substrate (ground) to the
+  // storage node pulls a stored high level down, faster when hot.
+  netlist_.add_diode(p + "_leak", kGround, cn, tech_.cell_leak);
+
+  // Short/bridge placeholders.  b3 bridges to the neighbouring cell's
+  // storage node (same bitline) -- the inter-cell coupling defect.
+  netlist_.add_resistor(p + "_sg", cn, kGround, kShuntPristineOhms);
+  netlist_.add_resistor(p + "_sv", cn, vddn_, kShuntPristineOhms);
+  netlist_.add_resistor(p + "_b1", cn, bl, kShuntPristineOhms);
+  netlist_.add_resistor(p + "_b2", cn, wl_node, kShuntPristineOhms);
+  const NodeId neighbor_cn =
+      netlist_.node((side == Side::True ? std::string("t1") : std::string("c1")) + "_cn");
+  netlist_.add_resistor(p + "_b3", cn, neighbor_cn, kShuntPristineOhms);
+}
+
+void DramColumn::build_idle_cell(const std::string& p, NodeId bl,
+                                 circuit::VoltageSource** wl_out) {
+  const NodeId wl = netlist_.node(p + "_wl");
+  *wl_out = netlist_.add_voltage_source("V" + p + "_wl", wl, kGround,
+                                        Waveform::dc(0.0));
+  const NodeId cn = netlist_.node(p + "_cn");
+  netlist_.add_mosfet(p + "_acc", MosType::Nmos, bl, wl, cn, kGround,
+                      tech_.access);
+  netlist_.add_capacitor(p + "_cs", cn, kGround, tech_.cs);
+  netlist_.add_diode(p + "_leak", kGround, cn, tech_.cell_leak);
+}
+
+void DramColumn::build_ref_cell(const std::string& p, NodeId bl,
+                                circuit::VoltageSource** rwl_out) {
+  const NodeId rwl = netlist_.node(p + "_wl");
+  *rwl_out = netlist_.add_voltage_source("V" + p + "_wl", rwl, kGround,
+                                         Waveform::dc(0.0));
+  const NodeId cn = netlist_.node(p + "_cn");
+  netlist_.add_mosfet(p + "_acc", MosType::Nmos, bl, rwl, cn, kGround,
+                      tech_.access);
+  netlist_.add_capacitor(p + "_cs", cn, kGround, tech_.cs);
+  netlist_.add_diode(p + "_leak", kGround, cn, tech_.cell_leak);
+  // Reference refresh: during precharge (EQ high) the reference cell is
+  // re-written to the vref level.
+  const NodeId eq = netlist_.find_node("eq");
+  const NodeId vrefn = netlist_.find_node("vrefn");
+  netlist_.add_mosfet(p + "_rst", MosType::Nmos, vrefn, eq, cn, kGround,
+                      tech_.precharge);
+}
+
+void DramColumn::build() {
+  // --- rails and global control nodes -------------------------------
+  vddn_ = netlist_.node("vddn");
+  controls_.vdd = netlist_.add_voltage_source("Vdd", vddn_, kGround,
+                                              Waveform::dc(tech_.vdd_nom));
+  const NodeId vbln = netlist_.node("vbln");
+  controls_.vbl = netlist_.add_voltage_source(
+      "Vbl", vbln, kGround, Waveform::dc(tech_.vbl_frac * tech_.vdd_nom));
+  const NodeId vrefn = netlist_.node("vrefn");
+  controls_.vref = netlist_.add_voltage_source(
+      "Vref", vrefn, kGround,
+      Waveform::dc(reference_level(tech_, tech_.vdd_nom, tech_.tnom)));
+
+  bt_ = netlist_.node("bt");
+  bc_ = netlist_.node("bc");
+  netlist_.add_capacitor("c_bt", bt_, kGround, tech_.cbl);
+  netlist_.add_capacitor("c_bc", bc_, kGround, tech_.cbl);
+
+  const NodeId eq = netlist_.node("eq");
+  controls_.eq = netlist_.add_voltage_source("Veq", eq, kGround, Waveform::dc(0.0));
+  const NodeId sann = netlist_.node("sann");
+  controls_.san = netlist_.add_voltage_source("Vsan", sann, kGround, Waveform::dc(0.0));
+  const NodeId sapn = netlist_.node("sapn");
+  controls_.sap = netlist_.add_voltage_source("Vsap", sapn, kGround, Waveform::dc(0.0));
+  const NodeId wsl = netlist_.node("wsl");
+  controls_.wsl = netlist_.add_voltage_source("Vwsl", wsl, kGround, Waveform::dc(0.0));
+  const NodeId csl = netlist_.node("csl");
+  controls_.csl = netlist_.add_voltage_source("Vcsl", csl, kGround, Waveform::dc(0.0));
+  const NodeId dt = netlist_.node("dt");
+  controls_.dt = netlist_.add_voltage_source("Vdt", dt, kGround, Waveform::dc(0.0));
+  const NodeId dc = netlist_.node("dc");
+  controls_.dc = netlist_.add_voltage_source("Vdc", dc, kGround, Waveform::dc(0.0));
+
+  // Addressed wordlines (one per side).
+  const NodeId wl0 = netlist_.node("wl0");
+  controls_.wl_true =
+      netlist_.add_voltage_source("Vwl0", wl0, kGround, Waveform::dc(0.0));
+  const NodeId wl0c = netlist_.node("wl0c");
+  controls_.wl_comp =
+      netlist_.add_voltage_source("Vwl0c", wl0c, kGround, Waveform::dc(0.0));
+
+  // --- precharge / equalize ---------------------------------------------
+  netlist_.add_mosfet("eq_t", MosType::Nmos, bt_, eq, vbln, kGround, tech_.precharge);
+  netlist_.add_mosfet("eq_c", MosType::Nmos, bc_, eq, vbln, kGround, tech_.precharge);
+  netlist_.add_mosfet("eq_x", MosType::Nmos, bt_, eq, bc_, kGround, tech_.precharge);
+
+  // --- sense amplifier -------------------------------------------------
+  netlist_.add_mosfet("sa_p1", MosType::Pmos, bt_, bc_, sapn, vddn_, tech_.sense_p);
+  netlist_.add_mosfet("sa_p2", MosType::Pmos, bc_, bt_, sapn, vddn_, tech_.sense_p);
+  netlist_.add_mosfet("sa_n1", MosType::Nmos, bt_, bc_, sann, kGround, tech_.sense_n);
+  // The device discharging BC carries both deliberate imbalances (see
+  // TechnologyParams): a width surplus whose offset scales with Vov(T)
+  // (toward 1) and a threshold surplus (toward 0, T-independent).  At room
+  // temperature the width term wins, so a zero-signal read resolves to 1
+  // (the paper's footnote-1 behaviour: at large open resistance the SA
+  // "detects a 1 instead of a 0"); when cold, Vov shrinks and the
+  // threshold term wins.
+  circuit::MosfetParams n2 = tech_.sense_n;
+  n2.vth0 += tech_.sa_vth_mismatch;
+  circuit::Mosfet* sa_n2 =
+      netlist_.add_mosfet("sa_n2", MosType::Nmos, bc_, bt_, sann, kGround, n2);
+  sa_n2->scale_width(1.0 + tech_.sa_mismatch);
+
+  // --- write driver -----------------------------------------------------
+  netlist_.add_mosfet("wd_t", MosType::Nmos, dt, wsl, bt_, kGround, tech_.wdriver);
+  netlist_.add_mosfet("wd_c", MosType::Nmos, dc, wsl, bc_, kGround, tech_.wdriver);
+
+  // --- data output buffer ------------------------------------------------
+  const NodeId doutb = netlist_.node("doutb");
+  dout_ = netlist_.node("dout");
+  netlist_.add_mosfet("ob_p", MosType::Pmos, doutb, bt_, vddn_, vddn_, tech_.outbuf_p);
+  netlist_.add_mosfet("ob_n", MosType::Nmos, doutb, bt_, kGround, kGround, tech_.outbuf_n);
+  netlist_.add_mosfet("ob_csl", MosType::Nmos, doutb, csl, dout_, kGround, tech_.outbuf_n);
+  netlist_.add_capacitor("c_doutb", doutb, kGround, tech_.c_dout);
+  netlist_.add_capacitor("c_dout", dout_, kGround, tech_.c_dout);
+
+  // --- cells --------------------------------------------------------------
+  build_target_cell(Side::True);
+  build_target_cell(Side::Comp);
+  build_idle_cell("t1", bt_, &controls_.wl_idle_t);
+  build_idle_cell("c1", bc_, &controls_.wl_idle_c);
+  build_ref_cell("rt", bt_, &controls_.rwl_t);
+  build_ref_cell("rc", bc_, &controls_.rwl_c);
+}
+
+}  // namespace dramstress::dram

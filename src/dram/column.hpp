@@ -1,0 +1,123 @@
+// Folded-bitline DRAM column netlist builder.
+//
+// Reproduces the inventory of the paper's simplified design-validation
+// model (Section 5.1): one folded cell-array column with a 2x2 cell array,
+// 2 reference cells, precharge devices, a sense amplifier, one write driver
+// and one data output buffer.
+//
+// Topology (true side shown; the complementary side mirrors it):
+//
+//   BT --[o1]-- nd --(access tx, gate WL0)-- ns --[o2]-- nm --[o3]-- cn
+//                                                                    |
+//                                                              Cs = storage
+//   shunt placeholders:  cn--[sg]--GND   cn--[sv]--VDD
+//                        cn--[b1]--BT    cn--[b2]--WL0
+//
+// o1..o3 are 1-Ohm series stubs and sg/sv/b1/b2 are 1e15-Ohm shunt stubs in
+// the pristine column; defect injection only changes a stub's resistance,
+// so the MNA structure is identical across every sweep point.
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.hpp"
+#include "dram/technology.hpp"
+
+namespace dramstress::dram {
+
+/// Which bitline the addressed cell hangs on.  A comp-side cell stores the
+/// inverted physical level for the same logical data (paper Table 1:
+/// detection conditions for "comp." rows have 0s and 1s interchanged).
+enum class Side { True, Comp };
+
+const char* to_string(Side side);
+
+/// Physical storage-node voltage representing `logical` (0/1) on `side`:
+/// a true-side cell stores logical 1 as vdd, a comp-side cell as 0 V.
+double physical_level(Side side, int logical, double vdd);
+
+/// Pristine values of the defect placeholder stubs.
+inline constexpr double kSeriesPristineOhms = 1.0;
+inline constexpr double kShuntPristineOhms = 1e15;
+
+/// Owns the netlist of one folded column and exposes the handles the
+/// command engine (control sources), the analysis (probe nodes) and the
+/// defect injector (placeholder resistors) need.
+class DramColumn {
+public:
+  explicit DramColumn(TechnologyParams tech = default_technology());
+
+  DramColumn(const DramColumn&) = delete;
+  DramColumn& operator=(const DramColumn&) = delete;
+
+  circuit::Netlist& netlist() { return netlist_; }
+  const circuit::Netlist& netlist() const { return netlist_; }
+  const TechnologyParams& tech() const { return tech_; }
+
+  // --- probe nodes --------------------------------------------------------
+  circuit::NodeId bt() const { return bt_; }
+  circuit::NodeId bc() const { return bc_; }
+  circuit::NodeId dout() const { return dout_; }
+  /// Storage node of the addressed (defect-bearing) cell on `side`.
+  circuit::NodeId cell_node(Side side) const;
+  /// Bitline the addressed cell on `side` hangs on.
+  circuit::NodeId bitline(Side side) const;
+  /// Storage node of the always-off neighbour cell on `side`.
+  circuit::NodeId idle_cell_node(Side side) const;
+  /// Reference-cell storage node on the bitline opposite to `side`.
+  circuit::NodeId ref_cell_node(Side side) const;
+  /// Internal defect-segment nodes of the addressed cell (nd, ns, nm).
+  circuit::NodeId seg_node_nd(Side side) const;
+  circuit::NodeId seg_node_ns(Side side) const;
+  circuit::NodeId seg_node_nm(Side side) const;
+
+  // --- control sources ------------------------------------------------
+  struct Controls {
+    circuit::VoltageSource* vdd = nullptr;   // supply rail
+    circuit::VoltageSource* vbl = nullptr;   // bitline precharge level
+    circuit::VoltageSource* vref = nullptr;  // reference-cell level
+    circuit::VoltageSource* wl_true = nullptr;   // WL of addressed true cell
+    circuit::VoltageSource* wl_comp = nullptr;   // WL of addressed comp cell
+    circuit::VoltageSource* wl_idle_t = nullptr; // WL of off neighbour (true)
+    circuit::VoltageSource* wl_idle_c = nullptr; // WL of off neighbour (comp)
+    circuit::VoltageSource* rwl_t = nullptr;  // reference WL on BT
+    circuit::VoltageSource* rwl_c = nullptr;  // reference WL on BC
+    circuit::VoltageSource* eq = nullptr;     // precharge/equalize gate
+    circuit::VoltageSource* san = nullptr;    // SA n-latch tail
+    circuit::VoltageSource* sap = nullptr;    // SA p-latch tail
+    circuit::VoltageSource* wsl = nullptr;    // write column select gate
+    circuit::VoltageSource* dt = nullptr;     // data line (true)
+    circuit::VoltageSource* dc = nullptr;     // data line (comp)
+    circuit::VoltageSource* csl = nullptr;    // read column select gate
+  };
+  Controls& controls() { return controls_; }
+  const Controls& controls() const { return controls_; }
+
+  /// Defect placeholder resistor for `key` in {"o1","o2","o3","sg","sv",
+  /// "b1","b2","b3"} on the addressed cell of `side` ("b3" bridges to the
+  /// neighbouring cell's storage node).  Throws ModelError for an unknown
+  /// key.
+  circuit::Resistor* segment(Side side, const std::string& key) const;
+
+  /// Restore every placeholder to its pristine value.
+  void clear_defects();
+
+private:
+  void build();
+  void build_target_cell(Side side);
+  void build_idle_cell(const std::string& prefix, circuit::NodeId bl,
+                       circuit::VoltageSource** wl_out);
+  void build_ref_cell(const std::string& prefix, circuit::NodeId bl,
+                      circuit::VoltageSource** rwl_out);
+  std::string prefix(Side side) const { return side == Side::True ? "t" : "c"; }
+
+  TechnologyParams tech_;
+  circuit::Netlist netlist_;
+  Controls controls_;
+  circuit::NodeId vddn_ = 0;
+  circuit::NodeId bt_ = 0;
+  circuit::NodeId bc_ = 0;
+  circuit::NodeId dout_ = 0;
+};
+
+}  // namespace dramstress::dram

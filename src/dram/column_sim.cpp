@@ -1,0 +1,138 @@
+#include "dram/column_sim.hpp"
+
+#include <cmath>
+
+#include "circuit/mna.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::dram {
+
+using circuit::MnaSystem;
+using circuit::TransientOptions;
+using circuit::TransientSim;
+
+int RunResult::read_bit(size_t i) const {
+  require(i < ops.size(), "RunResult: op index out of range");
+  require(ops[i].bit.has_value(),
+          util::format("RunResult: op %zu is not a read", i));
+  return *ops[i].bit;
+}
+
+double RunResult::vc_after(size_t i) const {
+  require(i < ops.size(), "RunResult: op index out of range");
+  return ops[i].vc;
+}
+
+int RunResult::last_read_bit() const {
+  for (size_t i = ops.size(); i-- > 0;)
+    if (ops[i].bit.has_value()) return *ops[i].bit;
+  throw ModelError("RunResult: sequence contains no read");
+}
+
+ColumnSimulator::ColumnSimulator(DramColumn& column, OperatingConditions cond,
+                                 SimSettings settings)
+    : column_(&column), cond_(cond), settings_(settings) {}
+
+RunResult ColumnSimulator::run(const OpSequence& seq, double vc_init,
+                               Side side) const {
+  DramColumn& col = *column_;
+  const CompiledSchedule sched =
+      compile_sequence(col, cond_, side, seq, settings_.timing);
+
+  MnaSystem sys(col.netlist());
+  TransientOptions topt;
+  topt.dt = settings_.dt;
+  topt.integrator = settings_.integrator;
+  topt.temperature = cond_.kelvin();
+  topt.newton = settings_.newton;
+  topt.record_stride = settings_.record_stride;
+  TransientSim sim(sys, topt);
+
+  // --- initial conditions -----------------------------------------------
+  const double vbl = col.tech().vbl_frac * cond_.vdd;
+  const double vref = reference_level(col.tech(), cond_.vdd, cond_.kelvin());
+  // Every source-driven node starts at its waveform's t=0 value, so the
+  // first step does not see artificial rail steps.
+  struct SrcInit {
+    circuit::VoltageSource* src;
+    const char* node;
+  };
+  auto& c = col.controls();
+  const SrcInit inits[] = {
+      {c.vdd, "vddn"}, {c.vbl, "vbln"},   {c.vref, "vrefn"}, {c.eq, "eq"},
+      {c.san, "sann"}, {c.sap, "sapn"},   {c.wsl, "wsl"},    {c.csl, "csl"},
+      {c.dt, "dt"},    {c.dc, "dc"},      {c.wl_true, "wl0"},
+      {c.wl_comp, "wl0c"}, {c.wl_idle_t, "t1_wl"}, {c.wl_idle_c, "c1_wl"},
+      {c.rwl_t, "rt_wl"}, {c.rwl_c, "rc_wl"},
+  };
+  for (const SrcInit& si : inits)
+    sim.set_initial_condition(col.netlist().find_node(si.node), si.src->value(0.0));
+
+  sim.set_initial_condition(col.bt(), vbl);
+  sim.set_initial_condition(col.bc(), vbl);
+  // Reference and idle cells.
+  sim.set_initial_condition(col.netlist().find_node("rt_cn"), vref);
+  sim.set_initial_condition(col.netlist().find_node("rc_cn"), vref);
+  sim.set_initial_condition(col.idle_cell_node(Side::True), 0.0);
+  sim.set_initial_condition(col.idle_cell_node(Side::Comp), 0.0);
+  // Addressed cell on `side` floats at vc_init.  Internal segment nodes
+  // follow the cell only while their path to the storage node is intact;
+  // a node isolated from the cell by an injected open equilibrates to the
+  // bitline level across cycles (it connects to the bitline whenever the
+  // wordline opens), so it starts there.
+  const double kOpenThreshold = 10e3;
+  for (Side s : {Side::True, Side::Comp}) {
+    const double v = (s == side) ? vc_init : 0.0;
+    const bool o3_open =
+        col.segment(s, "o3")->resistance() > kOpenThreshold;
+    const bool o2_open =
+        col.segment(s, "o2")->resistance() > kOpenThreshold;
+    sim.set_initial_condition(col.cell_node(s), v);
+    sim.set_initial_condition(col.seg_node_nm(s), o3_open ? vbl : v);
+    sim.set_initial_condition(col.seg_node_ns(s), (o3_open || o2_open) ? vbl : v);
+    sim.set_initial_condition(col.seg_node_nd(s), vbl);
+  }
+  sim.set_initial_condition(col.netlist().find_node("doutb"), 0.0);
+  sim.set_initial_condition(col.dout(), 0.0);
+
+  sim.add_probe("bt", col.bt());
+  sim.add_probe("bc", col.bc());
+  sim.add_probe("vc", col.cell_node(side));
+
+  // --- execute the schedule, sampling where requested ---------------------
+  RunResult result;
+  result.ops.resize(seq.size());
+  for (size_t i = 0; i < seq.size(); ++i) result.ops[i].kind = seq[i].kind;
+
+  size_t next_sample = 0;
+  const double eps = 1e-15;
+  for (const auto& iv : sched.intervals) {
+    const double span = iv.t1 - iv.t0;
+    sim.set_dt(iv.is_del ? std::max(settings_.dt, span / settings_.del_steps)
+                         : settings_.dt);
+    while (next_sample < sched.samples.size() &&
+           sched.samples[next_sample].t <= iv.t1 + eps) {
+      const auto& sm = sched.samples[next_sample];
+      if (sm.t > sim.time() + eps) sim.run(sm.t);
+      OpResult& op = result.ops[static_cast<size_t>(sm.op_index)];
+      if (sm.kind == CompiledSchedule::Sample::Kind::ReadBit) {
+        op.bit = sim.voltage(col.bt()) > sim.voltage(col.bc()) ? 1 : 0;
+      } else {
+        op.vc = sim.voltage(col.cell_node(side));
+      }
+      ++next_sample;
+    }
+    if (iv.t1 > sim.time() + eps) sim.run(iv.t1);
+  }
+  result.final_vc = sim.voltage(col.cell_node(side));
+  result.trace = sim.trace();
+  return result;
+}
+
+int ColumnSimulator::read_of_initial(double vc_init, Side side) const {
+  const RunResult r = run({Operation::r()}, vc_init, side);
+  return r.read_bit(0);
+}
+
+}  // namespace dramstress::dram

@@ -1,0 +1,73 @@
+// High-level facade: run an operation sequence on a (possibly defective)
+// column under given operating conditions and report per-operation results.
+//
+// This is the workhorse of the whole flow: result planes, Vsa extraction,
+// border-resistance bisection and stress probing all reduce to calls of
+// ColumnSimulator::run with different initial cell voltages, defect values
+// and operating corners.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "circuit/transient.hpp"
+#include "dram/command.hpp"
+
+namespace dramstress::dram {
+
+struct SimSettings {
+  double dt = 0.1e-9;  // s, transient step during clocked cycles
+  circuit::Integrator integrator = circuit::Integrator::BackwardEuler;
+  int record_stride = 4;        // trace decimation
+  circuit::NewtonOptions newton;
+  CommandTiming timing;
+  /// Retention (del) phases integrate with dur/del_steps instead of dt.
+  int del_steps = 256;
+};
+
+struct OpResult {
+  OpKind kind = OpKind::R;
+  /// Logical value returned by the sense path (reads only).
+  std::optional<int> bit;
+  /// Addressed-cell storage voltage right after the active window.
+  double vc = 0.0;
+};
+
+struct RunResult {
+  std::vector<OpResult> ops;
+  circuit::Trace trace;     // probes: "bt", "bc", "vc"
+  double final_vc = 0.0;
+
+  /// Read bit of operation i; throws if that op was not a read.
+  int read_bit(size_t i) const;
+  /// Cell voltage after operation i.
+  double vc_after(size_t i) const;
+  /// Bit of the last read in the sequence; throws if none.
+  int last_read_bit() const;
+};
+
+class ColumnSimulator {
+public:
+  ColumnSimulator(DramColumn& column, OperatingConditions cond,
+                  SimSettings settings = {});
+
+  /// Run `seq` against the addressed cell on `side`, whose storage node
+  /// starts at `vc_init` (the floating-cell initialization of Section 3).
+  RunResult run(const OpSequence& seq, double vc_init, Side side) const;
+
+  /// Single read of a cell initialized to `vc_init`: the probe used for
+  /// Vsa extraction.  Returns the logical bit.
+  int read_of_initial(double vc_init, Side side) const;
+
+  const OperatingConditions& conditions() const { return cond_; }
+  void set_conditions(const OperatingConditions& cond) { cond_ = cond; }
+  const SimSettings& settings() const { return settings_; }
+  DramColumn& column() const { return *column_; }
+
+private:
+  DramColumn* column_;
+  OperatingConditions cond_;
+  SimSettings settings_;
+};
+
+}  // namespace dramstress::dram

@@ -1,0 +1,183 @@
+#include "dram/command.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace dramstress::dram {
+
+using circuit::Waveform;
+
+double OperatingConditions::kelvin() const {
+  return units::celsius_to_kelvin(temp_c);
+}
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::W0: return "w0";
+    case OpKind::W1: return "w1";
+    case OpKind::R: return "r";
+    case OpKind::Del: return "del";
+  }
+  return "?";
+}
+
+std::string to_string(const OpSequence& seq) {
+  std::vector<std::string> parts;
+  parts.reserve(seq.size());
+  for (const Operation& op : seq) {
+    if (op.kind == OpKind::Del) {
+      parts.push_back(util::format("del(%s)", util::eng(op.del_seconds, "s").c_str()));
+    } else {
+      parts.push_back(std::string(op.neighbor ? "n:" : "") +
+                      to_string(op.kind));
+    }
+  }
+  return util::join(parts, " ");
+}
+
+namespace {
+
+/// Builds one control waveform as a series of held levels with ramps.
+class Signal {
+public:
+  Signal(double initial, double ramp) : ramp_(ramp) {
+    w_ = Waveform::pwl();
+    w_.add_point(0.0, initial);
+  }
+  /// Hold the current level until t, then ramp to `level` by t + ramp.
+  void to(double t, double level) { w_.hold_then_ramp(t, level, ramp_); }
+  Waveform take() { return std::move(w_); }
+
+private:
+  Waveform w_;
+  double ramp_;
+};
+
+}  // namespace
+
+CompiledSchedule compile_sequence(DramColumn& col, const OperatingConditions& cond,
+                                  Side side, const OpSequence& seq,
+                                  const CommandTiming& timing) {
+  require(!seq.empty(), "compile_sequence: empty operation sequence");
+  require(cond.duty > 0.05 && cond.duty < 0.95,
+          "compile_sequence: duty must be in (0.05, 0.95)");
+  const double active = cond.duty * cond.tcyc;
+  require(active > timing.csl_delay + 3.0 * timing.ramp,
+          "compile_sequence: active window too short for the command timing");
+
+  const TechnologyParams& tech = col.tech();
+  const double vdd = cond.vdd;
+  const double vpp = vdd + tech.vpp_boost;
+  const double vbl = tech.vbl_frac * vdd;
+  const double vref = reference_level(tech, vdd, cond.kelvin());
+  const double ramp = timing.ramp;
+
+  // DC rails follow the stressed supply.
+  auto& c = col.controls();
+  c.vdd->set_waveform(Waveform::dc(vdd));
+  c.vbl->set_waveform(Waveform::dc(vbl));
+  c.vref->set_waveform(Waveform::dc(vref));
+
+  // Addressed wordline, the neighbour's wordline (for aggressor ops) and
+  // the reference wordline on the opposite bitline.
+  Signal wl(0.0, ramp);
+  Signal nwl(0.0, ramp);
+  Signal rwl(0.0, ramp);
+  Signal eq(vpp, ramp);
+  Signal san(vbl, ramp);
+  Signal sap(vbl, ramp);
+  Signal wsl(0.0, ramp);
+  Signal csl(0.0, ramp);
+  Signal dt(0.0, ramp);
+  Signal dc(0.0, ramp);
+
+  CompiledSchedule sched;
+  sched.ops = seq;
+
+  // Initial precharge window (plus the configured idle cycles) so the
+  // bitlines settle and leakage sees its pre-access exposure.
+  require(timing.idle_cycles >= 0, "compile_sequence: idle_cycles < 0");
+  double t = (1.0 - cond.duty) * cond.tcyc + timing.idle_cycles * cond.tcyc;
+  sched.intervals.push_back({0.0, t, false});
+
+  for (size_t i = 0; i < seq.size(); ++i) {
+    const Operation& op = seq[i];
+    const int idx = static_cast<int>(i);
+    if (op.kind == OpKind::Del) {
+      require(op.del_seconds > 0.0, "compile_sequence: del needs a duration");
+      // Quiet retention phase: column stays precharged (EQ high).
+      sched.intervals.push_back({t, t + op.del_seconds, true});
+      t += op.del_seconds;
+      continue;
+    }
+
+    const double t0 = t;             // cycle start: WL rises
+    const double t_act_end = t0 + active;
+    eq.to(t0 - 2.0 * ramp, 0.0);  // precharge ends just before activation
+    Signal& row = op.neighbor ? nwl : wl;
+    row.to(t0, vpp);
+    rwl.to(t0, vpp);
+    // Sense amplifier fires after the charge-sharing window.
+    san.to(t0 + timing.sense_delay, 0.0);
+    sap.to(t0 + timing.sense_delay, vdd);
+
+    if (op.kind == OpKind::W0 || op.kind == OpKind::W1) {
+      const bool one = op.kind == OpKind::W1;
+      // Logical data on the shared data lines; a comp-side cell physically
+      // stores the complement because it hangs on BC.
+      dt.to(t0 - ramp, one ? vdd : 0.0);
+      dc.to(t0 - ramp, one ? 0.0 : vdd);
+      wsl.to(t0 + timing.write_delay, vpp);
+      wsl.to(t_act_end - 2.0 * ramp, 0.0);
+    } else {  // read
+      csl.to(t0 + timing.csl_delay, vpp);
+      csl.to(t_act_end - 2.0 * ramp, 0.0);
+      sched.samples.push_back({t_act_end - ramp, idx,
+                               CompiledSchedule::Sample::Kind::ReadBit});
+    }
+
+    // Close the row, recover the SA, precharge until the cycle ends.
+    row.to(t_act_end - ramp, 0.0);
+    rwl.to(t_act_end - ramp, 0.0);
+    san.to(t_act_end + 0.5e-9, vbl);
+    sap.to(t_act_end + 0.5e-9, vbl);
+    sched.samples.push_back({t_act_end, idx,
+                             CompiledSchedule::Sample::Kind::CellVoltage});
+    eq.to(t_act_end + 2.0e-9, vpp);  // stays high until the next activation
+    const double t_cycle_end = t0 + cond.tcyc;
+    sched.intervals.push_back({t0, t_cycle_end, false});
+    t = t_cycle_end;
+  }
+
+  sched.t_end = t;
+
+  // Route the wordlines according to the addressed side; the neighbour
+  // shares the bitline, so its waveform goes to the idle cell's wordline
+  // on the same side.
+  if (side == Side::True) {
+    c.wl_true->set_waveform(wl.take());
+    c.wl_idle_t->set_waveform(nwl.take());
+    c.wl_comp->set_waveform(Waveform::dc(0.0));
+    c.wl_idle_c->set_waveform(Waveform::dc(0.0));
+    c.rwl_c->set_waveform(rwl.take());
+    c.rwl_t->set_waveform(Waveform::dc(0.0));
+  } else {
+    c.wl_comp->set_waveform(wl.take());
+    c.wl_idle_c->set_waveform(nwl.take());
+    c.wl_true->set_waveform(Waveform::dc(0.0));
+    c.wl_idle_t->set_waveform(Waveform::dc(0.0));
+    c.rwl_t->set_waveform(rwl.take());
+    c.rwl_c->set_waveform(Waveform::dc(0.0));
+  }
+  c.eq->set_waveform(eq.take());
+  c.san->set_waveform(san.take());
+  c.sap->set_waveform(sap.take());
+  c.wsl->set_waveform(wsl.take());
+  c.csl->set_waveform(csl.take());
+  c.dt->set_waveform(dt.take());
+  c.dc->set_waveform(dc.take());
+  return sched;
+}
+
+}  // namespace dramstress::dram

@@ -1,0 +1,79 @@
+#include "dram/technology.hpp"
+
+namespace dramstress::dram {
+
+TechnologyParams default_technology() {
+  TechnologyParams t;
+
+  circuit::MosfetParams base;
+  base.l = 0.25e-6;
+  base.kp_tnom = 120e-6;
+  base.n = 1.35;
+  base.lambda = 0.02;
+  base.tnom = 300.15;
+  base.tcv = 1.5e-3;
+  base.bex = -2.0;
+
+  // Access transistor: deliberately small (a real DRAM cell transistor has
+  // an on-resistance of 10-20 kOhm).  This matters: the temperature
+  // dependence of its drive current is what makes a w0 through a cell open
+  // end at a higher Vc when hot (paper Fig. 4, top panel).  The wordline
+  // boost (vpp) keeps it out of the threshold-drop regime.
+  t.access = base;
+  t.access.w = 0.10e-6;
+  t.access.l = 0.90e-6;
+  t.access.vth0 = 0.75;
+
+  // Sense-amp latch: sized so the regeneration time constant against the
+  // 1.5 pF bitline is ~1-2 ns.  The latch devices get a steeper Vth(T)
+  // so the width-imbalance offset (proportional to Vov(T)) swings visibly
+  // across the -33..+87 C range.
+  t.sense_n = base;
+  t.sense_n.w = 4e-6;
+  t.sense_n.vth0 = 0.70;
+  t.sense_n.tcv = 3.0e-3;
+  t.sense_p = base;
+  t.sense_p.w = 8e-6;  // PMOS mobility deficit compensated by width
+  t.sense_p.vth0 = 0.70;
+  t.sense_p.tcv = 3.0e-3;
+
+  // Precharge/equalize devices: strong, gated at vpp.
+  t.precharge = base;
+  t.precharge.w = 6e-6;
+  t.precharge.vth0 = 0.70;
+
+  // Write driver pass devices: must overpower the SA latch.
+  t.wdriver = base;
+  t.wdriver.w = 10e-6;
+  t.wdriver.vth0 = 0.70;
+
+  // Output buffer inverter.
+  t.outbuf_n = base;
+  t.outbuf_n.w = 2e-6;
+  t.outbuf_n.vth0 = 0.70;
+  t.outbuf_p = base;
+  t.outbuf_p.w = 4e-6;
+  t.outbuf_p.vth0 = 0.70;
+
+  // Storage-node junction: ~1 nA reverse leakage at +27 C in this
+  // accelerated design-validation model, growing ~100x by +87 C (activation
+  // energy 0.65 eV, roughly a doubling per 10 C -- typical for DRAM
+  // retention) and shrinking to picoamps at -33 C.  Negligible within one
+  // 60 ns cycle at room temperature, but enough to move a marginal stored
+  // '1' during the idle window before a read at +87 C -- the paper's
+  // leakage mechanism.
+  t.cell_leak.is_tnom = 0.5e-9;
+  t.cell_leak.n = 1.0;
+  t.cell_leak.tnom = 300.15;
+  t.cell_leak.xti = 3.0;
+  t.cell_leak.eg = 0.65;
+
+  return t;
+}
+
+double reference_level(const TechnologyParams& tech, double vdd, double kelvin) {
+  return tech.vbl_frac * vdd + tech.vref_offset +
+         tech.vref_offset_tc * (kelvin - tech.tnom);
+}
+
+}  // namespace dramstress::dram

@@ -1,0 +1,82 @@
+// Technology parameter set for the simulated DRAM column.
+//
+// The paper used a proprietary Infineon "design-validation" model of a real
+// DRAM.  We substitute an open parameter set with the same structure and,
+// critically, the same three temperature mechanisms the paper names in
+// Section 4.2:
+//   1. threshold voltage rises as T drops          (tcv on all MOSFETs),
+//   2. drain current falls as T rises              (mobility exponent bex),
+//   3. junction leakage rises steeply as T rises   (storage-node diode).
+//
+// Absolute values are calibrated so that the headline open-defect behaviour
+// lands near the paper's numbers (border resistance ~200 kOhm at nominal
+// stress for the O3 cell open with tcyc = 60 ns, Vdd = 2.4 V, T = +27 C).
+#pragma once
+
+#include "circuit/diode.hpp"
+#include "circuit/mosfet.hpp"
+
+namespace dramstress::dram {
+
+struct TechnologyParams {
+  // --- supply & bias levels (scaled from Vdd at run time) ---------------
+  double vdd_nom = 2.4;        // V, nominal supply (paper: 2.4 V)
+  double vpp_boost = 2.0;      // V, wordline boost above Vdd
+  double vbl_frac = 0.5;       // bitline precharge level as fraction of Vdd
+  /// Reference-cell level offset from the precharge level (V) at tnom, and
+  /// its temperature coefficient (V/K).  The reference generator is
+  /// Vth-referenced, so the level *rises* when cold (Vth up) and falls when
+  /// hot:  vref(T) = vbl + vref_offset + vref_offset_tc * (T - tnom).
+  /// A slightly *negative* offset at room temperature biases a zero-signal
+  /// read toward 1 (the paper's footnote-1 behaviour: at large open
+  /// resistance the SA "detects a 1 instead of a 0"); when cold the offset
+  /// turns positive and the bias flips toward 0.  Because the reference
+  /// cell always fires on the bitline *opposite* the addressed cell, this
+  /// bias is cell-referenced: true- and comp-side cells see the same
+  /// logical behaviour (paper Section 5.2).  Together with the junction
+  /// leakage (dominant when hot) this produces the non-monotonic
+  /// read-vs-temperature behaviour of Fig. 4.
+  double vref_offset = -0.030;
+  double vref_offset_tc = -0.7e-3;
+  double tnom = 300.15;
+
+  // --- capacitances -------------------------------------------------------
+  double cs = 150e-15;        // F, storage capacitor
+  double cbl = 1.5e-12;       // F, bitline capacitance (each of BT/BC)
+  double c_parasitic = 2e-15; // F, parasitic at internal cell nodes
+  double c_dout = 20e-15;     // F, output buffer load
+
+  // --- devices -------------------------------------------------------------
+  circuit::MosfetParams access;     // cell access transistor
+  circuit::MosfetParams sense_n;    // SA n-latch
+  circuit::MosfetParams sense_p;    // SA p-latch
+  circuit::MosfetParams precharge;  // equalize/precharge devices
+  circuit::MosfetParams wdriver;    // write-driver pass devices
+  circuit::MosfetParams outbuf_n;   // output buffer inverter
+  circuit::MosfetParams outbuf_p;
+
+  /// Optional device mismatch of the SA n-latch device that discharges the
+  /// complementary bitline: a width surplus (`sa_mismatch`, fraction) and a
+  /// threshold surplus (`sa_vth_mismatch`, volts).  Zero by default -- a
+  /// bitline-fixed mismatch breaks the true/comp symmetry of the paper's
+  /// Section 5.2; the read bias is carried by the cell-referenced
+  /// reference-level offset above.  Exposed for mismatch studies.
+  double sa_mismatch = 0.0;
+  double sa_vth_mismatch = 0.0;
+
+  // --- storage-node junction leakage ---------------------------------------
+  circuit::DiodeParams cell_leak;
+
+  /// Number of cells hanging on each bitline in the model (the paper's
+  /// column has a 2x2 cell array plus 2 reference cells).
+  int cells_per_bitline = 2;
+};
+
+/// The calibrated default technology used by all experiments.
+TechnologyParams default_technology();
+
+/// Temperature-dependent reference-cell level for a supply `vdd` at
+/// absolute temperature `kelvin`.
+double reference_level(const TechnologyParams& tech, double vdd, double kelvin);
+
+}  // namespace dramstress::dram

@@ -1,0 +1,67 @@
+#include "memtest/coverage.hpp"
+
+#include "numeric/interp.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::memtest {
+
+std::vector<DefectInstance> default_defect_universe(int points_per_defect) {
+  std::vector<DefectInstance> out;
+  for (const defect::Defect& d : defect::paper_defect_set()) {
+    const auto range = defect::default_sweep_range(d.kind);
+    for (double r : numeric::logspace(range.lo, range.hi, points_per_defect))
+      out.push_back({d, r});
+  }
+  return out;
+}
+
+CoverageReport evaluate_coverage(dram::DramColumn& column,
+                                 const std::vector<DefectInstance>& universe,
+                                 const MarchTest& test,
+                                 const stress::StressCondition& sc,
+                                 const CoverageOptions& opt) {
+  CoverageReport report;
+  report.condition = sc;
+  report.test_name = test.name;
+  report.total = universe.size();
+
+  const dram::ColumnSimulator sim(column, sc, opt.settings);
+
+  // Validity: the test must pass on a defect-free memory at this corner.
+  {
+    const defect::Defect probe{defect::DefectKind::O3, dram::Side::True};
+    analysis::FastCellModel healthy =
+        analysis::FastCellModel::calibrate(column, probe, sim, opt.calib);
+    healthy.set_defect_resistance(dram::kSeriesPristineOhms);
+    BehavioralMemory mem(opt.memory_cells, opt.memory_cells / 2,
+                         std::move(healthy), sc.tcyc);
+    report.test_valid = !mem.run(test, opt.initial_vc).has_value();
+  }
+
+  // Calibrate one model per (defect, side) and reuse it across resistances.
+  std::string last_key;
+  std::optional<analysis::FastCellModel> model;
+  for (const DefectInstance& inst : universe) {
+    const std::string key = inst.defect.name();
+    if (key != last_key) {
+      model = analysis::FastCellModel::calibrate(column, inst.defect, sim,
+                                                 opt.calib);
+      last_key = key;
+    }
+    analysis::FastCellModel cell = *model;
+    cell.set_defect_resistance(inst.resistance);
+    BehavioralMemory mem(opt.memory_cells, opt.memory_cells / 2,
+                         std::move(cell), sc.tcyc);
+    const auto fault = mem.run(test, opt.initial_vc);
+    report.per_instance.push_back(fault.has_value());
+    if (fault.has_value()) ++report.detected;
+  }
+  util::log_info(util::format("coverage[%s @ %s] = %zu/%zu",
+                              test.name.c_str(),
+                              stress::describe(sc).c_str(), report.detected,
+                              report.total));
+  return report;
+}
+
+}  // namespace dramstress::memtest

@@ -1,0 +1,55 @@
+// Fault-coverage evaluation of a march test over the defect library
+// (the paper's framing: stresses "increase the fault coverage of a given
+// test").
+//
+// A defect universe is a set of (defect, resistance) instances; coverage
+// is the fraction the test detects.  Each instance gets a FastCellModel
+// calibrated against the electrical column at the evaluated stress
+// condition, so the coverage difference between two corners reflects the
+// electrical effect of the stresses, not a re-labelled fault dictionary.
+#pragma once
+
+#include "memtest/memory.hpp"
+#include "stress/stress.hpp"
+
+namespace dramstress::memtest {
+
+struct DefectInstance {
+  defect::Defect defect;
+  double resistance = 0.0;
+};
+
+/// Log-spaced instances per defect kind over its default sweep range.
+std::vector<DefectInstance> default_defect_universe(int points_per_defect = 6);
+
+struct CoverageOptions {
+  uint32_t memory_cells = 16;
+  double initial_vc = 0.0;
+  analysis::FastCalibOptions calib;
+  dram::SimSettings settings;
+};
+
+struct CoverageReport {
+  stress::StressCondition condition;
+  std::string test_name;
+  size_t detected = 0;
+  size_t total = 0;
+  std::vector<bool> per_instance;
+  /// False if the test already fails on a defect-free memory at this
+  /// corner (e.g. a long retention pause at +87 C): its "detections" are
+  /// then meaningless yield loss, not fault coverage.
+  bool test_valid = true;
+
+  double fraction() const {
+    return total == 0 ? 0.0 : static_cast<double>(detected) / total;
+  }
+};
+
+/// Coverage of `test` over `universe` at corner `sc`.
+CoverageReport evaluate_coverage(dram::DramColumn& column,
+                                 const std::vector<DefectInstance>& universe,
+                                 const MarchTest& test,
+                                 const stress::StressCondition& sc,
+                                 const CoverageOptions& opt = {});
+
+}  // namespace dramstress::memtest

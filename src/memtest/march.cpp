@@ -1,0 +1,147 @@
+#include "memtest/march.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::memtest {
+
+using analysis::DetectionCondition;
+using dram::OpKind;
+
+const char* to_string(AddressOrder order) {
+  switch (order) {
+    case AddressOrder::Up: return "up";
+    case AddressOrder::Down: return "down";
+    case AddressOrder::Any: return "any";
+  }
+  return "?";
+}
+
+int MarchOp::value() const {
+  switch (kind) {
+    case Kind::W0:
+    case Kind::R0: return 0;
+    case Kind::W1:
+    case Kind::R1: return 1;
+    case Kind::Del: break;
+  }
+  throw ModelError("MarchOp::value: del has no data value");
+}
+
+std::string MarchOp::str() const {
+  switch (kind) {
+    case Kind::W0: return "w0";
+    case Kind::W1: return "w1";
+    case Kind::R0: return "r0";
+    case Kind::R1: return "r1";
+    case Kind::Del:
+      return util::format("del(%s)", util::eng(del_seconds, "s").c_str());
+  }
+  return "?";
+}
+
+std::string MarchElement::str() const {
+  std::vector<std::string> parts;
+  parts.reserve(ops.size());
+  for (const MarchOp& op : ops) parts.push_back(op.str());
+  return util::format("%s(%s)", to_string(order),
+                      util::join(parts, ",").c_str());
+}
+
+std::string MarchTest::str() const {
+  std::vector<std::string> parts;
+  parts.reserve(elements.size());
+  for (const MarchElement& e : elements) parts.push_back(e.str());
+  return "{ " + util::join(parts, "; ") + " }";
+}
+
+size_t MarchTest::ops_per_cell() const {
+  size_t n = 0;
+  for (const MarchElement& e : elements) n += e.ops.size();
+  return n;
+}
+
+MarchTest mats_plus() {
+  return {"MATS+",
+          {{AddressOrder::Any, {MarchOp::w0()}},
+           {AddressOrder::Up, {MarchOp::r0(), MarchOp::w1()}},
+           {AddressOrder::Down, {MarchOp::r1(), MarchOp::w0()}}}};
+}
+
+MarchTest march_cminus() {
+  return {"March C-",
+          {{AddressOrder::Any, {MarchOp::w0()}},
+           {AddressOrder::Up, {MarchOp::r0(), MarchOp::w1()}},
+           {AddressOrder::Up, {MarchOp::r1(), MarchOp::w0()}},
+           {AddressOrder::Down, {MarchOp::r0(), MarchOp::w1()}},
+           {AddressOrder::Down, {MarchOp::r1(), MarchOp::w0()}},
+           {AddressOrder::Any, {MarchOp::r0()}}}};
+}
+
+MarchTest march_y() {
+  return {"March Y",
+          {{AddressOrder::Any, {MarchOp::w0()}},
+           {AddressOrder::Up, {MarchOp::r0(), MarchOp::w1(), MarchOp::r1()}},
+           {AddressOrder::Down, {MarchOp::r1(), MarchOp::w0(), MarchOp::r0()}},
+           {AddressOrder::Any, {MarchOp::r0()}}}};
+}
+
+MarchTest march_ss() {
+  using Op = MarchOp;
+  return {"March SS",
+          {{AddressOrder::Any, {Op::w0()}},
+           {AddressOrder::Up,
+            {Op::r0(), Op::r0(), Op::w0(), Op::r0(), Op::w1()}},
+           {AddressOrder::Up,
+            {Op::r1(), Op::r1(), Op::w1(), Op::r1(), Op::w0()}},
+           {AddressOrder::Down,
+            {Op::r0(), Op::r0(), Op::w0(), Op::r0(), Op::w1()}},
+           {AddressOrder::Down,
+            {Op::r1(), Op::r1(), Op::w1(), Op::r1(), Op::w0()}},
+           {AddressOrder::Any, {Op::r0()}}}};
+}
+
+MarchTest pmovi() {
+  using Op = MarchOp;
+  return {"PMOVI",
+          {{AddressOrder::Down, {Op::w0()}},
+           {AddressOrder::Up, {Op::r0(), Op::w1(), Op::r1()}},
+           {AddressOrder::Up, {Op::r1(), Op::w0(), Op::r0()}},
+           {AddressOrder::Down, {Op::r0(), Op::w1(), Op::r1()}},
+           {AddressOrder::Down, {Op::r1(), Op::w0(), Op::r0()}}}};
+}
+
+MarchTest retention_test(double pause_seconds) {
+  return {util::format("Pause(%s)", util::eng(pause_seconds, "s").c_str()),
+          {{AddressOrder::Any, {MarchOp::w1()}},
+           {AddressOrder::Any, {MarchOp::del(pause_seconds), MarchOp::r1()}},
+           {AddressOrder::Any, {MarchOp::w0()}},
+           {AddressOrder::Any, {MarchOp::del(pause_seconds), MarchOp::r0()}}}};
+}
+
+MarchTest march_from_detection(const DetectionCondition& cond,
+                               const std::string& name) {
+  MarchElement init;
+  init.order = AddressOrder::Any;
+  init.ops = {cond.init_logical == 0 ? MarchOp::w0() : MarchOp::w1()};
+
+  MarchElement body;
+  body.order = AddressOrder::Up;
+  for (const dram::Operation& op : cond.ops) {
+    switch (op.kind) {
+      case OpKind::W0: body.ops.push_back(MarchOp::w0()); break;
+      case OpKind::W1: body.ops.push_back(MarchOp::w1()); break;
+      case OpKind::Del: body.ops.push_back(MarchOp::del(op.del_seconds)); break;
+      case OpKind::R:
+        body.ops.push_back(cond.expected == 0 ? MarchOp::r0() : MarchOp::r1());
+        break;
+    }
+  }
+  return {name, {init, body}};
+}
+
+std::vector<MarchTest> standard_test_suite() {
+  return {mats_plus(), march_cminus(), march_y(), retention_test(100e-6)};
+}
+
+}  // namespace dramstress::memtest

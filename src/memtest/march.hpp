@@ -1,0 +1,75 @@
+// March test notation and standard industrial tests.
+//
+// A march test is a sequence of march elements; each element visits every
+// memory address in a given order and applies a fixed list of operations
+// to the addressed cell.  Example (MATS+):
+//   { any(w0); up(r0,w1); down(r1,w0) }
+// The stress optimization of this library does not change *which* march
+// test runs -- it changes the operating corner the test runs at, raising
+// the test's fault coverage (paper Section 1: stresses "ensure a higher
+// fault coverage of a given test").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/detection.hpp"
+
+namespace dramstress::memtest {
+
+enum class AddressOrder { Up, Down, Any };
+
+const char* to_string(AddressOrder order);
+
+/// One operation within a march element.
+struct MarchOp {
+  enum class Kind { W0, W1, R0, R1, Del } kind = Kind::R0;
+  double del_seconds = 0.0;  // Kind::Del only
+
+  static MarchOp w0() { return {Kind::W0, 0.0}; }
+  static MarchOp w1() { return {Kind::W1, 0.0}; }
+  static MarchOp r0() { return {Kind::R0, 0.0}; }
+  static MarchOp r1() { return {Kind::R1, 0.0}; }
+  static MarchOp del(double seconds) { return {Kind::Del, seconds}; }
+
+  bool is_read() const { return kind == Kind::R0 || kind == Kind::R1; }
+  bool is_write() const { return kind == Kind::W0 || kind == Kind::W1; }
+  /// Data value written/expected (0/1); meaningless for Del.
+  int value() const;
+  std::string str() const;
+};
+
+struct MarchElement {
+  AddressOrder order = AddressOrder::Any;
+  std::vector<MarchOp> ops;
+  std::string str() const;  // e.g. "up(r0,w1)"
+};
+
+struct MarchTest {
+  std::string name;
+  std::vector<MarchElement> elements;
+
+  std::string str() const;  // "{ any(w0); up(r0,w1); ... }"
+  /// Total operations per cell (dels count once per element).
+  size_t ops_per_cell() const;
+};
+
+// --- standard tests ----------------------------------------------------
+MarchTest mats_plus();     // 5N
+MarchTest march_cminus();  // 10N
+MarchTest march_y();       // 8N
+MarchTest march_ss();      // 22N, detects all simple static faults
+MarchTest pmovi();         // 13N, read-after-write on every transition
+/// Pause/retention test: write, pause, read back, both data values.
+MarchTest retention_test(double pause_seconds);
+
+/// Wrap a derived detection condition into a march test: an initializing
+/// element followed by one element applying the condition's operations.
+MarchTest march_from_detection(const analysis::DetectionCondition& cond,
+                               const std::string& name);
+
+/// All standard tests above (with a default 100 us pause).
+std::vector<MarchTest> standard_test_suite();
+
+}  // namespace dramstress::memtest

@@ -1,0 +1,142 @@
+#include "memtest/march_parser.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::memtest {
+namespace {
+
+class MarchLexer {
+public:
+  explicit MarchLexer(const std::string& text) : text_(text) {}
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool eat(char c) {
+    skip_space();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!eat(c)) fail(util::format("expected '%c'", c));
+  }
+
+  /// Read a lower-cased identifier [a-z0-9.]+.
+  std::string ident() {
+    skip_space();
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.') {
+        out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (out.empty()) fail("expected an identifier");
+    return out;
+  }
+
+  /// Read a number with an optional time-unit suffix (s, ms, us, ns).
+  double time_value() {
+    skip_space();
+    size_t used = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(text_.substr(pos_), &used);
+    } catch (const std::exception&) {
+      fail("expected a number");
+    }
+    pos_ += used;
+    skip_space();
+    // Optional unit.
+    std::string unit;
+    while (pos_ < text_.size() &&
+           std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+      unit += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(text_[pos_])));
+      ++pos_;
+    }
+    if (unit.empty() || unit == "s") return value;
+    if (unit == "ms") return value * 1e-3;
+    if (unit == "us") return value * 1e-6;
+    if (unit == "ns") return value * 1e-9;
+    fail("unknown time unit '" + unit + "'");
+  }
+
+  bool at_end() {
+    skip_space();
+    return pos_ >= text_.size();
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ModelError(util::format("march notation, position %zu: %s", pos_,
+                                  msg.c_str()));
+  }
+
+private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+MarchOp parse_op(MarchLexer& lex) {
+  const std::string id = lex.ident();
+  if (id == "w0") return MarchOp::w0();
+  if (id == "w1") return MarchOp::w1();
+  if (id == "r0") return MarchOp::r0();
+  if (id == "r1") return MarchOp::r1();
+  if (id == "del") {
+    lex.expect('(');
+    const double seconds = lex.time_value();
+    lex.expect(')');
+    require(seconds > 0.0, "march del needs a positive duration");
+    return MarchOp::del(seconds);
+  }
+  lex.fail("unknown operation '" + id + "'");
+}
+
+MarchElement parse_element(MarchLexer& lex) {
+  MarchElement element;
+  const std::string order = lex.ident();
+  if (order == "up")
+    element.order = AddressOrder::Up;
+  else if (order == "down")
+    element.order = AddressOrder::Down;
+  else if (order == "any")
+    element.order = AddressOrder::Any;
+  else
+    lex.fail("unknown address order '" + order + "'");
+
+  lex.expect('(');
+  element.ops.push_back(parse_op(lex));
+  while (lex.eat(',')) element.ops.push_back(parse_op(lex));
+  lex.expect(')');
+  return element;
+}
+
+}  // namespace
+
+MarchTest parse_march(const std::string& text, const std::string& name) {
+  MarchLexer lex(text);
+  MarchTest test;
+  test.name = name.empty() ? "parsed" : name;
+  lex.expect('{');
+  test.elements.push_back(parse_element(lex));
+  while (lex.eat(';')) test.elements.push_back(parse_element(lex));
+  lex.expect('}');
+  if (!lex.at_end()) lex.fail("trailing characters after '}'");
+  return test;
+}
+
+}  // namespace dramstress::memtest

@@ -1,0 +1,23 @@
+// Parser for the textual march notation used throughout this library:
+//
+//   { any(w0); up(r0,w1); down(r1,w0) }
+//
+// Grammar (whitespace-insensitive, case-insensitive keywords):
+//   test    := '{' element (';' element)* '}'
+//   element := order '(' op (',' op)* ')'
+//   order   := 'up' | 'down' | 'any'
+//   op      := 'w0' | 'w1' | 'r0' | 'r1' | 'del' '(' number unit? ')'
+// The round trip MarchTest::str() -> parse_march() is the identity.
+#pragma once
+
+#include <string>
+
+#include "memtest/march.hpp"
+
+namespace dramstress::memtest {
+
+/// Parse a march test from its textual notation.  Throws ModelError with a
+/// character position on any syntax error.
+MarchTest parse_march(const std::string& text, const std::string& name = "");
+
+}  // namespace dramstress::memtest

@@ -1,0 +1,78 @@
+#include "memtest/memory.hpp"
+
+#include "util/error.hpp"
+
+namespace dramstress::memtest {
+
+BehavioralMemory::BehavioralMemory(uint32_t cells, uint32_t defect_address,
+                                   analysis::FastCellModel defect_model,
+                                   double tcyc)
+    : cells_(cells),
+      defect_address_(defect_address),
+      model_(std::move(defect_model)),
+      tcyc_(tcyc),
+      bits_(cells, 0) {
+  require(cells > 0, "BehavioralMemory: need at least one cell");
+  require(defect_address < cells, "BehavioralMemory: defect address out of range");
+  require(tcyc > 0.0, "BehavioralMemory: tcyc must be positive");
+}
+
+void BehavioralMemory::age_defect(double seconds) { model_.idle(seconds); }
+
+void BehavioralMemory::write(uint32_t address, int value) {
+  require(address < cells_, "BehavioralMemory: address out of range");
+  if (address == defect_address_) {
+    model_.write(value);
+  } else {
+    bits_[address] = value;
+    age_defect(tcyc_);  // one cycle elapses for the defective cell
+  }
+}
+
+int BehavioralMemory::read(uint32_t address) {
+  require(address < cells_, "BehavioralMemory: address out of range");
+  if (address == defect_address_) return model_.read();
+  age_defect(tcyc_);
+  return bits_[address];
+}
+
+void BehavioralMemory::pause(double seconds) { age_defect(seconds); }
+
+std::optional<FaultObservation> BehavioralMemory::run(const MarchTest& test,
+                                                      double initial_vc) {
+  model_.set_vc(initial_vc);
+  for (auto& b : bits_) b = 0;  // healthy cells power up at 0 in this model
+
+  for (size_t ei = 0; ei < test.elements.size(); ++ei) {
+    const MarchElement& element = test.elements[ei];
+    const bool down = element.order == AddressOrder::Down;
+    for (uint32_t k = 0; k < cells_; ++k) {
+      const uint32_t address = down ? cells_ - 1 - k : k;
+      for (size_t oi = 0; oi < element.ops.size(); ++oi) {
+        const MarchOp& op = element.ops[oi];
+        switch (op.kind) {
+          case MarchOp::Kind::W0:
+          case MarchOp::Kind::W1:
+            write(address, op.value());
+            break;
+          case MarchOp::Kind::R0:
+          case MarchOp::Kind::R1: {
+            const int got = read(address);
+            if (got != op.value()) {
+              return FaultObservation{ei, oi, address, op.value(), got};
+            }
+            break;
+          }
+          case MarchOp::Kind::Del:
+            // A pause element applies once per element, not per address:
+            // only the first visited address triggers it.
+            if (k == 0) pause(op.del_seconds);
+            break;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dramstress::memtest

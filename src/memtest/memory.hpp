@@ -1,0 +1,60 @@
+// Behavioural memory with one electrically-modelled defective cell.
+//
+// The healthy cells are ideal bits; the cell at `defect_address` is backed
+// by the calibrated FastCellModel, so march tests see realistic
+// partial-write, sense-threshold and retention behaviour, including the
+// idle decay that accumulates while the march visits *other* addresses
+// (each operation elsewhere costs one clock cycle of retention time --
+// that is why a march over a large array is implicitly a retention test).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "analysis/fast_model.hpp"
+#include "memtest/march.hpp"
+
+namespace dramstress::memtest {
+
+struct FaultObservation {
+  size_t element_index = 0;
+  size_t op_index = 0;
+  uint32_t address = 0;
+  int expected = 0;
+  int observed = 0;
+};
+
+class BehavioralMemory {
+public:
+  /// `cells` addresses; the defective cell sits at `defect_address`.
+  BehavioralMemory(uint32_t cells, uint32_t defect_address,
+                   analysis::FastCellModel defect_model, double tcyc);
+
+  uint32_t size() const { return cells_; }
+  uint32_t defect_address() const { return defect_address_; }
+
+  /// Direct access to the defective cell model (e.g. to sweep R).
+  analysis::FastCellModel& defect_model() { return model_; }
+
+  void write(uint32_t address, int value);
+  int read(uint32_t address);
+  /// Explicit pause (march del op): ages the defective cell.
+  void pause(double seconds);
+
+  /// Run a march test from power-up (unknown state: the defective cell
+  /// starts at the given physical voltage).  Returns the first observed
+  /// fault, or nullopt if the test passes.
+  std::optional<FaultObservation> run(const MarchTest& test,
+                                      double initial_vc = 0.0);
+
+private:
+  void age_defect(double seconds);
+
+  uint32_t cells_;
+  uint32_t defect_address_;
+  analysis::FastCellModel model_;
+  double tcyc_;
+  std::vector<int> bits_;  // healthy cells' stored values
+};
+
+}  // namespace dramstress::memtest

@@ -1,0 +1,76 @@
+#include "numeric/interp.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dramstress::numeric {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  require(x_.size() == y_.size(), "PiecewiseLinear: size mismatch");
+  require(x_.size() >= 1, "PiecewiseLinear: need at least one point");
+  for (size_t i = 1; i < x_.size(); ++i)
+    require(x_[i] > x_[i - 1], "PiecewiseLinear: x must be strictly increasing");
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  require(!x_.empty(), "PiecewiseLinear: empty curve");
+  if (x <= x_.front()) return y_.front();
+  if (x >= x_.back()) return y_.back();
+  // Binary search for the segment containing x.
+  size_t lo = 0;
+  size_t hi = x_.size() - 1;
+  while (hi - lo > 1) {
+    const size_t mid = (lo + hi) / 2;
+    if (x_[mid] <= x)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  const double t = (x - x_[lo]) / (x_[hi] - x_[lo]);
+  return y_[lo] + t * (y_[hi] - y_[lo]);
+}
+
+std::optional<double> first_crossing(const PiecewiseLinear& a,
+                                     const PiecewiseLinear& b, double x_lo,
+                                     double x_hi, int samples) {
+  require(samples >= 2, "first_crossing: need >= 2 samples");
+  require(x_lo < x_hi, "first_crossing: x_lo must be < x_hi");
+  double prev_x = x_lo;
+  double prev_d = a(x_lo) - b(x_lo);
+  for (int i = 1; i < samples; ++i) {
+    const double x = x_lo + (x_hi - x_lo) * i / (samples - 1);
+    const double d = a(x) - b(x);
+    if (prev_d == 0.0) return prev_x;
+    if ((d > 0.0) != (prev_d > 0.0)) {
+      // Linear interpolation of the sign change.
+      const double t = prev_d / (prev_d - d);
+      return prev_x + t * (x - prev_x);
+    }
+    prev_x = x;
+    prev_d = d;
+  }
+  return std::nullopt;
+}
+
+std::vector<double> linspace(double lo, double hi, int n) {
+  require(n >= 2, "linspace: need n >= 2");
+  std::vector<double> out(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i)
+    out[static_cast<size_t>(i)] = lo + (hi - lo) * i / (n - 1);
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, int n) {
+  require(lo > 0.0 && hi > lo, "logspace: need 0 < lo < hi");
+  require(n >= 2, "logspace: need n >= 2");
+  const double llo = std::log10(lo);
+  const double lhi = std::log10(hi);
+  std::vector<double> out(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i)
+    out[static_cast<size_t>(i)] = std::pow(10.0, llo + (lhi - llo) * i / (n - 1));
+  return out;
+}
+
+}  // namespace dramstress::numeric

@@ -1,0 +1,44 @@
+// Piecewise-linear interpolation and curve-intersection helpers used by the
+// result-plane analysis (finding where a write curve crosses the Vsa curve).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace dramstress::numeric {
+
+/// Piecewise-linear curve y(x) over strictly increasing sample points.
+class PiecewiseLinear {
+public:
+  PiecewiseLinear() = default;
+  PiecewiseLinear(std::vector<double> x, std::vector<double> y);
+
+  /// Evaluate with flat extrapolation beyond the sample range.
+  double operator()(double x) const;
+
+  size_t size() const { return x_.size(); }
+  const std::vector<double>& xs() const { return x_; }
+  const std::vector<double>& ys() const { return y_; }
+
+  bool empty() const { return x_.empty(); }
+
+private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+};
+
+/// First x (smallest) where curves a and b cross, i.e. where
+/// a(x) - b(x) changes sign, scanning the union of their sample ranges on a
+/// uniform grid of `samples` points between x_lo and x_hi.  Returns nullopt
+/// if no crossing is found.
+std::optional<double> first_crossing(const PiecewiseLinear& a,
+                                     const PiecewiseLinear& b, double x_lo,
+                                     double x_hi, int samples = 512);
+
+/// Uniformly spaced grid of n points from lo to hi inclusive.
+std::vector<double> linspace(double lo, double hi, int n);
+
+/// Log-spaced grid of n points from lo to hi inclusive (lo, hi > 0).
+std::vector<double> logspace(double lo, double hi, int n);
+
+}  // namespace dramstress::numeric

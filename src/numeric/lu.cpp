@@ -1,0 +1,79 @@
+#include "numeric/lu.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::numeric {
+
+void LuSolver::factor(const Matrix& a, double pivot_tol) {
+  require(a.rows() == a.cols(), "LuSolver: matrix must be square");
+  n_ = a.rows();
+  lu_ = a;
+  perm_.resize(n_);
+  for (size_t i = 0; i < n_; ++i) perm_[i] = i;
+
+  double amax = 0.0;
+  for (size_t i = 0; i < n_ * n_; ++i) amax = std::max(amax, std::fabs(lu_.data()[i]));
+  const double tiny = std::max(amax, 1.0) * pivot_tol;
+
+  for (size_t k = 0; k < n_; ++k) {
+    // Partial pivot: find the largest entry in column k at/below the diagonal.
+    size_t piv = k;
+    double best = std::fabs(lu_(k, k));
+    for (size_t r = k + 1; r < n_; ++r) {
+      const double v = std::fabs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best < tiny) {
+      throw ConvergenceError(util::format(
+          "LU: singular matrix (pivot %.3e at column %zu)", best, k));
+    }
+    if (piv != k) {
+      std::swap(perm_[piv], perm_[k]);
+      for (size_t c = 0; c < n_; ++c) std::swap(lu_(piv, c), lu_(k, c));
+    }
+    const double dinv = 1.0 / lu_(k, k);
+    for (size_t r = k + 1; r < n_; ++r) {
+      const double m = lu_(r, k) * dinv;
+      lu_(r, k) = m;
+      if (m == 0.0) continue;
+      for (size_t c = k + 1; c < n_; ++c) lu_(r, c) -= m * lu_(k, c);
+    }
+  }
+}
+
+void LuSolver::solve_into(const Vector& b, Vector& x) const {
+  require(b.size() == n_, "LuSolver::solve dimension mismatch");
+  require(x.size() == n_, "LuSolver::solve output not pre-sized");
+  // Forward substitution with permutation.
+  for (size_t i = 0; i < n_; ++i) {
+    double acc = b[perm_[i]];
+    for (size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back substitution.
+  for (size_t ii = n_; ii-- > 0;) {
+    double acc = x[ii];
+    for (size_t j = ii + 1; j < n_; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+}
+
+Vector LuSolver::solve(const Vector& b) const {
+  Vector x(n_, 0.0);
+  solve_into(b, x);
+  return x;
+}
+
+Vector lu_solve(const Matrix& a, const Vector& b) {
+  LuSolver s;
+  s.factor(a);
+  return s.solve(b);
+}
+
+}  // namespace dramstress::numeric

@@ -1,0 +1,36 @@
+// LU decomposition with partial pivoting, the linear-solve core of the
+// MNA Newton iteration.
+#pragma once
+
+#include "numeric/matrix.hpp"
+
+namespace dramstress::numeric {
+
+/// In-place LU factorization of a square matrix with partial pivoting.
+/// Reuses its internal storage between factorizations of equally-sized
+/// matrices, which matters because the transient loop refactors every
+/// Newton iteration.
+class LuSolver {
+public:
+  /// Factor A (copied internally).  Throws ConvergenceError if A is
+  /// numerically singular (pivot below `pivot_tol` * max|A|).
+  void factor(const Matrix& a, double pivot_tol = 1e-13);
+
+  /// Solve A x = b using the last factorization.
+  Vector solve(const Vector& b) const;
+
+  /// Solve in place into `x` (must be pre-sized to n).
+  void solve_into(const Vector& b, Vector& x) const;
+
+  size_t size() const { return n_; }
+
+private:
+  size_t n_ = 0;
+  Matrix lu_;
+  std::vector<size_t> perm_;
+};
+
+/// One-shot convenience: solve A x = b.
+Vector lu_solve(const Matrix& a, const Vector& b);
+
+}  // namespace dramstress::numeric

@@ -1,0 +1,57 @@
+#include "numeric/matrix.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dramstress::numeric {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+void Matrix::zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+Vector Matrix::multiply(const Vector& x) const {
+  require(x.size() == cols_, "Matrix::multiply dimension mismatch");
+  Vector y(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = &data_[r * cols_];
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double dot(const Vector& a, const Vector& b) {
+  require(a.size() == b.size(), "dot dimension mismatch");
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm_inf(const Vector& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+Vector subtract(const Vector& a, const Vector& b) {
+  require(a.size() == b.size(), "subtract dimension mismatch");
+  Vector r(a.size());
+  for (size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+void axpy(Vector& a, double s, const Vector& b) {
+  require(a.size() == b.size(), "axpy dimension mismatch");
+  for (size_t i = 0; i < a.size(); ++i) a[i] += s * b[i];
+}
+
+}  // namespace dramstress::numeric

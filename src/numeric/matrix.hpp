@@ -1,0 +1,53 @@
+// Dense matrix / vector types sized for MNA systems (tens of unknowns).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dramstress::numeric {
+
+using Vector = std::vector<double>;
+
+/// Row-major dense matrix.  MNA matrices here are ~20-40 unknowns, so a
+/// dense representation with partial-pivot LU is both simplest and fastest.
+class Matrix {
+public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Set every entry to zero (keeps dimensions).
+  void zero();
+
+  /// y = A * x ; x.size() must equal cols().
+  Vector multiply(const Vector& x) const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// --- small vector helpers ----------------------------------------------------
+double dot(const Vector& a, const Vector& b);
+double norm_inf(const Vector& v);
+/// r = a - b
+Vector subtract(const Vector& a, const Vector& b);
+/// a += s * b
+void axpy(Vector& a, double s, const Vector& b);
+
+}  // namespace dramstress::numeric

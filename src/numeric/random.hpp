@@ -1,0 +1,39 @@
+// Small deterministic RNG (xorshift64* + Box-Muller) so Monte-Carlo
+// results are bit-reproducible across platforms and standard-library
+// versions (std::normal_distribution is implementation-defined).
+#pragma once
+
+#include <cstdint>
+
+namespace dramstress::numeric {
+
+class Rng {
+public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : state_(seed ? seed : 1u) {}
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    const uint64_t x = state_ * 0x2545f4914f6cdd1dull;
+    return static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal (Box-Muller; one value per call, spare cached).
+  double gauss();
+
+  /// Normal with mean/sigma.
+  double gauss(double mean, double sigma) { return mean + sigma * gauss(); }
+
+private:
+  uint64_t state_;
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace dramstress::numeric

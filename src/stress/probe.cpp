@@ -1,0 +1,91 @@
+#include "stress/probe.hpp"
+
+#include <cmath>
+
+#include "analysis/vsa.hpp"
+
+#include "util/error.hpp"
+
+namespace dramstress::stress {
+
+using analysis::DetectionCondition;
+using dram::OpKind;
+
+size_t AxisProbe::most_stressful_write(double tol) const {
+  require(!candidates.empty(), "AxisProbe: no candidates");
+  size_t best = nominal_index;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].write_residual > candidates[best].write_residual)
+      best = i;
+  }
+  if (candidates[best].write_residual -
+          candidates[nominal_index].write_residual <= tol)
+    return nominal_index;
+  return best;
+}
+
+std::optional<size_t> AxisProbe::most_stressful_read(double sign,
+                                                     double tol) const {
+  require(!candidates.empty(), "AxisProbe: no candidates");
+  size_t best = nominal_index;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (sign * (candidates[i].vsa - candidates[best].vsa) > 0.0) best = i;
+  }
+  if (sign * (candidates[best].vsa - candidates[nominal_index].vsa) <= tol)
+    return std::nullopt;
+  return best;
+}
+
+double stressful_vsa_sign(dram::Side side, int expected_bit) {
+  // The read of `expected_bit` gets harder when the threshold moves toward
+  // the physical level that represents it.
+  const double level = dram::physical_level(side, expected_bit, 1.0);
+  return level > 0.5 ? +1.0 : -1.0;
+}
+
+AxisProbe probe_axis(dram::DramColumn& column, const defect::Defect& d,
+                     double reference_r, const DetectionCondition& cond,
+                     const StressCondition& nominal, StressAxis axis,
+                     const dram::SimSettings& settings) {
+  AxisProbe probe;
+  probe.axis = axis;
+  const std::vector<double> values = default_candidates(axis, nominal);
+
+  // Split the condition: everything before the final read is the "write
+  // prefix" whose outcome the write probe measures.
+  require(!cond.ops.empty() && cond.ops.back().kind == OpKind::R,
+          "probe_axis: detection condition must end with a read");
+  dram::OpSequence prefix(cond.ops.begin(), cond.ops.end() - 1);
+  require(!prefix.empty(), "probe_axis: detection condition has no writes");
+  // Logical value of the last write in the prefix.
+  int last_write = -1;
+  for (auto it = prefix.rbegin(); it != prefix.rend(); ++it) {
+    if (it->kind == OpKind::W0) { last_write = 0; break; }
+    if (it->kind == OpKind::W1) { last_write = 1; break; }
+  }
+  require(last_write >= 0, "probe_axis: no write in detection condition");
+
+  defect::Injection inj(column, d, reference_r);
+  for (size_t i = 0; i < values.size(); ++i) {
+    StressCondition sc = nominal;
+    set_axis(sc, axis, values[i]);
+    if (std::fabs(values[i] - get_axis(nominal, axis)) < 1e-15)
+      probe.nominal_index = i;
+
+    dram::ColumnSimulator sim(column, sc, settings);
+    CandidateProbe cp;
+    cp.value = values[i];
+
+    const double init =
+        dram::physical_level(d.side, cond.init_logical, sc.vdd);
+    const dram::RunResult rr = sim.run(prefix, init, d.side);
+    const double target = dram::physical_level(d.side, last_write, sc.vdd);
+    cp.write_residual = std::fabs(rr.final_vc - target);
+
+    cp.vsa = analysis::extract_vsa(sim, d.side).threshold;
+    probe.candidates.push_back(cp);
+  }
+  return probe;
+}
+
+}  // namespace dramstress::stress

@@ -1,0 +1,54 @@
+// Targeted stress probing (paper Sections 4.1-4.3).
+//
+// Instead of a full fault analysis per stress value (labour- and
+// compute-intensive), the paper runs a *small* number of simulations per
+// stress: one critical write and one sense-threshold probe.  The write
+// probe measures how far the critical write of the detection condition
+// gets (its residual against the target level); the read probe measures
+// how the sense threshold Vsa moves.  A stress value is "more stressful"
+// for the write if the residual grows, and for the read if Vsa moves
+// toward the level of the expected read value (shrinking the range in
+// which that value is still detected).
+#pragma once
+
+#include <optional>
+
+#include "analysis/border.hpp"
+#include "stress/stress.hpp"
+
+namespace dramstress::stress {
+
+/// Result of probing one candidate value of one axis.
+struct CandidateProbe {
+  double value = 0.0;        // the axis value probed
+  double write_residual = 0.0;  // |Vc_after_critical_write - target| (V)
+  double vsa = 0.0;          // sense threshold at the reference resistance
+};
+
+struct AxisProbe {
+  StressAxis axis{};
+  std::vector<CandidateProbe> candidates;  // in candidate order
+  size_t nominal_index = 0;
+
+  /// Index of the candidate that stresses the write hardest.
+  size_t most_stressful_write(double tol = 5e-3) const;
+  /// Index of the candidate that stresses the read hardest; `sign` is +1
+  /// if a larger Vsa is more stressful for the expected read value, -1
+  /// otherwise.  Returns nullopt if the read is insensitive to this axis
+  /// (all candidates within tol).
+  std::optional<size_t> most_stressful_read(double sign, double tol = 10e-3) const;
+};
+
+/// Direction sign for the read: +1 if Vsa moving *up* makes the condition's
+/// expected read harder (more stressful), -1 if moving *down* does.
+double stressful_vsa_sign(dram::Side side, int expected_bit);
+
+/// Probe one axis for the defect at `reference_r` (typically the nominal
+/// border resistance) using the detection condition `cond`.
+AxisProbe probe_axis(dram::DramColumn& column, const defect::Defect& d,
+                     double reference_r,
+                     const analysis::DetectionCondition& cond,
+                     const StressCondition& nominal, StressAxis axis,
+                     const dram::SimSettings& settings = {});
+
+}  // namespace dramstress::stress

@@ -1,0 +1,67 @@
+#include "stress/shmoo.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::stress {
+
+std::string ShmooPlot::render() const {
+  std::ostringstream out;
+  out << util::format("Shmoo: %s (rows) vs %s (cols); '.' pass, 'X' fail\n",
+                      to_string(y_axis), to_string(x_axis));
+  for (size_t iy = y_values.size(); iy-- > 0;) {
+    out << util::pad_left(util::eng(y_values[iy], axis_unit(y_axis)), 12)
+        << " |";
+    for (size_t ix = 0; ix < x_values.size(); ++ix)
+      out << (pass[iy][ix] ? " ." : " X");
+    out << '\n';
+  }
+  out << std::string(14, ' ');
+  for (size_t ix = 0; ix < x_values.size(); ++ix) out << "--";
+  out << '\n' << std::string(14, ' ');
+  out << util::eng(x_values.front(), axis_unit(x_axis)) << " .. "
+      << util::eng(x_values.back(), axis_unit(x_axis)) << '\n';
+  return out.str();
+}
+
+double ShmooPlot::fail_fraction() const {
+  long fails = 0;
+  long total = 0;
+  for (const auto& row : pass)
+    for (bool p : row) {
+      ++total;
+      fails += p ? 0 : 1;
+    }
+  return total == 0 ? 0.0 : static_cast<double>(fails) / total;
+}
+
+ShmooPlot shmoo_plot(dram::DramColumn& column, const defect::Defect& d,
+                     double r_defect, const analysis::DetectionCondition& cond,
+                     const StressCondition& base, const ShmooOptions& opt) {
+  require(!opt.x_values.empty() && !opt.y_values.empty(),
+          "shmoo_plot: empty axis grid");
+  ShmooPlot plot;
+  plot.x_axis = opt.x_axis;
+  plot.y_axis = opt.y_axis;
+  plot.x_values = opt.x_values;
+  plot.y_values = opt.y_values;
+
+  defect::Injection inj(column, d, r_defect);
+  for (double y : opt.y_values) {
+    std::vector<bool> row;
+    for (double x : opt.x_values) {
+      StressCondition sc = base;
+      set_axis(sc, opt.x_axis, x);
+      set_axis(sc, opt.y_axis, y);
+      dram::ColumnSimulator sim(column, sc, opt.settings);
+      row.push_back(!analysis::condition_fails(sim, d.side, cond));
+      ++plot.simulations;
+    }
+    plot.pass.push_back(std::move(row));
+  }
+  return plot;
+}
+
+}  // namespace dramstress::stress

@@ -1,0 +1,49 @@
+// Shmoo plots (paper Section 2).
+//
+// The traditional method the paper's approach replaces: choose two
+// stresses, apply a test at every grid point, record pass/fail.  We
+// simulate the Shmoo on the defect-injected column, which both provides
+// the baseline experiment and demonstrates its cost (one full test
+// simulation per grid point, with no visibility into *why* a point fails).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/detection.hpp"
+#include "defect/defect.hpp"
+#include "stress/stress.hpp"
+
+namespace dramstress::stress {
+
+struct ShmooOptions {
+  StressAxis x_axis = StressAxis::CycleTime;
+  StressAxis y_axis = StressAxis::SupplyVoltage;
+  std::vector<double> x_values;  // required
+  std::vector<double> y_values;  // required
+  dram::SimSettings settings;
+};
+
+struct ShmooPlot {
+  StressAxis x_axis{};
+  StressAxis y_axis{};
+  std::vector<double> x_values;
+  std::vector<double> y_values;
+  /// pass[iy][ix]: true if the test passed at that corner.
+  std::vector<std::vector<bool>> pass;
+  /// Number of full test simulations spent (the method's cost).
+  long simulations = 0;
+
+  /// Classic ASCII rendering: '.' pass, 'X' fail.
+  std::string render() const;
+  /// Fraction of failing corners.
+  double fail_fraction() const;
+};
+
+/// Run the test `cond` for defect `d` at resistance `r_defect` over the
+/// 2-D stress grid, starting from `base` for the unswept axes.
+ShmooPlot shmoo_plot(dram::DramColumn& column, const defect::Defect& d,
+                     double r_defect, const analysis::DetectionCondition& cond,
+                     const StressCondition& base, const ShmooOptions& opt);
+
+}  // namespace dramstress::stress

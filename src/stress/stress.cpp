@@ -1,0 +1,79 @@
+#include "stress/stress.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::stress {
+
+const char* to_string(StressAxis axis) {
+  switch (axis) {
+    case StressAxis::CycleTime: return "tcyc";
+    case StressAxis::DutyCycle: return "duty";
+    case StressAxis::Temperature: return "T";
+    case StressAxis::SupplyVoltage: return "Vdd";
+  }
+  return "?";
+}
+
+std::vector<StressAxis> default_axes() {
+  return {StressAxis::CycleTime, StressAxis::DutyCycle,
+          StressAxis::Temperature, StressAxis::SupplyVoltage};
+}
+
+double get_axis(const StressCondition& sc, StressAxis axis) {
+  switch (axis) {
+    case StressAxis::CycleTime: return sc.tcyc;
+    case StressAxis::DutyCycle: return sc.duty;
+    case StressAxis::Temperature: return sc.temp_c;
+    case StressAxis::SupplyVoltage: return sc.vdd;
+  }
+  throw ModelError("get_axis: unknown axis");
+}
+
+void set_axis(StressCondition& sc, StressAxis axis, double value) {
+  switch (axis) {
+    case StressAxis::CycleTime: sc.tcyc = value; return;
+    case StressAxis::DutyCycle: sc.duty = value; return;
+    case StressAxis::Temperature: sc.temp_c = value; return;
+    case StressAxis::SupplyVoltage: sc.vdd = value; return;
+  }
+  throw ModelError("set_axis: unknown axis");
+}
+
+const char* axis_unit(StressAxis axis) {
+  switch (axis) {
+    case StressAxis::CycleTime: return "s";
+    case StressAxis::DutyCycle: return "";
+    case StressAxis::Temperature: return "C";
+    case StressAxis::SupplyVoltage: return "V";
+  }
+  return "";
+}
+
+StressCondition nominal_condition() { return {2.4, 27.0, 60e-9, 0.5}; }
+
+std::vector<double> default_candidates(StressAxis axis,
+                                       const StressCondition& nominal) {
+  switch (axis) {
+    case StressAxis::CycleTime:
+      // Paper Section 4.1: 60 ns vs 55 ns (plus the relaxed side).
+      return {nominal.tcyc - 5e-9, nominal.tcyc, nominal.tcyc + 5e-9};
+    case StressAxis::DutyCycle:
+      return {nominal.duty - 0.05, nominal.duty, nominal.duty + 0.05};
+    case StressAxis::Temperature:
+      // Paper Section 4.2: -33, +27, +87 C.
+      return {-33.0, nominal.temp_c, 87.0};
+    case StressAxis::SupplyVoltage:
+      // Paper Section 4.3: 2.1, 2.4, 2.7 V.
+      return {nominal.vdd - 0.3, nominal.vdd, nominal.vdd + 0.3};
+  }
+  throw ModelError("default_candidates: unknown axis");
+}
+
+std::string describe(const StressCondition& sc) {
+  return util::format("tcyc=%s duty=%.2f T=%+.0f C Vdd=%.2f V",
+                      util::eng(sc.tcyc, "s").c_str(), sc.duty, sc.temp_c,
+                      sc.vdd);
+}
+
+}  // namespace dramstress::stress

@@ -1,0 +1,46 @@
+// Stress specification (paper Section 2).
+//
+// Four operational parameters ("stresses", STs) are controlled at test
+// time: clock cycle time, clock duty cycle, temperature and supply
+// voltage.  A StressCondition is one operating corner; a stress
+// combination (SC) is the corner produced by optimizing every axis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dram/command.hpp"
+
+namespace dramstress::stress {
+
+/// One operating corner; identical to the DRAM operating conditions.
+using StressCondition = dram::OperatingConditions;
+
+enum class StressAxis { CycleTime, DutyCycle, Temperature, SupplyVoltage };
+
+const char* to_string(StressAxis axis);
+
+/// The axes in the order the paper optimizes them (Sections 4.1-4.3).
+std::vector<StressAxis> default_axes();
+
+/// Read/write one axis of a condition.
+double get_axis(const StressCondition& sc, StressAxis axis);
+void set_axis(StressCondition& sc, StressAxis axis, double value);
+
+/// Unit string for an axis ("s", "", "C", "V").
+const char* axis_unit(StressAxis axis);
+
+/// Nominal corner of the paper: 60 ns, 50% duty, +27 C, 2.4 V.
+StressCondition nominal_condition();
+
+/// Candidate values probed around the nominal for each axis, nominal
+/// included (temperature probes all three corners because the paper shows
+/// its read effect can be non-monotonic).
+std::vector<double> default_candidates(StressAxis axis,
+                                       const StressCondition& nominal);
+
+/// Human-readable corner description, e.g.
+/// "tcyc=55 ns duty=0.50 T=+87 C Vdd=2.10 V".
+std::string describe(const StressCondition& sc);
+
+}  // namespace dramstress::stress

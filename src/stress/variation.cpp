@@ -1,0 +1,82 @@
+#include "stress/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dramstress::stress {
+
+dram::TechnologyParams perturb_technology(const dram::TechnologyParams& base,
+                                          const VariationSpec& spec,
+                                          numeric::Rng& rng) {
+  dram::TechnologyParams t = base;
+  auto jitter_mos = [&](circuit::MosfetParams& p) {
+    p.vth0 += rng.gauss(0.0, spec.vth_sigma);
+    p.kp_tnom *= std::max(0.2, 1.0 + rng.gauss(0.0, spec.kp_rel_sigma));
+  };
+  jitter_mos(t.access);
+  jitter_mos(t.sense_n);
+  jitter_mos(t.sense_p);
+  jitter_mos(t.precharge);
+  jitter_mos(t.wdriver);
+  jitter_mos(t.outbuf_n);
+  jitter_mos(t.outbuf_p);
+  t.cs *= std::max(0.2, 1.0 + rng.gauss(0.0, spec.cs_rel_sigma));
+  t.cbl *= std::max(0.2, 1.0 + rng.gauss(0.0, spec.cbl_rel_sigma));
+  t.cell_leak.is_tnom *=
+      std::max(0.05, 1.0 + rng.gauss(0.0, spec.leak_rel_sigma));
+  t.vref_offset += rng.gauss(0.0, spec.vref_sigma);
+  return t;
+}
+
+double BorderDistribution::mean() const {
+  require(!borders.empty(), "BorderDistribution: no samples");
+  double acc = 0.0;
+  for (double b : borders) acc += b;
+  return acc / static_cast<double>(borders.size());
+}
+
+double BorderDistribution::stddev() const {
+  if (borders.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double b : borders) acc += (b - m) * (b - m);
+  return std::sqrt(acc / static_cast<double>(borders.size() - 1));
+}
+
+double BorderDistribution::min() const {
+  require(!borders.empty(), "BorderDistribution: no samples");
+  return *std::min_element(borders.begin(), borders.end());
+}
+
+double BorderDistribution::max() const {
+  require(!borders.empty(), "BorderDistribution: no samples");
+  return *std::max_element(borders.begin(), borders.end());
+}
+
+BorderDistribution border_distribution(const defect::Defect& d,
+                                       const StressCondition& sc,
+                                       const analysis::DetectionCondition& cond,
+                                       const dram::TechnologyParams& base,
+                                       const VariationOptions& opt) {
+  require(opt.samples >= 1, "border_distribution: need >= 1 sample");
+  BorderDistribution dist;
+  numeric::Rng rng(opt.seed);
+  const auto range = defect::default_sweep_range(d.kind);
+  for (int s = 0; s < opt.samples; ++s) {
+    const dram::TechnologyParams tech =
+        perturb_technology(base, opt.spec, rng);
+    dram::DramColumn column(tech);
+    dram::ColumnSimulator sim(column, sc, opt.settings);
+    const analysis::BorderResult br = analysis::find_border_resistance(
+        column, d, sim, cond, range, opt.border);
+    if (br.br.has_value())
+      dist.borders.push_back(*br.br);
+    else
+      ++dist.no_fault_samples;
+  }
+  return dist;
+}
+
+}  // namespace dramstress::stress

@@ -1,0 +1,58 @@
+// Monte-Carlo process variation (an extension beyond the paper).
+//
+// The paper optimizes stresses on one nominal technology.  Production
+// silicon varies: thresholds, transconductance, capacitors and leakage all
+// scatter die to die.  This module perturbs the technology parameters,
+// recomputes the border resistance per sample, and reports the BR
+// distribution -- so a stress recommendation can be checked for robustness
+// ("does the stressed corner still widen the failing range at 3 sigma?").
+#pragma once
+
+#include "analysis/border.hpp"
+#include "numeric/random.hpp"
+#include "stress/stress.hpp"
+
+namespace dramstress::stress {
+
+struct VariationSpec {
+  double vth_sigma = 0.015;      // V, absolute, all MOSFET families
+  double kp_rel_sigma = 0.05;    // relative
+  double cs_rel_sigma = 0.04;    // storage capacitor, relative
+  double cbl_rel_sigma = 0.04;   // bitline capacitance, relative
+  double leak_rel_sigma = 0.30;  // junction leakage magnitude, relative
+  double vref_sigma = 0.004;     // V, reference-level generator offset
+};
+
+/// One perturbed technology sample.
+dram::TechnologyParams perturb_technology(const dram::TechnologyParams& base,
+                                          const VariationSpec& spec,
+                                          numeric::Rng& rng);
+
+struct BorderDistribution {
+  std::vector<double> borders;  // per-sample BR (samples with no fault are
+                                // skipped and counted below)
+  int no_fault_samples = 0;
+
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+};
+
+struct VariationOptions {
+  int samples = 15;
+  uint64_t seed = 12345;
+  VariationSpec spec;
+  analysis::BorderOptions border;
+  dram::SimSettings settings;
+};
+
+/// Distribution of the border resistance of a *fixed* test `cond` for
+/// defect `d` at corner `sc`, across perturbed technology samples.
+BorderDistribution border_distribution(const defect::Defect& d,
+                                       const StressCondition& sc,
+                                       const analysis::DetectionCondition& cond,
+                                       const dram::TechnologyParams& base,
+                                       const VariationOptions& opt = {});
+
+}  // namespace dramstress::stress

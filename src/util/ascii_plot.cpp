@@ -1,0 +1,93 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::util {
+namespace {
+
+double transform_x(double x, bool log_x) {
+  return log_x ? std::log10(std::max(x, 1e-300)) : x;
+}
+
+}  // namespace
+
+std::string ascii_plot(const std::vector<Series>& series, const PlotOptions& opt) {
+  require(opt.width >= 16 && opt.height >= 8, "plot area too small");
+
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = xmin;
+  double ymax = -xmin;
+  bool any = false;
+  for (const auto& s : series) {
+    require(s.x.size() == s.y.size(), "series x/y size mismatch: " + s.name);
+    for (size_t i = 0; i < s.x.size(); ++i) {
+      const double tx = transform_x(s.x[i], opt.log_x);
+      if (!std::isfinite(tx) || !std::isfinite(s.y[i])) continue;
+      any = true;
+      xmin = std::min(xmin, tx);
+      xmax = std::max(xmax, tx);
+      ymin = std::min(ymin, s.y[i]);
+      ymax = std::max(ymax, s.y[i]);
+    }
+  }
+  if (!any) return "(empty plot: " + opt.title + ")\n";
+  if (xmax - xmin < 1e-12) { xmax += 1.0; xmin -= 1.0; }
+  if (ymax - ymin < 1e-12) { ymax += 1.0; ymin -= 1.0; }
+  // Small margin so extreme points are visible.
+  const double ypad = 0.04 * (ymax - ymin);
+  ymin -= ypad;
+  ymax += ypad;
+
+  std::vector<std::string> grid(static_cast<size_t>(opt.height),
+                                std::string(static_cast<size_t>(opt.width), ' '));
+  for (const auto& s : series) {
+    for (size_t i = 0; i < s.x.size(); ++i) {
+      const double tx = transform_x(s.x[i], opt.log_x);
+      if (!std::isfinite(tx) || !std::isfinite(s.y[i])) continue;
+      int col = static_cast<int>(std::lround((tx - xmin) / (xmax - xmin) * (opt.width - 1)));
+      int row = static_cast<int>(std::lround((ymax - s.y[i]) / (ymax - ymin) * (opt.height - 1)));
+      col = std::clamp(col, 0, opt.width - 1);
+      row = std::clamp(row, 0, opt.height - 1);
+      grid[static_cast<size_t>(row)][static_cast<size_t>(col)] = s.glyph;
+    }
+  }
+
+  std::ostringstream out;
+  if (!opt.title.empty()) out << opt.title << '\n';
+  const std::string ytop = format("%.3g", ymax);
+  const std::string ybot = format("%.3g", ymin);
+  const size_t label_w = std::max(ytop.size(), ybot.size());
+  for (int r = 0; r < opt.height; ++r) {
+    std::string label;
+    if (r == 0) label = ytop;
+    else if (r == opt.height - 1) label = ybot;
+    else if (r == opt.height / 2 && !opt.y_label.empty()) label = opt.y_label;
+    out << pad_left(label, label_w) << " |" << grid[static_cast<size_t>(r)] << '\n';
+  }
+  out << std::string(label_w + 1, ' ') << '+' << std::string(static_cast<size_t>(opt.width), '-') << '\n';
+  const std::string xl = opt.log_x ? format("%.3g", std::pow(10.0, xmin)) : format("%.3g", xmin);
+  const std::string xr = opt.log_x ? format("%.3g", std::pow(10.0, xmax)) : format("%.3g", xmax);
+  std::string xaxis = xl;
+  std::string mid = opt.x_label + (opt.log_x ? " (log)" : "");
+  const int gap = opt.width - static_cast<int>(xl.size() + xr.size() + mid.size());
+  if (gap >= 2) {
+    xaxis += std::string(static_cast<size_t>(gap / 2), ' ') + mid +
+             std::string(static_cast<size_t>(gap - gap / 2), ' ') + xr;
+  } else {
+    xaxis += " ... " + xr + "  " + mid;
+  }
+  out << std::string(label_w + 2, ' ') << xaxis << '\n';
+  for (const auto& s : series) {
+    out << "  " << s.glyph << " = " << s.name << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace dramstress::util

@@ -1,0 +1,33 @@
+// ASCII XY plotting for reproducing the paper's figures in terminal output.
+//
+// Benches print each figure both as CSV (machine-readable, written next to
+// the binary) and as an ASCII plot so a reader can eyeball curve shapes
+// (e.g. the w0 result-plane curves crossing the Vsa threshold).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dramstress::util {
+
+/// One named series of (x, y) points drawn with a single glyph.
+struct Series {
+  std::string name;
+  char glyph = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct PlotOptions {
+  int width = 72;       // plot area columns
+  int height = 24;      // plot area rows
+  bool log_x = false;   // logarithmic x axis
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Render series onto a character grid with axes and a legend.
+std::string ascii_plot(const std::vector<Series>& series, const PlotOptions& opt);
+
+}  // namespace dramstress::util

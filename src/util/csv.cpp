@@ -1,0 +1,49 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::util {
+
+CsvTable::CsvTable(std::vector<std::string> column_names)
+    : names_(std::move(column_names)) {
+  require(!names_.empty(), "CsvTable needs at least one column");
+}
+
+void CsvTable::add_row(const std::vector<double>& row) {
+  require(row.size() == names_.size(),
+          format("CsvTable row has %zu values, expected %zu", row.size(),
+                 names_.size()));
+  rows_.push_back(row);
+}
+
+std::string CsvTable::to_csv() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (i != 0) out << ',';
+    out << names_[i];
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out << ',';
+      out << format("%.9g", row[i]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void CsvTable::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw Error("cannot open for writing: " + path);
+  const std::string text = to_csv();
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) throw Error("short write to " + path);
+}
+
+}  // namespace dramstress::util

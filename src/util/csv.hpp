@@ -1,0 +1,33 @@
+// CSV table writer used by the benchmark harness to dump figure data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dramstress::util {
+
+/// Column-oriented numeric table with a header row; writes RFC-4180-ish CSV.
+class CsvTable {
+public:
+  explicit CsvTable(std::vector<std::string> column_names);
+
+  /// Append one row; must match the number of columns.
+  void add_row(const std::vector<double>& row);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_cols() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+  const std::vector<double>& row(size_t i) const { return rows_.at(i); }
+
+  /// Render the whole table as CSV text.
+  std::string to_csv() const;
+
+  /// Write to a file; throws dramstress::Error on I/O failure.
+  void write_file(const std::string& path) const;
+
+private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace dramstress::util

@@ -1,0 +1,34 @@
+// Error types shared by all dramstress modules.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dramstress {
+
+/// Base class for all errors raised by the library.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a numerical algorithm fails to converge
+/// (Newton iteration, bisection bracket, LU on a singular matrix, ...).
+class ConvergenceError : public Error {
+public:
+  explicit ConvergenceError(const std::string& what) : Error(what) {}
+};
+
+/// Raised on malformed netlists, bad node references, invalid parameters.
+class ModelError : public Error {
+public:
+  explicit ModelError(const std::string& what) : Error(what) {}
+};
+
+/// Internal invariant check that throws instead of aborting, so tests can
+/// assert on misuse of the API.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw ModelError(msg);
+}
+
+}  // namespace dramstress

@@ -1,0 +1,25 @@
+// Minimal leveled logger.
+//
+// The simulator sweeps run thousands of transient analyses; logging defaults
+// to Warn so benches stay readable.  Set DRAMSTRESS_LOG=debug|info|warn|error
+// in the environment or call set_level() to change.
+#pragma once
+
+#include <string>
+
+namespace dramstress::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit `msg` at `level` to stderr if the current level permits.
+void log(LogLevel level, const std::string& msg);
+
+inline void log_debug(const std::string& msg) { log(LogLevel::Debug, msg); }
+inline void log_info(const std::string& msg) { log(LogLevel::Info, msg); }
+inline void log_warn(const std::string& msg) { log(LogLevel::Warn, msg); }
+inline void log_error(const std::string& msg) { log(LogLevel::Error, msg); }
+
+}  // namespace dramstress::util

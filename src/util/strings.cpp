@@ -1,0 +1,49 @@
+#include "util/strings.hpp"
+
+#include <cmath>
+
+namespace dramstress::util {
+
+std::string eng(double value, const char* unit) {
+  struct Prefix {
+    double scale;
+    const char* name;
+  };
+  static constexpr Prefix kPrefixes[] = {
+      {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+  };
+  if (value == 0.0) return format("0 %s", unit);
+  const double mag = std::fabs(value);
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.scale) {
+      const double scaled = value / p.scale;
+      // Use enough digits to distinguish e.g. 185 kOhm from 180 kOhm.
+      if (std::fabs(scaled) >= 100.0)
+        return format("%.0f %s%s", scaled, p.name, unit);
+      if (std::fabs(scaled) >= 10.0)
+        return format("%.1f %s%s", scaled, p.name, unit);
+      return format("%.2f %s%s", scaled, p.name, unit);
+    }
+  }
+  return format("%g %s", value, unit);
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string pad_right(const std::string& s, size_t width) {
+  return s.size() >= width ? s : s + std::string(width - s.size(), ' ');
+}
+
+std::string pad_left(const std::string& s, size_t width) {
+  return s.size() >= width ? s : std::string(width - s.size(), ' ') + s;
+}
+
+}  // namespace dramstress::util

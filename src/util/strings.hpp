@@ -1,0 +1,30 @@
+// Small string formatting helpers (printf-style, type-checked at runtime).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dramstress::util {
+
+/// printf-style formatting into a std::string.
+template <typename... Args>
+std::string format(const char* fmt, Args... args) {
+  const int n = std::snprintf(nullptr, 0, fmt, args...);
+  if (n <= 0) return {};
+  std::string out(static_cast<size_t>(n), '\0');
+  std::snprintf(out.data(), out.size() + 1, fmt, args...);
+  return out;
+}
+
+/// Render an engineering-notation value with a unit, e.g. 2e5 -> "200 kOhm".
+std::string eng(double value, const char* unit);
+
+/// Join strings with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Left/right pad a string with spaces to `width` (no-op if already wider).
+std::string pad_right(const std::string& s, size_t width);
+std::string pad_left(const std::string& s, size_t width);
+
+}  // namespace dramstress::util

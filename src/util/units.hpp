@@ -1,0 +1,49 @@
+// Physical constants and unit helpers.
+//
+// All library quantities are in SI units: volts, amperes, ohms, farads,
+// seconds, kelvin.  Temperatures in user-facing APIs are degrees Celsius
+// (as in the paper: -33 C ... +87 C) and converted at the boundary.
+#pragma once
+
+namespace dramstress::units {
+
+// --- physical constants -----------------------------------------------------
+inline constexpr double kBoltzmann = 1.380649e-23;   // J/K
+inline constexpr double kElectronCharge = 1.602176634e-19;  // C
+inline constexpr double kZeroCelsiusInKelvin = 273.15;
+inline constexpr double kSiliconBandgapEv = 1.12;    // eV, approx at 300 K
+
+/// Thermal voltage kT/q at temperature `kelvin`.
+inline constexpr double thermal_voltage(double kelvin) {
+  return kBoltzmann * kelvin / kElectronCharge;
+}
+
+inline constexpr double celsius_to_kelvin(double celsius) {
+  return celsius + kZeroCelsiusInKelvin;
+}
+
+inline constexpr double kelvin_to_celsius(double kelvin) {
+  return kelvin - kZeroCelsiusInKelvin;
+}
+
+// --- unit suffix helpers ----------------------------------------------------
+// Usage: 60.0 * units::ns, 200.0 * units::kOhm, 30.0 * units::fF.
+inline constexpr double ps = 1e-12;
+inline constexpr double ns = 1e-9;
+inline constexpr double us = 1e-6;
+inline constexpr double ms = 1e-3;
+
+inline constexpr double fF = 1e-15;
+inline constexpr double pF = 1e-12;
+
+inline constexpr double Ohm = 1.0;
+inline constexpr double kOhm = 1e3;
+inline constexpr double MOhm = 1e6;
+inline constexpr double GOhm = 1e9;
+
+inline constexpr double mV = 1e-3;
+inline constexpr double uA = 1e-6;
+inline constexpr double nA = 1e-9;
+inline constexpr double pA = 1e-12;
+
+}  // namespace dramstress::units

@@ -1,0 +1,486 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/dcop.hpp"
+#include "circuit/mna.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/transient.hpp"
+#include "circuit/waveform.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+using namespace dramstress;
+using namespace dramstress::circuit;
+namespace units = dramstress::units;
+
+// ---------------------------------------------------------------- Waveform
+
+TEST(Waveform, DcIsConstant) {
+  const Waveform w = Waveform::dc(2.4);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 2.4);
+  EXPECT_DOUBLE_EQ(w.value(1.0), 2.4);
+}
+
+TEST(Waveform, PwlInterpolatesAndClamps) {
+  Waveform w = Waveform::pwl();
+  w.add_point(1e-9, 0.0);
+  w.add_point(2e-9, 1.0);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);    // clamp before
+  EXPECT_DOUBLE_EQ(w.value(1.5e-9), 0.5); // interpolate
+  EXPECT_DOUBLE_EQ(w.value(3e-9), 1.0);   // clamp after
+}
+
+TEST(Waveform, HoldThenRamp) {
+  Waveform w = Waveform::pwl();
+  w.add_point(0.0, 0.0);
+  w.hold_then_ramp(5e-9, 2.4, 1e-9);
+  EXPECT_DOUBLE_EQ(w.value(4e-9), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(5e-9), 0.0);
+  EXPECT_NEAR(w.value(5.5e-9), 1.2, 1e-12);
+  EXPECT_DOUBLE_EQ(w.value(7e-9), 2.4);
+}
+
+TEST(Waveform, NonIncreasingTimeThrows) {
+  Waveform w = Waveform::pwl();
+  w.add_point(1e-9, 0.0);
+  EXPECT_THROW(w.add_point(1e-9, 1.0), ModelError);
+}
+
+// ----------------------------------------------------------------- Netlist
+
+TEST(Netlist, NodeRegistry) {
+  Netlist nl;
+  EXPECT_EQ(nl.node("gnd"), kGround);
+  EXPECT_EQ(nl.node("0"), kGround);
+  const NodeId a = nl.node("a");
+  EXPECT_EQ(nl.node("a"), a);  // idempotent
+  EXPECT_NE(nl.node("b"), a);
+  EXPECT_EQ(nl.num_nodes(), 2);
+  EXPECT_EQ(nl.node_name(a), "a");
+  EXPECT_THROW(nl.find_node("missing"), ModelError);
+}
+
+TEST(Netlist, DuplicateDeviceNameThrows) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  nl.add_resistor("R1", a, kGround, 1e3);
+  EXPECT_THROW(nl.add_resistor("R1", a, kGround, 2e3), ModelError);
+}
+
+TEST(Netlist, FindDevice) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  Resistor* r = nl.add_resistor("R1", a, kGround, 1e3);
+  EXPECT_EQ(nl.find_device("R1"), r);
+  EXPECT_EQ(nl.find_device("nope"), nullptr);
+}
+
+TEST(Netlist, ResistorRejectsNonPositive) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  EXPECT_THROW(nl.add_resistor("R1", a, kGround, 0.0), ModelError);
+  EXPECT_THROW(nl.add_capacitor("C1", a, kGround, -1e-15), ModelError);
+}
+
+// ------------------------------------------------------------------- DC OP
+
+TEST(DcOp, VoltageDivider) {
+  Netlist nl;
+  const NodeId vin = nl.node("vin");
+  const NodeId mid = nl.node("mid");
+  nl.add_voltage_source("V1", vin, kGround, Waveform::dc(3.0));
+  nl.add_resistor("R1", vin, mid, 1e3);
+  nl.add_resistor("R2", mid, kGround, 2e3);
+  MnaSystem sys(nl);
+  const auto x = dc_operating_point(sys);
+  EXPECT_NEAR(MnaSystem::voltage(x, mid), 2.0, 1e-6);
+  EXPECT_NEAR(MnaSystem::voltage(x, vin), 3.0, 1e-9);
+}
+
+TEST(DcOp, SourceBranchCurrent) {
+  Netlist nl;
+  const NodeId vin = nl.node("vin");
+  nl.add_voltage_source("V1", vin, kGround, Waveform::dc(1.0));
+  nl.add_resistor("R1", vin, kGround, 1e3);
+  MnaSystem sys(nl);
+  const auto x = dc_operating_point(sys);
+  // Branch current is plus -> minus *through* the source; a source
+  // delivering 1 mA into the load therefore carries -1 mA.
+  EXPECT_NEAR(x[static_cast<size_t>(sys.num_nodes())], -1e-3, 1e-9);
+}
+
+TEST(DcOp, DiodeForwardDrop) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  nl.add_voltage_source("V1", a, kGround, Waveform::dc(5.0));
+  const NodeId k = nl.node("k");
+  nl.add_resistor("R1", a, k, 1e3);
+  nl.add_diode("D1", k, kGround, DiodeParams{});
+  MnaSystem sys(nl);
+  const auto x = dc_operating_point(sys);
+  const double vd = MnaSystem::voltage(x, k);
+  EXPECT_GT(vd, 0.5);
+  EXPECT_LT(vd, 0.9);
+}
+
+TEST(DcOp, CurrentSourceIntoResistor) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  // 1 mA pulled from ground into node a (source drives gnd -> a).
+  nl.add_current_source("I1", kGround, a, Waveform::dc(1e-3));
+  nl.add_resistor("R1", a, kGround, 2e3);
+  MnaSystem sys(nl);
+  const auto x = dc_operating_point(sys);
+  EXPECT_NEAR(MnaSystem::voltage(x, a), 2.0, 1e-6);
+}
+
+// ------------------------------------------------------------------- Diode
+
+TEST(Diode, SaturationCurrentGrowsSteeplyWithT) {
+  Netlist nl;
+  Diode* d = nl.add_diode("D1", nl.node("a"), kGround, DiodeParams{});
+  const double is27 = d->saturation_current(units::celsius_to_kelvin(27.0));
+  const double is87 = d->saturation_current(units::celsius_to_kelvin(87.0));
+  const double ism33 = d->saturation_current(units::celsius_to_kelvin(-33.0));
+  // The junction-leakage mechanism of the paper: decades per ~60 C.
+  EXPECT_GT(is87 / is27, 30.0);
+  EXPECT_LT(ism33 / is27, 1e-2);
+}
+
+TEST(Diode, CurrentAndConductanceConsistent) {
+  Netlist nl;
+  Diode* d = nl.add_diode("D1", nl.node("a"), kGround, DiodeParams{});
+  const double t = 300.15;
+  const double v = 0.6;
+  double g = 0.0;
+  const double i = d->current(v, t, &g);
+  const double h = 1e-6;
+  const double di = (d->current(v + h, t) - d->current(v - h, t)) / (2 * h);
+  EXPECT_NEAR(g, di, std::fabs(di) * 1e-4);
+  EXPECT_GT(i, 0.0);
+}
+
+// ------------------------------------------------------------------ MOSFET
+
+namespace {
+MosfetParams test_nmos() {
+  MosfetParams p;
+  p.w = 2e-6;
+  p.l = 0.25e-6;
+  p.kp_tnom = 120e-6;
+  p.vth0 = 0.7;
+  return p;
+}
+}  // namespace
+
+TEST(Mosfet, CutoffAndStrongInversion) {
+  Netlist nl;
+  Mosfet* m = nl.add_mosfet("M1", MosType::Nmos, nl.node("d"), nl.node("g"),
+                            kGround, kGround, test_nmos());
+  const double t = 300.15;
+  const double i_off = m->evaluate(1.0, 0.0, 0.0, 0.0, t).ids;
+  const double i_on = m->evaluate(1.0, 2.4, 0.0, 0.0, t).ids;
+  EXPECT_LT(i_off, 1e-9);
+  EXPECT_GT(i_on, 1e-4);
+  EXPECT_GT(i_on / std::max(i_off, 1e-30), 1e5);
+}
+
+TEST(Mosfet, SourceDrainSymmetry) {
+  // Swapping drain and source must negate the current (no CLM asymmetry
+  // thanks to the |Vds| formulation).
+  Netlist nl;
+  Mosfet* m = nl.add_mosfet("M1", MosType::Nmos, nl.node("d"), nl.node("g"),
+                            kGround, kGround, test_nmos());
+  const double t = 300.15;
+  const double i_fwd = m->evaluate(1.2, 2.0, 0.3, 0.0, t).ids;
+  const double i_rev = m->evaluate(0.3, 2.0, 1.2, 0.0, t).ids;
+  EXPECT_NEAR(i_fwd, -i_rev, std::fabs(i_fwd) * 1e-9);
+}
+
+TEST(Mosfet, AnalyticDerivativesMatchFiniteDifference) {
+  Netlist nl;
+  Mosfet* m = nl.add_mosfet("M1", MosType::Nmos, nl.node("d"), nl.node("g"),
+                            kGround, kGround, test_nmos());
+  const double t = 310.0;
+  const double vd = 0.9;
+  const double vg = 1.4;
+  const double vs = 0.2;
+  const double vb = 0.0;
+  const auto op = m->evaluate(vd, vg, vs, vb, t);
+  const double h = 1e-6;
+  const double gm_fd =
+      (m->evaluate(vd, vg + h, vs, vb, t).ids - m->evaluate(vd, vg - h, vs, vb, t).ids) / (2 * h);
+  const double gds_fd =
+      (m->evaluate(vd + h, vg, vs, vb, t).ids - m->evaluate(vd - h, vg, vs, vb, t).ids) / (2 * h);
+  const double gs_fd =
+      (m->evaluate(vd, vg, vs + h, vb, t).ids - m->evaluate(vd, vg, vs - h, vb, t).ids) / (2 * h);
+  const double gb_fd =
+      (m->evaluate(vd, vg, vs, vb + h, t).ids - m->evaluate(vd, vg, vs, vb - h, t).ids) / (2 * h);
+  EXPECT_NEAR(op.gm, gm_fd, std::fabs(gm_fd) * 1e-3 + 1e-12);
+  EXPECT_NEAR(op.gds, gds_fd, std::fabs(gds_fd) * 1e-3 + 1e-12);
+  EXPECT_NEAR(op.gs, gs_fd, std::fabs(gs_fd) * 1e-3 + 1e-12);
+  EXPECT_NEAR(op.gb, gb_fd, std::fabs(gb_fd) * 1e-3 + 1e-12);
+}
+
+TEST(Mosfet, DriveCurrentDropsWithTemperature) {
+  // Mobility mechanism (paper Section 4.2): hotter => weaker write driver.
+  Netlist nl;
+  Mosfet* m = nl.add_mosfet("M1", MosType::Nmos, nl.node("d"), nl.node("g"),
+                            kGround, kGround, test_nmos());
+  const double i_cold = m->evaluate(1.2, 2.4, 0.0, 0.0, units::celsius_to_kelvin(-33)).ids;
+  const double i_room = m->evaluate(1.2, 2.4, 0.0, 0.0, units::celsius_to_kelvin(27)).ids;
+  const double i_hot = m->evaluate(1.2, 2.4, 0.0, 0.0, units::celsius_to_kelvin(87)).ids;
+  EXPECT_GT(i_cold, i_room);
+  EXPECT_GT(i_room, i_hot);
+}
+
+TEST(Mosfet, ThresholdRisesWhenCold) {
+  Netlist nl;
+  Mosfet* m = nl.add_mosfet("M1", MosType::Nmos, nl.node("d"), nl.node("g"),
+                            kGround, kGround, test_nmos());
+  EXPECT_GT(m->vth(units::celsius_to_kelvin(-33)),
+            m->vth(units::celsius_to_kelvin(27)));
+  EXPECT_GT(m->vth(units::celsius_to_kelvin(27)),
+            m->vth(units::celsius_to_kelvin(87)));
+}
+
+TEST(Mosfet, PmosMirrorsNmos) {
+  Netlist nl;
+  Mosfet* p = nl.add_mosfet("MP", MosType::Pmos, nl.node("d"), nl.node("g"),
+                            nl.node("s"), nl.node("b"), test_nmos());
+  const double t = 300.15;
+  // PMOS with source at 2.4 V, gate at 0, drain at 1.2 V: strongly on,
+  // current flows source -> drain externally, i.e. ids (drain->source) < 0.
+  const double i = p->evaluate(1.2, 0.0, 2.4, 2.4, t).ids;
+  EXPECT_LT(i, -1e-4);
+  // Gate at the rail: off.
+  const double i_off = p->evaluate(1.2, 2.4, 2.4, 2.4, t).ids;
+  EXPECT_GT(i_off, -1e-9);
+}
+
+TEST(Mosfet, WidthScalingIsProportional) {
+  Netlist nl;
+  Mosfet* m = nl.add_mosfet("M1", MosType::Nmos, nl.node("d"), nl.node("g"),
+                            kGround, kGround, test_nmos());
+  const double i1 = m->evaluate(1.2, 2.4, 0.0, 0.0, 300.15).ids;
+  m->scale_width(1.10);
+  const double i2 = m->evaluate(1.2, 2.4, 0.0, 0.0, 300.15).ids;
+  EXPECT_NEAR(i2 / i1, 1.10, 1e-9);
+}
+
+// --------------------------------------------------------------- Transient
+
+TEST(Transient, RcDischargeMatchesAnalytic) {
+  // 1 kOhm discharging 1 nF from 1 V: tau = 1 us.
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  nl.add_resistor("R1", a, kGround, 1e3);
+  nl.add_capacitor("C1", a, kGround, 1e-9);
+  MnaSystem sys(nl);
+  TransientOptions opt;
+  opt.dt = 5e-9;  // tau/200
+  TransientSim sim(sys, opt);
+  sim.set_initial_condition(a, 1.0);
+  sim.run(1e-6);
+  EXPECT_NEAR(sim.voltage(a), std::exp(-1.0), 5e-3);
+}
+
+TEST(Transient, TrapezoidalIsMoreAccurateThanBeOnRc) {
+  auto run = [](Integrator integ) {
+    Netlist nl;
+    const NodeId a = nl.node("a");
+    nl.add_resistor("R1", a, kGround, 1e3);
+    nl.add_capacitor("C1", a, kGround, 1e-9);
+    MnaSystem sys(nl);
+    TransientOptions opt;
+    opt.dt = 2e-8;  // deliberately coarse: tau/50
+    opt.integrator = integ;
+    TransientSim sim(sys, opt);
+    sim.set_initial_condition(a, 1.0);
+    sim.run(1e-6);
+    return std::fabs(sim.voltage(a) - std::exp(-1.0));
+  };
+  const double err_be = run(Integrator::BackwardEuler);
+  const double err_trap = run(Integrator::Trapezoidal);
+  EXPECT_LT(err_trap, err_be);
+}
+
+TEST(Transient, RcChargeThroughSourceStep) {
+  Netlist nl;
+  const NodeId vin = nl.node("vin");
+  const NodeId out = nl.node("out");
+  Waveform w = Waveform::pwl();
+  w.add_point(0.0, 0.0);
+  w.add_point(1e-9, 2.4);  // fast ramp to 2.4 V
+  nl.add_voltage_source("V1", vin, kGround, w);
+  nl.add_resistor("R1", vin, out, 10e3);
+  nl.add_capacitor("C1", out, kGround, 100e-15);  // tau = 1 ns
+  MnaSystem sys(nl);
+  TransientOptions opt;
+  opt.dt = 0.02e-9;
+  TransientSim sim(sys, opt);
+  sim.run(10e-9);  // ~9 tau after the ramp
+  EXPECT_NEAR(sim.voltage(out), 2.4, 0.01);
+}
+
+TEST(Transient, ProbesRecordTrace) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  nl.add_resistor("R1", a, kGround, 1e3);
+  nl.add_capacitor("C1", a, kGround, 1e-9);
+  MnaSystem sys(nl);
+  TransientOptions opt;
+  opt.dt = 1e-8;
+  TransientSim sim(sys, opt);
+  sim.set_initial_condition(a, 1.0);
+  sim.add_probe("va", a);
+  sim.run(1e-7);
+  const Trace& tr = sim.trace();
+  ASSERT_GE(tr.time.size(), 10u);
+  EXPECT_DOUBLE_EQ(tr.samples[0].front(), 1.0);
+  EXPECT_LT(tr.back("va"), 1.0);
+  EXPECT_NEAR(tr.at("va", 0.0), 1.0, 1e-12);
+  EXPECT_THROW(tr.probe_index("zz"), ModelError);
+}
+
+TEST(Transient, FloatingNodeHoldsChargeViaGmin) {
+  // A capacitor with no DC path: gmin keeps the matrix solvable and the
+  // node must hold its IC over a short interval (storage-cell behaviour).
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  nl.add_capacitor("C1", a, kGround, 30e-15);
+  MnaSystem sys(nl);
+  TransientOptions opt;
+  opt.dt = 0.1e-9;
+  TransientSim sim(sys, opt);
+  sim.set_initial_condition(a, 2.4);
+  sim.run(100e-9);
+  EXPECT_NEAR(sim.voltage(a), 2.4, 1e-3);
+}
+
+TEST(Transient, NmosPassGateDischargesCell) {
+  // Storage cap discharged through an NMOS pass gate: the core DRAM write-0
+  // situation.  With the gate boosted well above Vth the cap must approach
+  // ground within a few ns.
+  Netlist nl;
+  const NodeId bl = nl.node("bl");
+  const NodeId sn = nl.node("sn");
+  const NodeId wl = nl.node("wl");
+  nl.add_voltage_source("Vbl", bl, kGround, Waveform::dc(0.0));
+  nl.add_voltage_source("Vwl", wl, kGround, Waveform::dc(3.6));
+  nl.add_mosfet("Ma", MosType::Nmos, bl, wl, sn, kGround, test_nmos());
+  nl.add_capacitor("Cs", sn, kGround, 30e-15);
+  MnaSystem sys(nl);
+  TransientOptions opt;
+  opt.dt = 0.05e-9;
+  TransientSim sim(sys, opt);
+  sim.set_initial_condition(sn, 2.4);
+  sim.run(5e-9);
+  EXPECT_LT(sim.voltage(sn), 0.05);
+}
+
+TEST(Transient, NmosPassGateWriteOneStopsNearVgMinusVth) {
+  // Writing a 1 through an un-boosted NMOS gate must stall near Vg - Vth:
+  // the classic threshold-drop effect, evidence the access device conducts
+  // with correct asymmetry at low overdrive.
+  Netlist nl;
+  const NodeId bl = nl.node("bl");
+  const NodeId sn = nl.node("sn");
+  const NodeId wl = nl.node("wl");
+  nl.add_voltage_source("Vbl", bl, kGround, Waveform::dc(2.4));
+  nl.add_voltage_source("Vwl", wl, kGround, Waveform::dc(2.4));  // no boost
+  nl.add_mosfet("Ma", MosType::Nmos, bl, wl, sn, kGround, test_nmos());
+  nl.add_capacitor("Cs", sn, kGround, 30e-15);
+  MnaSystem sys(nl);
+  TransientOptions opt;
+  opt.dt = 0.05e-9;
+  TransientSim sim(sys, opt);
+  sim.set_initial_condition(sn, 0.0);
+  sim.run(60e-9);
+  const double v = sim.voltage(sn);
+  EXPECT_GT(v, 1.2);
+  EXPECT_LT(v, 2.1);  // clearly below the full 2.4 V
+}
+
+TEST(Transient, CmosInverterSwitches) {
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  nl.add_voltage_source("Vdd", vdd, kGround, Waveform::dc(2.4));
+  Waveform win = Waveform::pwl();
+  win.add_point(0.0, 0.0);
+  win.add_point(5e-9, 0.0);
+  win.add_point(6e-9, 2.4);
+  nl.add_voltage_source("Vin", in, kGround, win);
+  nl.add_mosfet("MP", MosType::Pmos, out, in, vdd, vdd, test_nmos());
+  nl.add_mosfet("MN", MosType::Nmos, out, in, kGround, kGround, test_nmos());
+  nl.add_capacitor("CL", out, kGround, 20e-15);
+  MnaSystem sys(nl);
+  TransientOptions opt;
+  opt.dt = 0.05e-9;
+  TransientSim sim(sys, opt);
+  sim.set_initial_condition(vdd, 2.4);
+  sim.set_initial_condition(out, 2.4);
+  sim.run(4e-9);
+  EXPECT_NEAR(sim.voltage(out), 2.4, 0.05);  // input low -> output high
+  sim.run(12e-9);
+  EXPECT_NEAR(sim.voltage(out), 0.0, 0.05);  // input high -> output low
+}
+
+TEST(Transient, CrossCoupledLatchRegenerates) {
+  // The sense-amplifier core: an N latch with a small initial differential
+  // must regenerate it to a full swing once enabled.
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  const NodeId a = nl.node("a");
+  const NodeId b = nl.node("b");
+  const NodeId tail = nl.node("tail");
+  nl.add_voltage_source("Vdd", vdd, kGround, Waveform::dc(2.4));
+  // P latch to vdd, N latch to the tail node pulled low at t = 2 ns.
+  nl.add_mosfet("MP1", MosType::Pmos, a, b, vdd, vdd, test_nmos());
+  nl.add_mosfet("MP2", MosType::Pmos, b, a, vdd, vdd, test_nmos());
+  nl.add_mosfet("MN1", MosType::Nmos, a, b, tail, kGround, test_nmos());
+  nl.add_mosfet("MN2", MosType::Nmos, b, a, tail, kGround, test_nmos());
+  Waveform wt = Waveform::pwl();
+  wt.add_point(0.0, 1.2);
+  wt.add_point(2e-9, 1.2);
+  wt.add_point(3e-9, 0.0);
+  nl.add_voltage_source("Vtail", tail, kGround, wt);
+  nl.add_capacitor("Ca", a, kGround, 100e-15);
+  nl.add_capacitor("Cb", b, kGround, 100e-15);
+  MnaSystem sys(nl);
+  TransientOptions opt;
+  opt.dt = 0.05e-9;
+  TransientSim sim(sys, opt);
+  sim.set_initial_condition(vdd, 2.4);
+  sim.set_initial_condition(a, 1.25);  // +50 mV differential
+  sim.set_initial_condition(b, 1.20);
+  sim.set_initial_condition(tail, 1.2);
+  sim.run(20e-9);
+  EXPECT_GT(sim.voltage(a), 2.0);
+  EXPECT_LT(sim.voltage(b), 0.4);
+}
+
+TEST(Transient, RunBackwardsThrows) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  nl.add_resistor("R1", a, kGround, 1e3);
+  nl.add_capacitor("C1", a, kGround, 1e-9);
+  MnaSystem sys(nl);
+  TransientSim sim(sys, TransientOptions{});
+  sim.run(1e-9);
+  EXPECT_THROW(sim.run(0.5e-9), ModelError);
+}
+
+TEST(Transient, IcAfterRunThrows) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  nl.add_resistor("R1", a, kGround, 1e3);
+  nl.add_capacitor("C1", a, kGround, 1e-9);
+  MnaSystem sys(nl);
+  TransientSim sim(sys, TransientOptions{});
+  sim.run(1e-9);
+  EXPECT_THROW(sim.set_initial_condition(a, 1.0), ModelError);
+}

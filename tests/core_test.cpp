@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+
+using namespace dramstress;
+using namespace dramstress::core;
+using defect::Defect;
+using defect::DefectKind;
+using dram::Side;
+
+namespace {
+stress::OptimizerOptions fast_options() {
+  stress::OptimizerOptions opt;
+  opt.settings.dt = 0.2e-9;
+  opt.border.scan_points = 7;
+  opt.border.refine_iterations = 1;
+  return opt;
+}
+}  // namespace
+
+TEST(CoreFlow, AnalyzeMatchesStandaloneAnalysis) {
+  StressFlow flow(dram::default_technology(), stress::nominal_condition(),
+                  fast_options());
+  const auto r = flow.analyze({DefectKind::O3, Side::True});
+  ASSERT_TRUE(r.br.has_value());
+  EXPECT_GT(*r.br, 50e3);
+  EXPECT_LT(*r.br, 2e6);
+  EXPECT_TRUE(r.fault_at_high_r);
+}
+
+TEST(CoreFlow, TrueCompSymmetry) {
+  // Paper Section 5.2: with data inverted, the comp-side cell shows the
+  // same border resistance as the true-side cell.
+  StressFlow flow(dram::default_technology(), stress::nominal_condition(),
+                  fast_options());
+  const auto rt = flow.analyze({DefectKind::O3, Side::True});
+  ASSERT_TRUE(rt.br.has_value());
+  const auto rc = flow.mirrored_border({DefectKind::O3, Side::Comp},
+                                       rt.condition, flow.nominal());
+  ASSERT_TRUE(rc.br.has_value());
+  // Borders agree within ~40% (the two bitline sides are not perfectly
+  // identical circuits: output buffer and reference routing differ).
+  EXPECT_GT(*rc.br, 0.6 * *rt.br);
+  EXPECT_LT(*rc.br, 1.6 * *rt.br);
+}
+
+TEST(CoreFlow, Table1SingleKind) {
+  StressFlow flow(dram::default_technology(), stress::nominal_condition(),
+                  fast_options());
+  const Table1 table = flow.table1({DefectKind::O3});
+  ASSERT_EQ(table.rows.size(), 2u);  // true + comp
+  const Table1Row& t = table.rows[0];
+  const Table1Row& c = table.rows[1];
+  EXPECT_EQ(t.defect.name(), "O3 (true)");
+  EXPECT_EQ(c.defect.name(), "O3 (comp)");
+  ASSERT_TRUE(t.nominal_br.has_value());
+  ASSERT_TRUE(t.stressed_br.has_value());
+  // Opens: stressed border below nominal (coverage gain).
+  EXPECT_LT(*t.stressed_br, *t.nominal_br);
+  EXPECT_GT(t.gain_decades, 0.0);
+  // Comp conditions are the data-inverted true conditions.
+  EXPECT_NE(t.nominal_condition, c.nominal_condition);
+  EXPECT_EQ(t.dir_tcyc, c.dir_tcyc);  // same directions both sides
+  // Paper directions for the cell open.
+  EXPECT_EQ(t.dir_tcyc, "dec");
+  EXPECT_TRUE(t.dir_temp == "inc" || t.dir_temp == "inc*");
+  // Rendering contains the row and the header.
+  const std::string text = table.render();
+  EXPECT_NE(text.find("O3 (true)"), std::string::npos);
+  EXPECT_NE(text.find("Nom. border"), std::string::npos);
+}
+
+#include "core/report.hpp"
+
+TEST(CoreReport, CharacterizationReportContainsSections) {
+  StressFlow flow(dram::default_technology(), stress::nominal_condition(),
+                  fast_options());
+  const Defect d{DefectKind::O3, Side::True};
+  const auto border = flow.analyze(d);
+  dram::ColumnSimulator sim(flow.column(), flow.nominal(),
+                            flow.options().settings);
+  core::ReportOptions ropt;
+  ropt.r_samples = 3;
+  const std::string report =
+      characterization_report(flow.column(), d, sim, border, ropt);
+  EXPECT_NE(report.find("# Defect characterization: O3 (true)"),
+            std::string::npos);
+  EXPECT_NE(report.find("border resistance"), std::string::npos);
+  EXPECT_NE(report.find("| R | Vsa | fault models |"), std::string::npos);
+  EXPECT_NE(report.find("detection condition"), std::string::npos);
+}
+
+TEST(CoreReport, OptimizationReportContainsEvidenceTable) {
+  StressFlow flow(dram::default_technology(), stress::nominal_condition(),
+                  fast_options());
+  const auto result = flow.optimize({DefectKind::O3, Side::True});
+  core::ReportOptions ropt;
+  ropt.r_samples = 3;
+  const std::string report =
+      optimization_report(flow.column(), result, ropt);
+  EXPECT_NE(report.find("# Stress optimization: O3 (true)"), std::string::npos);
+  EXPECT_NE(report.find("## Per-stress evidence"), std::string::npos);
+  EXPECT_NE(report.find("tcyc"), std::string::npos);
+  EXPECT_NE(report.find("## Stressed corner"), std::string::npos);
+  EXPECT_NE(report.find("coverage gain"), std::string::npos);
+  EXPECT_NE(report.find("## Fault classification"), std::string::npos);
+}

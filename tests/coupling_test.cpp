@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "analysis/border.hpp"
+#include "analysis/detection.hpp"
+#include "defect/defect.hpp"
+#include "stress/optimizer.hpp"
+
+using namespace dramstress;
+using namespace dramstress::analysis;
+using defect::Defect;
+using defect::DefectKind;
+using dram::Operation;
+using dram::Side;
+
+namespace {
+class CouplingTest : public ::testing::Test {
+protected:
+  CouplingTest() : sim(col, {2.4, 27.0, 60e-9, 0.5}) {}
+  dram::DramColumn col;
+  dram::ColumnSimulator sim;
+};
+}  // namespace
+
+TEST_F(CouplingTest, ExtendedSetAddsB3) {
+  const auto set = defect::extended_defect_set();
+  EXPECT_EQ(set.size(), 16u);
+  EXPECT_EQ(set[14].name(), "B3 (true)");
+  EXPECT_FALSE(defect::is_series(DefectKind::B3));
+}
+
+TEST_F(CouplingTest, NeighborOpsRenderWithPrefix) {
+  const dram::OpSequence seq{Operation::w1(), Operation::nw0(), Operation::r()};
+  EXPECT_EQ(dram::to_string(seq), "w1 n:w0 r");
+  DetectionCondition c;
+  c.ops = seq;
+  c.expected = 1;
+  EXPECT_EQ(c.str(), "w1 n:w0 r1");
+}
+
+TEST_F(CouplingTest, NeighborWriteDoesNotDisturbHealthyVictim) {
+  // Healthy column: hammering the neighbour must leave the victim intact.
+  const auto r = sim.run({Operation::w1(), Operation::nw0(), Operation::nw0(),
+                          Operation::nw0(), Operation::r()},
+                         0.0, Side::True);
+  EXPECT_EQ(r.last_read_bit(), 1);
+}
+
+TEST_F(CouplingTest, NeighborReadReturnsNeighborData) {
+  // Write 0 to the victim, 1 to the neighbour: reading the neighbour must
+  // return the neighbour's value.
+  const auto r = sim.run({Operation::w0(), Operation::nw1(), Operation::nr()},
+                         0.0, Side::True);
+  EXPECT_EQ(r.last_read_bit(), 1);
+}
+
+TEST_F(CouplingTest, StrongBridgeCouplesAggressorIntoVictim) {
+  const Defect d{DefectKind::B3, Side::True};
+  defect::Injection inj(col, d, 50e3);
+  // Victim holds 1; aggressor writes 0 twice; the bridge drags the victim
+  // down within the aggressor's active windows.
+  const auto r = sim.run({Operation::w1(), Operation::nw0(), Operation::nw0(),
+                          Operation::r()},
+                         0.0, Side::True);
+  EXPECT_EQ(r.last_read_bit(), 0);
+}
+
+TEST_F(CouplingTest, CouplingCandidatesDeriveForB3) {
+  const Defect d{DefectKind::B3, Side::True};
+  defect::Injection inj(col, d, 50e3);
+  DetectionOptions opt;
+  opt.include_coupling = true;
+  const auto cond = derive_detection_condition(sim, Side::True, opt);
+  ASSERT_TRUE(cond.has_value());
+  EXPECT_TRUE(condition_fails(sim, Side::True, *cond));
+}
+
+TEST_F(CouplingTest, B3BorderViaCoverageCriterion) {
+  const Defect d{DefectKind::B3, Side::True};
+  BorderOptions opt;
+  opt.detection.include_coupling = true;
+  opt.scan_points = 7;
+  const BorderResult br = analyze_defect(col, d, sim, opt);
+  ASSERT_TRUE(br.br.has_value());
+  EXPECT_FALSE(br.fault_at_high_r);  // shunt: faults below the border
+  EXPECT_GT(*br.br, 10e3);
+}
+
+TEST_F(CouplingTest, MirrorPreservesNeighborFlag) {
+  DetectionCondition c;
+  c.ops = {Operation::w1(), Operation::nw0(), Operation::r()};
+  c.expected = 1;
+  const auto m = stress::mirror_condition(c);
+  EXPECT_EQ(m.str(), "w0 n:w1 r0");
+}

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "defect/defect.hpp"
+#include "util/error.hpp"
+
+using namespace dramstress;
+using namespace dramstress::defect;
+using dram::Side;
+
+TEST(Defect, Taxonomy) {
+  EXPECT_TRUE(is_series(DefectKind::O1));
+  EXPECT_TRUE(is_series(DefectKind::O2));
+  EXPECT_TRUE(is_series(DefectKind::O3));
+  EXPECT_FALSE(is_series(DefectKind::Sg));
+  EXPECT_FALSE(is_series(DefectKind::Sv));
+  EXPECT_FALSE(is_series(DefectKind::B1));
+  EXPECT_FALSE(is_series(DefectKind::B2));
+}
+
+TEST(Defect, Names) {
+  EXPECT_EQ((Defect{DefectKind::O3, Side::True}).name(), "O3 (true)");
+  EXPECT_EQ((Defect{DefectKind::Sg, Side::Comp}).name(), "Sg (comp)");
+  EXPECT_STREQ(to_string(DefectKind::B2), "B2");
+}
+
+TEST(Defect, PaperSetHasFourteenEntries) {
+  const auto set = paper_defect_set();
+  ASSERT_EQ(set.size(), 14u);  // 7 kinds x 2 sides
+  // Alternating true/comp, kinds in Fig. 7 order.
+  EXPECT_EQ(set[0].name(), "O1 (true)");
+  EXPECT_EQ(set[1].name(), "O1 (comp)");
+  EXPECT_EQ(set[13].name(), "B2 (comp)");
+}
+
+TEST(Defect, InjectionSetsAndRestores) {
+  dram::DramColumn col;
+  const Defect d{DefectKind::O3, Side::True};
+  {
+    Injection inj(col, d, 200e3);
+    EXPECT_DOUBLE_EQ(inj.value(), 200e3);
+    EXPECT_DOUBLE_EQ(col.segment(Side::True, "o3")->resistance(), 200e3);
+    inj.set_value(400e3);
+    EXPECT_DOUBLE_EQ(col.segment(Side::True, "o3")->resistance(), 400e3);
+  }
+  // RAII restore to the series pristine value.
+  EXPECT_DOUBLE_EQ(col.segment(Side::True, "o3")->resistance(),
+                   dram::kSeriesPristineOhms);
+}
+
+TEST(Defect, ShuntInjectionRestoresToOpen) {
+  dram::DramColumn col;
+  const Defect d{DefectKind::Sv, Side::Comp};
+  {
+    Injection inj(col, d, 1e6);
+    EXPECT_DOUBLE_EQ(col.segment(Side::Comp, "sv")->resistance(), 1e6);
+  }
+  EXPECT_DOUBLE_EQ(col.segment(Side::Comp, "sv")->resistance(),
+                   dram::kShuntPristineOhms);
+}
+
+TEST(Defect, InjectionRejectsNonPositive) {
+  dram::DramColumn col;
+  const Defect d{DefectKind::Sg, Side::True};
+  EXPECT_THROW(Injection(col, d, 0.0), ModelError);
+}
+
+TEST(Defect, SweepRangesCoverExpectedDecades) {
+  const auto open = default_sweep_range(DefectKind::O3);
+  EXPECT_LE(open.lo, 1e3);
+  EXPECT_GE(open.hi, 1e6);
+  const auto shortr = default_sweep_range(DefectKind::Sg);
+  EXPECT_GE(shortr.hi, 1e9);  // retention borders live in GOhms
+  const auto bridge = default_sweep_range(DefectKind::B1);
+  EXPECT_GT(bridge.hi, bridge.lo);
+}

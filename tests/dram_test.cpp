@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "dram/column.hpp"
+#include "dram/column_sim.hpp"
+#include "dram/command.hpp"
+#include "dram/technology.hpp"
+#include "util/error.hpp"
+
+using namespace dramstress;
+using namespace dramstress::dram;
+
+namespace {
+OperatingConditions nominal() {
+  return OperatingConditions{2.4, 27.0, 60e-9, 0.5};
+}
+}  // namespace
+
+TEST(Technology, DefaultsAreSane) {
+  const TechnologyParams t = default_technology();
+  EXPECT_GT(t.cs, 0.0);
+  EXPECT_GT(t.cbl, t.cs);  // bitline dominates storage: charge-sharing ratio
+  EXPECT_GT(t.vpp_boost, 0.0);
+  EXPECT_GT(t.access.vth0, 0.0);
+}
+
+TEST(Column, BuildsExpectedInventory) {
+  DramColumn col;
+  // Paper 5.1: 2x2 cells + 2 reference cells + precharge + SA + write
+  // driver + output buffer.
+  EXPECT_NE(col.netlist().find_device("t_acc"), nullptr);
+  EXPECT_NE(col.netlist().find_device("c_acc"), nullptr);
+  EXPECT_NE(col.netlist().find_device("t1_acc"), nullptr);
+  EXPECT_NE(col.netlist().find_device("c1_acc"), nullptr);
+  EXPECT_NE(col.netlist().find_device("rt_acc"), nullptr);
+  EXPECT_NE(col.netlist().find_device("rc_acc"), nullptr);
+  EXPECT_NE(col.netlist().find_device("sa_n1"), nullptr);
+  EXPECT_NE(col.netlist().find_device("eq_x"), nullptr);
+  EXPECT_NE(col.netlist().find_device("wd_t"), nullptr);
+  EXPECT_NE(col.netlist().find_device("ob_p"), nullptr);
+}
+
+TEST(Column, SegmentsExistForAllDefectKeys) {
+  DramColumn col;
+  for (Side s : {Side::True, Side::Comp}) {
+    for (const char* k : {"o1", "o2", "o3", "sg", "sv", "b1", "b2"}) {
+      circuit::Resistor* r = col.segment(s, k);
+      ASSERT_NE(r, nullptr) << k;
+    }
+  }
+  EXPECT_THROW(col.segment(Side::True, "zz"), ModelError);
+}
+
+TEST(Column, ClearDefectsRestoresPristine) {
+  DramColumn col;
+  col.segment(Side::True, "o3")->set_resistance(200e3);
+  col.segment(Side::Comp, "sg")->set_resistance(1e6);
+  col.clear_defects();
+  EXPECT_DOUBLE_EQ(col.segment(Side::True, "o3")->resistance(), kSeriesPristineOhms);
+  EXPECT_DOUBLE_EQ(col.segment(Side::Comp, "sg")->resistance(), kShuntPristineOhms);
+}
+
+TEST(Command, SequenceToString) {
+  const OpSequence seq{Operation::w1(), Operation::w0(), Operation::r()};
+  EXPECT_EQ(to_string(seq), "w1 w0 r");
+}
+
+TEST(Command, ScheduleShape) {
+  DramColumn col;
+  const OpSequence seq{Operation::w1(), Operation::r()};
+  const CompiledSchedule sched =
+      compile_sequence(col, nominal(), Side::True, seq);
+  // 1 initial precharge (incl. idle cycles) + 2 operation cycles.
+  ASSERT_EQ(sched.intervals.size(), 3u);
+  EXPECT_DOUBLE_EQ(sched.intervals.front().t0, 0.0);
+  const double idle = CommandTiming{}.idle_cycles * 60e-9;
+  EXPECT_NEAR(sched.t_end, idle + 30e-9 + 2 * 60e-9, 1e-12);
+  // w1 contributes one Vc sample; r contributes bit + Vc.
+  ASSERT_EQ(sched.samples.size(), 3u);
+}
+
+TEST(Command, DelPhaseMarked) {
+  DramColumn col;
+  const OpSequence seq{Operation::w1(), Operation::del(1e-6), Operation::r()};
+  const CompiledSchedule sched =
+      compile_sequence(col, nominal(), Side::True, seq);
+  ASSERT_EQ(sched.intervals.size(), 4u);
+  EXPECT_TRUE(sched.intervals[2].is_del);
+  EXPECT_NEAR(sched.intervals[2].t1 - sched.intervals[2].t0, 1e-6, 1e-12);
+}
+
+TEST(Command, RejectsBadInput) {
+  DramColumn col;
+  EXPECT_THROW(compile_sequence(col, nominal(), Side::True, {}), ModelError);
+  OperatingConditions cond = nominal();
+  cond.tcyc = 5e-9;  // active window too small
+  EXPECT_THROW(
+      compile_sequence(col, cond, Side::True, {Operation::r()}), ModelError);
+}
+
+// --------------------------------------------------------- functional sims
+
+class HealthyColumn : public ::testing::Test {
+protected:
+  DramColumn col;
+};
+
+TEST_F(HealthyColumn, WriteOneThenReadOne) {
+  ColumnSimulator sim(col, nominal());
+  const RunResult r = sim.run({Operation::w1(), Operation::r()}, 0.0, Side::True);
+  EXPECT_EQ(r.read_bit(1), 1);
+  EXPECT_GT(r.vc_after(0), 0.75 * 2.4);  // cell charged well past Vsa
+}
+
+TEST_F(HealthyColumn, WriteZeroThenReadZero) {
+  ColumnSimulator sim(col, nominal());
+  const RunResult r = sim.run({Operation::w0(), Operation::r()}, 2.4, Side::True);
+  EXPECT_EQ(r.read_bit(1), 0);
+  EXPECT_LT(r.vc_after(0), 0.15 * 2.4);
+}
+
+TEST_F(HealthyColumn, CompSideStoresInvertedPhysicalLevel) {
+  ColumnSimulator sim(col, nominal());
+  // Logical 1 on the comp side must store a *low* physical voltage.
+  const RunResult r = sim.run({Operation::w1(), Operation::r()}, 0.0, Side::Comp);
+  EXPECT_EQ(r.read_bit(1), 1);
+  EXPECT_LT(r.vc_after(0), 0.15 * 2.4);
+}
+
+TEST_F(HealthyColumn, ReadIsNondestructiveAcrossRepeats) {
+  ColumnSimulator sim(col, nominal());
+  const RunResult r = sim.run(
+      {Operation::w1(), Operation::r(), Operation::r(), Operation::r()}, 0.0,
+      Side::True);
+  EXPECT_EQ(r.read_bit(1), 1);
+  EXPECT_EQ(r.read_bit(2), 1);
+  EXPECT_EQ(r.read_bit(3), 1);
+  // Restore keeps the stored level high.
+  EXPECT_GT(r.vc_after(3), 0.8 * 2.4);
+}
+
+TEST_F(HealthyColumn, ReadOfInitialFullLevels) {
+  ColumnSimulator sim(col, nominal());
+  EXPECT_EQ(sim.read_of_initial(2.4, Side::True), 1);
+  EXPECT_EQ(sim.read_of_initial(0.0, Side::True), 0);
+}
+
+TEST_F(HealthyColumn, RetentionOverShortDelay) {
+  ColumnSimulator sim(col, nominal());
+  const RunResult r = sim.run(
+      {Operation::w1(), Operation::del(10e-6), Operation::r()}, 0.0, Side::True);
+  EXPECT_EQ(r.last_read_bit(), 1);
+}
+
+TEST_F(HealthyColumn, WorksAcrossStressCorners) {
+  for (double vdd : {2.1, 2.4, 2.7}) {
+    for (double temp : {-33.0, 27.0, 87.0}) {
+      OperatingConditions cond{vdd, temp, 60e-9, 0.5};
+      ColumnSimulator sim(col, cond);
+      const RunResult r1 = sim.run({Operation::w1(), Operation::r()}, 0.0, Side::True);
+      EXPECT_EQ(r1.read_bit(1), 1) << "vdd=" << vdd << " T=" << temp;
+      const RunResult r0 = sim.run({Operation::w0(), Operation::r()}, vdd, Side::True);
+      EXPECT_EQ(r0.read_bit(1), 0) << "vdd=" << vdd << " T=" << temp;
+    }
+  }
+}
+
+TEST_F(HealthyColumn, ShorterCycleStillWorksHealthy) {
+  OperatingConditions cond = nominal();
+  cond.tcyc = 55e-9;
+  ColumnSimulator sim(col, cond);
+  const RunResult r = sim.run({Operation::w1(), Operation::w0(), Operation::r()},
+                              1.2, Side::True);
+  EXPECT_EQ(r.last_read_bit(), 0);
+}
+
+TEST_F(HealthyColumn, RunResultAccessorsValidate) {
+  ColumnSimulator sim(col, nominal());
+  const RunResult r = sim.run({Operation::w1()}, 0.0, Side::True);
+  EXPECT_THROW(r.read_bit(0), ModelError);   // not a read
+  EXPECT_THROW(r.read_bit(5), ModelError);   // out of range
+  EXPECT_THROW(r.last_read_bit(), ModelError);
+}
+
+TEST_F(HealthyColumn, TraceContainsProbes) {
+  ColumnSimulator sim(col, nominal());
+  const RunResult r = sim.run({Operation::w1()}, 0.0, Side::True);
+  EXPECT_GT(r.trace.time.size(), 10u);
+  EXPECT_NO_THROW(r.trace.probe_index("bt"));
+  EXPECT_NO_THROW(r.trace.probe_index("bc"));
+  EXPECT_NO_THROW(r.trace.probe_index("vc"));
+}
+
+// --------------------------------------------------- defective column smoke
+
+TEST(DefectiveColumn, LargeCellOpenBlocksWriteZero) {
+  DramColumn col;
+  col.segment(Side::True, "o3")->set_resistance(10e6);  // huge open
+  ColumnSimulator sim(col, nominal());
+  const RunResult r = sim.run({Operation::w0(), Operation::r()}, 2.4, Side::True);
+  // w0 cannot discharge the cell through 10 MOhm in one cycle.
+  EXPECT_GT(r.vc_after(0), 2.0);
+}
+
+TEST(DefectiveColumn, StrongShortToGroundKillsStoredOne) {
+  DramColumn col;
+  col.segment(Side::True, "sg")->set_resistance(10e3);
+  ColumnSimulator sim(col, nominal());
+  const RunResult r = sim.run(
+      {Operation::w1(), Operation::del(5e-6), Operation::r()}, 0.0, Side::True);
+  EXPECT_EQ(r.last_read_bit(), 0);  // leaked away during the delay
+}
+
+TEST(Command, NeighborOpsRouteToIdleWordline) {
+  DramColumn col;
+  const OpSequence seq{Operation::nw1(), Operation::r()};
+  compile_sequence(col, nominal(), Side::True, seq);
+  // The neighbour write must pulse the idle (neighbour) wordline on the
+  // true side, and the addressed wordline must stay quiet for that cycle.
+  const auto& c = col.controls();
+  const double t_first = CommandTiming{}.idle_cycles * 60e-9 + 30e-9 + 2e-9;
+  EXPECT_GT(c.wl_idle_t->value(t_first), 2.0);   // neighbour row open
+  EXPECT_LT(c.wl_true->value(t_first), 0.1);     // addressed row closed
+  // Second cycle: the read opens the addressed row.
+  EXPECT_GT(c.wl_true->value(t_first + 60e-9), 2.0);
+  EXPECT_LT(c.wl_idle_t->value(t_first + 60e-9), 0.1);
+}
+
+TEST(Command, NeighborSequenceRendering) {
+  const OpSequence seq{Operation::w1(), Operation::nw0(), Operation::nr()};
+  EXPECT_EQ(to_string(seq), "w1 n:w0 n:r");
+}
+
+TEST(Technology, ReferenceLevelTracksTemperature) {
+  const TechnologyParams t = default_technology();
+  const double at27 = reference_level(t, 2.4, 300.15);
+  const double cold = reference_level(t, 2.4, 240.15);
+  const double hot = reference_level(t, 2.4, 360.15);
+  // Vth-referenced generator: level rises when cold.
+  EXPECT_GT(cold, at27);
+  EXPECT_LT(hot, at27);
+  // Slightly below the precharge level at room temperature (1-bias).
+  EXPECT_LT(at27, t.vbl_frac * 2.4);
+  // Scales with the supply through the precharge fraction.
+  EXPECT_GT(reference_level(t, 2.7, 300.15), at27);
+}
+
+TEST(Technology, ThreeTemperatureMechanismsPresent) {
+  // The paper's Section 4.2 mechanism inventory, asserted at the
+  // parameter level: Vth falls with T, mobility falls with T, junction
+  // leakage rises with T.
+  const TechnologyParams t = default_technology();
+  EXPECT_GT(t.access.tcv, 0.0);
+  EXPECT_LT(t.access.bex, 0.0);
+  EXPECT_GT(t.cell_leak.eg, 0.0);
+  EXPECT_GT(t.cell_leak.is_tnom, 0.0);
+}
+
+TEST(DefectiveColumn, VddShortHoldsCellHigh) {
+  DramColumn col;
+  col.segment(Side::True, "sv")->set_resistance(30e3);
+  ColumnSimulator sim(col, nominal());
+  const RunResult r = sim.run({Operation::w0(), Operation::r()}, 0.0, Side::True);
+  // The short to Vdd fights the w0 and re-charges the cell.
+  EXPECT_GT(r.vc_after(0), 1.0);
+  EXPECT_EQ(r.read_bit(1), 1);  // reads 1 although 0 was written
+}
+
+TEST(DefectiveColumn, BitlineBridgePullsCellTowardPrecharge) {
+  DramColumn col;
+  col.segment(Side::True, "b1")->set_resistance(20e3);
+  ColumnSimulator sim(col, nominal());
+  // A stored 1 decays toward the precharged bitline level (Vdd/2) during
+  // the idle/precharge window.
+  const RunResult r = sim.run({Operation::del(3e-6), Operation::r()}, 2.4,
+                              Side::True);
+  EXPECT_LT(r.final_vc, 2.1);
+}

@@ -1,0 +1,166 @@
+// Robustness paths of the electrical engine: gmin stepping on stiff DC
+// problems, local step halving on sharp transients, Newton failure
+// reporting, and trace/probe bookkeeping under dt changes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/dcop.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/transient.hpp"
+#include "util/error.hpp"
+
+using namespace dramstress;
+using namespace dramstress::circuit;
+
+namespace {
+
+MosfetParams inv_mos() {
+  MosfetParams p;
+  p.w = 2e-6;
+  p.l = 0.25e-6;
+  p.vth0 = 0.7;
+  return p;
+}
+
+}  // namespace
+
+TEST(DcOpRobust, RingOfInvertersConverges) {
+  // A 3-inverter ring has no stable logic solution; the DC operating point
+  // must still converge (to the metastable midpoint) thanks to gmin
+  // stepping.
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  nl.add_voltage_source("Vdd", vdd, kGround, Waveform::dc(2.4));
+  NodeId prev = nl.node("n2");  // feedback from the last stage
+  for (int i = 0; i < 3; ++i) {
+    const NodeId out = nl.node("n" + std::to_string(i));
+    nl.add_mosfet("MP" + std::to_string(i), MosType::Pmos, out, prev, vdd,
+                  vdd, inv_mos());
+    nl.add_mosfet("MN" + std::to_string(i), MosType::Nmos, out, prev, kGround,
+                  kGround, inv_mos());
+    prev = out;
+  }
+  MnaSystem sys(nl);
+  const auto x = dc_operating_point(sys);
+  // All stages sit near the switching threshold.
+  for (int i = 0; i < 3; ++i) {
+    const double v = MnaSystem::voltage(x, nl.find_node("n" + std::to_string(i)));
+    EXPECT_GT(v, 0.4);
+    EXPECT_LT(v, 2.0);
+  }
+}
+
+TEST(DcOpRobust, BistableLatchPicksARail) {
+  // A cross-coupled inverter pair: gmin stepping must land on *a* valid
+  // solution with complementary outputs.
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  nl.add_voltage_source("Vdd", vdd, kGround, Waveform::dc(2.4));
+  const NodeId a = nl.node("a");
+  const NodeId b = nl.node("b");
+  nl.add_mosfet("MPa", MosType::Pmos, a, b, vdd, vdd, inv_mos());
+  nl.add_mosfet("MNa", MosType::Nmos, a, b, kGround, kGround, inv_mos());
+  nl.add_mosfet("MPb", MosType::Pmos, b, a, vdd, vdd, inv_mos());
+  nl.add_mosfet("MNb", MosType::Nmos, b, a, kGround, kGround, inv_mos());
+  // A slight pull breaks the symmetry deterministically.
+  nl.add_resistor("Rpull", a, vdd, 1e6);
+  MnaSystem sys(nl);
+  const auto x = dc_operating_point(sys);
+  const double va = MnaSystem::voltage(x, a);
+  const double vb = MnaSystem::voltage(x, b);
+  // Some valid operating point: either split to the rails or metastable;
+  // the KCL residual is what the solver guarantees.
+  EXPECT_GE(va, -0.1);
+  EXPECT_LE(va, 2.5);
+  EXPECT_GE(vb, -0.1);
+  EXPECT_LE(vb, 2.5);
+}
+
+TEST(TransientRobust, SharpEdgeTriggersStepHalvingNotFailure) {
+  // A near-vertical source edge into a strongly nonlinear load: the fixed
+  // step must locally halve rather than throw.
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  Waveform w = Waveform::pwl();
+  w.add_point(0.0, 0.0);
+  w.add_point(5e-9, 0.0);
+  w.add_point(5.0001e-9, 2.4);  // 0.1 ps edge << dt
+  nl.add_voltage_source("V1", in, kGround, w);
+  nl.add_resistor("R1", in, out, 100.0);
+  nl.add_diode("D1", out, kGround, DiodeParams{});
+  nl.add_capacitor("C1", out, kGround, 1e-12);
+  MnaSystem sys(nl);
+  TransientOptions opt;
+  opt.dt = 0.5e-9;
+  TransientSim sim(sys, opt);
+  EXPECT_NO_THROW(sim.run(10e-9));
+  // Diode clamps the output near its forward drop.
+  EXPECT_GT(sim.voltage(out), 0.4);
+  EXPECT_LT(sim.voltage(out), 1.0);
+}
+
+TEST(TransientRobust, DtChangeBetweenRunsKeepsContinuity) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  nl.add_resistor("R1", a, kGround, 1e3);
+  nl.add_capacitor("C1", a, kGround, 1e-9);  // tau = 1 us
+  MnaSystem sys(nl);
+  TransientOptions opt;
+  opt.dt = 2e-9;
+  TransientSim sim(sys, opt);
+  sim.set_initial_condition(a, 1.0);
+  sim.run(0.5e-6);
+  sim.set_dt(20e-9);  // 10x coarser for the tail
+  sim.run(1e-6);
+  EXPECT_NEAR(sim.voltage(a), std::exp(-1.0), 6e-3);
+}
+
+TEST(TransientRobust, RecordStrideDecimatesTrace) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  nl.add_resistor("R1", a, kGround, 1e3);
+  nl.add_capacitor("C1", a, kGround, 1e-9);
+  MnaSystem sys(nl);
+  TransientOptions opt;
+  opt.dt = 1e-9;
+  opt.record_stride = 10;
+  TransientSim sim(sys, opt);
+  sim.set_initial_condition(a, 1.0);
+  sim.add_probe("a", a);
+  sim.run(1e-6);  // 1000 steps
+  EXPECT_LE(sim.trace().time.size(), 110u);
+  EXPECT_GE(sim.trace().time.size(), 90u);
+}
+
+TEST(TransientRobust, GmindKeepsDanglingDeviceChainSolvable) {
+  // Two capacitors in series with no DC path anywhere.
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  const NodeId b = nl.node("b");
+  nl.add_capacitor("C1", a, b, 1e-12);
+  nl.add_capacitor("C2", b, kGround, 1e-12);
+  MnaSystem sys(nl);
+  TransientOptions opt;
+  opt.dt = 1e-9;
+  TransientSim sim(sys, opt);
+  sim.set_initial_condition(a, 2.0);
+  sim.set_initial_condition(b, 1.0);
+  EXPECT_NO_THROW(sim.run(100e-9));
+  EXPECT_NEAR(sim.voltage(a), 2.0, 1e-2);
+}
+
+TEST(TransientRobust, ZeroRampEdgeAtStartIsHandled) {
+  // A source whose first breakpoint sits exactly at t=0 with a step.
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  Waveform w = Waveform::pwl();
+  w.add_point(0.0, 1.0);  // starts high immediately
+  nl.add_voltage_source("V1", a, kGround, w);
+  nl.add_resistor("R1", a, kGround, 1e3);
+  MnaSystem sys(nl);
+  TransientSim sim(sys, TransientOptions{});
+  EXPECT_NO_THROW(sim.run(1e-9));
+  EXPECT_NEAR(sim.voltage(a), 1.0, 1e-9);
+}

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "analysis/ffm.hpp"
+#include "util/error.hpp"
+
+using namespace dramstress;
+using namespace dramstress::analysis;
+using defect::Defect;
+using defect::DefectKind;
+using dram::Side;
+
+namespace {
+
+class FfmTest : public ::testing::Test {
+protected:
+  FfmTest() : sim(col, {2.4, 27.0, 60e-9, 0.5}) {}
+  dram::DramColumn col;
+  dram::ColumnSimulator sim;
+};
+
+}  // namespace
+
+TEST_F(FfmTest, Names) {
+  EXPECT_STREQ(to_string(FaultModel::StuckAt0), "SAF-0");
+  EXPECT_STREQ(to_string(FaultModel::TransitionUp), "TF-up");
+  EXPECT_STREQ(to_string(FaultModel::Retention1), "DRF-1");
+  FfmReport r;
+  r.models = {FaultModel::TransitionUp, FaultModel::Retention1};
+  EXPECT_EQ(r.str(), "TF-up, DRF-1");
+  EXPECT_TRUE(r.has(FaultModel::TransitionUp));
+  EXPECT_FALSE(r.has(FaultModel::StuckAt1));
+}
+
+TEST_F(FfmTest, HealthyCellIsFaultFree) {
+  const FfmReport r = classify_ffm(sim, Side::True);
+  EXPECT_TRUE(r.fault_free()) << r.str();
+}
+
+TEST_F(FfmTest, HugeOpenIsMassivelyFaulty) {
+  // With a near-infinite open the storage capacitor is unreachable; the
+  // few-fF diffusion node behind the open acts as a shadow cell that
+  // "writes" fine but cannot hold anything, so the defect classifies as
+  // retention faults on both data values (not stuck-at: immediate
+  // write-read round trips still succeed through the parasitic node).
+  const Defect d{DefectKind::O3, Side::True};
+  defect::Injection inj(col, d, 1e9);
+  const FfmReport r = classify_ffm(sim, Side::True);
+  EXPECT_FALSE(r.fault_free());
+  EXPECT_TRUE(r.has(FaultModel::Retention1)) << r.str();
+  EXPECT_TRUE(r.has(FaultModel::Retention0)) << r.str();
+}
+
+TEST_F(FfmTest, ModerateOpenIsTransitionNotStuck) {
+  // Near the border, a single write fails but repeated writes succeed:
+  // a transition fault without a stuck-at fault.
+  const Defect d{DefectKind::O3, Side::True};
+  defect::Injection inj(col, d, 400e3);
+  const FfmReport r = classify_ffm(sim, Side::True);
+  EXPECT_FALSE(r.has(FaultModel::StuckAt0));
+  EXPECT_FALSE(r.has(FaultModel::StuckAt1));
+  EXPECT_TRUE(r.has(FaultModel::TransitionUp) ||
+              r.has(FaultModel::TransitionDown))
+      << r.str();
+}
+
+TEST_F(FfmTest, ShortToGroundIsRetentionFault) {
+  const Defect d{DefectKind::Sg, Side::True};
+  defect::Injection inj(col, d, 300e6);  // tau = 45 us << 100 us pause
+  const FfmReport r = classify_ffm(sim, Side::True);
+  EXPECT_TRUE(r.has(FaultModel::Retention1)) << r.str();
+  EXPECT_FALSE(r.has(FaultModel::Retention0)) << r.str();
+}
+
+TEST_F(FfmTest, ShortToVddIsRetention0Fault) {
+  const Defect d{DefectKind::Sv, Side::True};
+  defect::Injection inj(col, d, 300e6);
+  const FfmReport r = classify_ffm(sim, Side::True);
+  EXPECT_TRUE(r.has(FaultModel::Retention0)) << r.str();
+}
+
+TEST_F(FfmTest, CompSideMirrorsClassification) {
+  // The same physical defect on the comp side shows the same *logical*
+  // fault models (the library's logical data convention absorbs the
+  // inversion).
+  const Defect dt{DefectKind::Sg, Side::True};
+  const Defect dc{DefectKind::Sg, Side::Comp};
+  FfmReport rt;
+  FfmReport rc;
+  {
+    defect::Injection inj(col, dt, 300e6);
+    rt = classify_ffm(sim, Side::True);
+  }
+  {
+    defect::Injection inj(col, dc, 300e6);
+    rc = classify_ffm(sim, Side::Comp);
+  }
+  // Sg attacks the stored physical high: logical 1 on true, logical 0 on
+  // comp -- the *retention* class appears on both, with mirrored polarity.
+  EXPECT_TRUE(rt.has(FaultModel::Retention1));
+  EXPECT_TRUE(rc.has(FaultModel::Retention0));
+}

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "memtest/march_parser.hpp"
+#include "util/error.hpp"
+
+using namespace dramstress;
+using namespace dramstress::memtest;
+
+TEST(MarchParser, ParsesMatsPlus) {
+  const MarchTest t = parse_march("{ any(w0); up(r0,w1); down(r1,w0) }", "M+");
+  EXPECT_EQ(t.name, "M+");
+  ASSERT_EQ(t.elements.size(), 3u);
+  EXPECT_EQ(t.elements[0].order, AddressOrder::Any);
+  EXPECT_EQ(t.elements[1].order, AddressOrder::Up);
+  EXPECT_EQ(t.elements[2].order, AddressOrder::Down);
+  ASSERT_EQ(t.elements[1].ops.size(), 2u);
+  EXPECT_EQ(t.elements[1].ops[0].kind, MarchOp::Kind::R0);
+  EXPECT_EQ(t.elements[1].ops[1].kind, MarchOp::Kind::W1);
+}
+
+TEST(MarchParser, WhitespaceAndCaseInsensitive) {
+  const MarchTest t = parse_march("{ANY(W0);UP( r0 , w1 )}");
+  ASSERT_EQ(t.elements.size(), 2u);
+  EXPECT_EQ(t.elements[0].str(), "any(w0)");
+}
+
+TEST(MarchParser, DelWithUnits) {
+  const MarchTest a = parse_march("{ any(w1); any(del(100us),r1) }");
+  EXPECT_DOUBLE_EQ(a.elements[1].ops[0].del_seconds, 100e-6);
+  const MarchTest b = parse_march("{ any(del(1.5ms)) }");
+  EXPECT_DOUBLE_EQ(b.elements[0].ops[0].del_seconds, 1.5e-3);
+  const MarchTest c = parse_march("{ any(del(60ns)) }");
+  EXPECT_DOUBLE_EQ(c.elements[0].ops[0].del_seconds, 60e-9);
+  const MarchTest d = parse_march("{ any(del(2)) }");  // bare seconds
+  EXPECT_DOUBLE_EQ(d.elements[0].ops[0].del_seconds, 2.0);
+}
+
+TEST(MarchParser, RoundTripsStandardSuite) {
+  for (const MarchTest& t : standard_test_suite()) {
+    const MarchTest parsed = parse_march(t.str(), t.name);
+    EXPECT_EQ(parsed.str(), t.str()) << t.name;
+    EXPECT_EQ(parsed.ops_per_cell(), t.ops_per_cell());
+  }
+}
+
+TEST(MarchParser, SyntaxErrors) {
+  EXPECT_THROW(parse_march("any(w0)"), ModelError);          // missing braces
+  EXPECT_THROW(parse_march("{ any(w0) "), ModelError);       // unclosed
+  EXPECT_THROW(parse_march("{ sideways(w0) }"), ModelError); // bad order
+  EXPECT_THROW(parse_march("{ any(w2) }"), ModelError);      // bad op
+  EXPECT_THROW(parse_march("{ any(del(5weeks)) }"), ModelError);
+  EXPECT_THROW(parse_march("{ any(del(-1us)) }"), ModelError);
+  EXPECT_THROW(parse_march("{ any(w0) } extra"), ModelError);
+  EXPECT_THROW(parse_march("{ any() }"), ModelError);        // empty ops
+}

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "memtest/coverage.hpp"
+#include "memtest/march.hpp"
+#include "memtest/memory.hpp"
+#include "util/error.hpp"
+
+using namespace dramstress;
+using namespace dramstress::memtest;
+using defect::Defect;
+using defect::DefectKind;
+using dram::Side;
+
+// ------------------------------------------------------------------ march
+
+TEST(March, OpRendering) {
+  EXPECT_EQ(MarchOp::w0().str(), "w0");
+  EXPECT_EQ(MarchOp::r1().str(), "r1");
+  EXPECT_EQ(MarchOp::del(100e-6).str(), "del(100 us)");
+  EXPECT_EQ(MarchOp::r1().value(), 1);
+  EXPECT_THROW(MarchOp::del(1e-6).value(), ModelError);
+}
+
+TEST(March, MatsPlusStructure) {
+  const MarchTest t = mats_plus();
+  EXPECT_EQ(t.name, "MATS+");
+  ASSERT_EQ(t.elements.size(), 3u);
+  EXPECT_EQ(t.str(), "{ any(w0); up(r0,w1); down(r1,w0) }");
+  EXPECT_EQ(t.ops_per_cell(), 5u);  // 5N test
+}
+
+TEST(March, MarchCminusIs10N) {
+  EXPECT_EQ(march_cminus().ops_per_cell(), 10u);
+}
+
+TEST(March, RetentionTestCarriesPause) {
+  const MarchTest t = retention_test(50e-6);
+  EXPECT_NE(t.str().find("del(50.0 us)"), std::string::npos);
+}
+
+TEST(March, FromDetectionCondition) {
+  analysis::DetectionCondition cond;
+  cond.ops = {dram::Operation::w1(), dram::Operation::w1(),
+              dram::Operation::w0(), dram::Operation::r()};
+  cond.expected = 0;
+  cond.init_logical = 0;
+  const MarchTest t = march_from_detection(cond, "derived");
+  ASSERT_EQ(t.elements.size(), 2u);
+  EXPECT_EQ(t.elements[0].str(), "any(w0)");
+  EXPECT_EQ(t.elements[1].str(), "up(w1,w1,w0,r0)");
+}
+
+TEST(March, StandardSuite) {
+  const auto suite = standard_test_suite();
+  ASSERT_GE(suite.size(), 4u);
+}
+
+// ----------------------------------------------------------------- memory
+
+namespace {
+
+/// A fast model with hand-set constants (no SPICE calibration needed).
+analysis::FastCellModel make_model(DefectKind kind, double r) {
+  analysis::FastModelParams p;
+  p.vdd = 2.4;
+  p.vbl = 1.2;
+  p.cs = 150e-15;
+  p.r_series = 30e3;
+  p.t_write = 28e-9;
+  p.v1_target = 2.3;
+  p.leak_current = 0.5e-9;
+  p.vsa_const = 1.15;
+  p.vsa_varies = false;
+  analysis::FastCellModel m({kind, Side::True}, p);
+  m.set_defect_resistance(r);
+  return m;
+}
+
+}  // namespace
+
+TEST(Memory, HealthyPassesAllStandardTests) {
+  for (const MarchTest& t : standard_test_suite()) {
+    BehavioralMemory mem(16, 7, make_model(DefectKind::O3, 1.0), 60e-9);
+    EXPECT_FALSE(mem.run(t).has_value()) << t.name;
+  }
+}
+
+TEST(Memory, StrongOpenIsCaughtByMarch) {
+  BehavioralMemory mem(16, 7, make_model(DefectKind::O3, 10e6), 60e-9);
+  const auto fault = mem.run(march_cminus());
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->address, 7u);
+}
+
+TEST(Memory, ShortToGroundCaughtByRetentionNotMats) {
+  // A weak short needs hold time: tau = 100 MOhm * 150 fF = 15 us, far
+  // beyond the ~2 us a MATS+ march over 16 cells leaves the cell idle,
+  // but tiny against a 300 us pause.
+  BehavioralMemory mem_a(16, 7, make_model(DefectKind::Sg, 100e6), 60e-9);
+  EXPECT_TRUE(mem_a.run(retention_test(300e-6)).has_value());
+  BehavioralMemory mem_b(16, 7, make_model(DefectKind::Sg, 100e6), 60e-9);
+  EXPECT_FALSE(mem_b.run(mats_plus()).has_value());
+}
+
+TEST(Memory, MarchGapActsAsRetentionTime) {
+  // In a larger memory, the time spent marching over other cells gives a
+  // shunt defect time to act: same defect, larger array => detected.
+  const double r = 50e6;  // tau = 7.5 us
+  BehavioralMemory small(4, 1, make_model(DefectKind::Sg, r), 60e-9);
+  BehavioralMemory large(16384, 8192, make_model(DefectKind::Sg, r), 60e-9);
+  const MarchTest t = march_cminus();
+  const bool small_detects = small.run(t).has_value();
+  const bool large_detects = large.run(t).has_value();
+  EXPECT_FALSE(small_detects);
+  EXPECT_TRUE(large_detects);
+}
+
+TEST(Memory, ValidatesConstruction) {
+  EXPECT_THROW(BehavioralMemory(0, 0, make_model(DefectKind::O3, 1.0), 60e-9),
+               ModelError);
+  EXPECT_THROW(BehavioralMemory(4, 9, make_model(DefectKind::O3, 1.0), 60e-9),
+               ModelError);
+}
+
+TEST(Memory, FaultObservationDetailsAreFilled) {
+  BehavioralMemory mem(8, 3, make_model(DefectKind::O3, 10e6), 60e-9);
+  const auto fault = mem.run(march_y());
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_LT(fault->element_index, march_y().elements.size());
+  EXPECT_NE(fault->expected, fault->observed);
+}
+
+// --------------------------------------------------------------- coverage
+
+TEST(Coverage, UniverseCoversAllDefects) {
+  const auto universe = default_defect_universe(4);
+  EXPECT_EQ(universe.size(), 14u * 4u);
+}
+
+TEST(Coverage, DetectsMoreWithDedicatedTest) {
+  // Compare MATS+ against a retention test over shunt defects only: the
+  // retention test must dominate on them.
+  dram::DramColumn col;
+  std::vector<DefectInstance> shunts;
+  for (double r : {1e5, 1e6, 1e7, 1e8})
+    shunts.push_back({Defect{DefectKind::Sg, Side::True}, r});
+
+  CoverageOptions opt;
+  opt.memory_cells = 8;
+  const auto base = evaluate_coverage(col, shunts, mats_plus(),
+                                      stress::nominal_condition(), opt);
+  const auto ret = evaluate_coverage(col, shunts, retention_test(200e-6),
+                                     stress::nominal_condition(), opt);
+  EXPECT_GE(ret.detected, base.detected);
+  EXPECT_GT(ret.fraction(), 0.5);
+  EXPECT_EQ(ret.total, shunts.size());
+}
+
+TEST(March, MarchSsIs22N) { EXPECT_EQ(march_ss().ops_per_cell(), 22u); }
+
+TEST(March, PmoviIs13N) { EXPECT_EQ(pmovi().ops_per_cell(), 13u); }
+
+TEST(Memory, HealthyPassesMarchSsAndPmovi) {
+  for (const MarchTest& t : {march_ss(), pmovi()}) {
+    BehavioralMemory mem(16, 5, make_model(DefectKind::O3, 1.0), 60e-9);
+    EXPECT_FALSE(mem.run(t).has_value()) << t.name;
+  }
+}
+
+TEST(Memory, MarchSsCatchesWhatMatsPlusCatches) {
+  // March SS dominates MATS+ on the single-cell fault space.
+  for (double r : {2e6, 10e6}) {
+    BehavioralMemory mats(16, 5, make_model(DefectKind::O3, r), 60e-9);
+    BehavioralMemory ss(16, 5, make_model(DefectKind::O3, r), 60e-9);
+    const bool mats_found = mats.run(mats_plus()).has_value();
+    const bool ss_found = ss.run(march_ss()).has_value();
+    if (mats_found) EXPECT_TRUE(ss_found) << r;
+  }
+}

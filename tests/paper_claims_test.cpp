@@ -1,0 +1,139 @@
+// The calibration contract: the paper's headline shape claims, asserted
+// directly against the default technology.  If a technology change breaks
+// one of these, the corresponding figure bench no longer reproduces the
+// paper -- this file is the regression net for EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "analysis/vsa.hpp"
+#include "defect/defect.hpp"
+#include "dram/column_sim.hpp"
+
+using namespace dramstress;
+using defect::Defect;
+using defect::DefectKind;
+using dram::Operation;
+using dram::Side;
+
+namespace {
+
+class PaperClaims : public ::testing::Test {
+protected:
+  PaperClaims() : inj(col, {DefectKind::O3, Side::True}, 200e3) {}
+
+  double vc_after_w0(const dram::OperatingConditions& cond) {
+    dram::ColumnSimulator sim(col, cond);
+    return sim.run({Operation::w0()}, cond.vdd, Side::True).vc_after(0);
+  }
+  double vsa(const dram::OperatingConditions& cond) {
+    dram::ColumnSimulator sim(col, cond);
+    return analysis::extract_vsa(sim, Side::True).threshold;
+  }
+
+  dram::DramColumn col;
+  defect::Injection inj;
+  const dram::OperatingConditions nominal{2.4, 27.0, 60e-9, 0.5};
+};
+
+}  // namespace
+
+TEST_F(PaperClaims, Fig3_ShorterCycleWeakensWriteZero) {
+  const double at60 = vc_after_w0(nominal);
+  dram::OperatingConditions fast = nominal;
+  fast.tcyc = 55e-9;
+  const double at55 = vc_after_w0(fast);
+  EXPECT_GT(at55, at60 + 0.05);          // write visibly cut short
+  EXPECT_NEAR(at60, 1.0, 0.15);          // paper's ~1.0 V anchor
+}
+
+TEST_F(PaperClaims, Fig3_TimingDoesNotMoveVsa) {
+  dram::OperatingConditions fast = nominal;
+  fast.tcyc = 55e-9;
+  dram::OperatingConditions slow = nominal;
+  slow.tcyc = 65e-9;
+  EXPECT_NEAR(vsa(fast), vsa(slow), 5e-3);
+}
+
+TEST_F(PaperClaims, Fig4_HotterWeakensWriteZeroMonotonically) {
+  dram::OperatingConditions cold = nominal;
+  cold.temp_c = -33.0;
+  dram::OperatingConditions hot = nominal;
+  hot.temp_c = 87.0;
+  const double vcold = vc_after_w0(cold);
+  const double vroom = vc_after_w0(nominal);
+  const double vhot = vc_after_w0(hot);
+  EXPECT_LT(vcold, vroom);
+  EXPECT_LT(vroom, vhot);
+}
+
+TEST_F(PaperClaims, Fig4_MarginalReadIsNonMonotonicInTemperature) {
+  const double probe = vsa(nominal) + 0.10;
+  const dram::OpSequence seq{Operation::del(1.5e-6), Operation::r()};
+  auto read_at = [&](double temp_c) {
+    dram::OperatingConditions c = nominal;
+    c.temp_c = temp_c;
+    dram::ColumnSimulator sim(col, c);
+    return sim.run(seq, probe, Side::True).last_read_bit();
+  };
+  EXPECT_EQ(read_at(-33.0), 0);
+  EXPECT_EQ(read_at(27.0), 1);
+  EXPECT_EQ(read_at(87.0), 0);
+}
+
+TEST_F(PaperClaims, Fig5_HigherVddWeakensWriteZero) {
+  dram::OperatingConditions low = nominal;
+  low.vdd = 2.1;
+  dram::OperatingConditions high = nominal;
+  high.vdd = 2.7;
+  const double v21 = vc_after_w0(low);
+  const double v24 = vc_after_w0(nominal);
+  const double v27 = vc_after_w0(high);
+  EXPECT_LT(v21, v24);
+  EXPECT_LT(v24, v27);
+  // The paper's anchors: 0.9 / 1.0 / 1.2 V.
+  EXPECT_NEAR(v21, 0.9, 0.15);
+  EXPECT_NEAR(v27, 1.2, 0.15);
+}
+
+TEST_F(PaperClaims, Fig5_HigherVddEasesReadingZero) {
+  // Vsa rises with Vdd: the range of Vc read as 0 widens.
+  dram::OperatingConditions low = nominal;
+  low.vdd = 2.1;
+  dram::OperatingConditions high = nominal;
+  high.vdd = 2.7;
+  const double s21 = vsa(low);
+  const double s24 = vsa(nominal);
+  const double s27 = vsa(high);
+  EXPECT_LT(s21, s24);
+  EXPECT_LT(s24, s27);
+}
+
+TEST_F(PaperClaims, Fig5_MarginalReadFlipsOnlyAtLowVdd) {
+  dram::OperatingConditions low = nominal;
+  low.vdd = 2.1;
+  const double probe = 0.5 * (vsa(low) + vsa(nominal));
+  auto read_at = [&](double vdd) {
+    dram::OperatingConditions c = nominal;
+    c.vdd = vdd;
+    dram::ColumnSimulator sim(col, c);
+    return sim.read_of_initial(probe, Side::True);
+  };
+  EXPECT_EQ(read_at(2.1), 1);
+  EXPECT_EQ(read_at(2.4), 0);
+  EXPECT_EQ(read_at(2.7), 0);
+}
+
+TEST_F(PaperClaims, Footnote1_VsaBendsTowardGroundWithR) {
+  inj.set_value(50e3);
+  const double v50k = vsa(nominal);
+  inj.set_value(1e6);
+  const double v1m = vsa(nominal);
+  EXPECT_GT(v50k - v1m, 0.2);  // clearly bending toward GND
+}
+
+TEST_F(PaperClaims, Section3_TwoWritesChargeFurtherThanOneNearBorder) {
+  // "Performing one w1 instead of two charges the cell to a voltage below
+  // Vdd, which makes it less demanding for the subsequent w0."
+  dram::ColumnSimulator sim(col, nominal);
+  const auto r = sim.run({Operation::w1(), Operation::w1()}, 0.0, Side::True);
+  EXPECT_GT(r.vc_after(1), r.vc_after(0) + 0.2);
+}

@@ -1,0 +1,215 @@
+// Parameterized property sweeps: invariants that must hold across whole
+// families of inputs (device bias points, operating corners, defect kinds,
+// address orders), not just hand-picked cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/detection.hpp"
+#include "analysis/vsa.hpp"
+#include "circuit/mosfet.hpp"
+#include "circuit/netlist.hpp"
+#include "defect/defect.hpp"
+#include "dram/column_sim.hpp"
+#include "memtest/march_parser.hpp"
+#include "numeric/random.hpp"
+
+using namespace dramstress;
+using defect::Defect;
+using defect::DefectKind;
+using dram::Side;
+
+// ===================================================================
+// MOSFET model properties over a bias grid
+// ===================================================================
+
+struct Bias {
+  double vd, vg, vs, vb;
+};
+
+class MosfetProperty : public ::testing::TestWithParam<Bias> {
+protected:
+  MosfetProperty() {
+    circuit::MosfetParams p;
+    p.w = 2e-6;
+    p.l = 0.25e-6;
+    nmos_ = nl_.add_mosfet("mn", circuit::MosType::Nmos, nl_.node("d"),
+                           nl_.node("g"), nl_.node("s"), nl_.node("b"), p);
+    pmos_ = nl_.add_mosfet("mp", circuit::MosType::Pmos, nl_.node("d2"),
+                           nl_.node("g2"), nl_.node("s2"), nl_.node("b2"), p);
+  }
+  circuit::Netlist nl_;
+  circuit::Mosfet* nmos_ = nullptr;
+  circuit::Mosfet* pmos_ = nullptr;
+};
+
+TEST_P(MosfetProperty, SourceDrainAntisymmetry) {
+  const Bias b = GetParam();
+  const double i_fwd = nmos_->evaluate(b.vd, b.vg, b.vs, b.vb, 300.15).ids;
+  const double i_rev = nmos_->evaluate(b.vs, b.vg, b.vd, b.vb, 300.15).ids;
+  EXPECT_NEAR(i_fwd, -i_rev, std::fabs(i_fwd) * 1e-9 + 1e-18);
+}
+
+TEST_P(MosfetProperty, DerivativesMatchFiniteDifferences) {
+  const Bias b = GetParam();
+  const auto op = nmos_->evaluate(b.vd, b.vg, b.vs, b.vb, 300.15);
+  const double h = 1e-6;
+  auto ids = [&](double vd, double vg, double vs, double vb) {
+    return nmos_->evaluate(vd, vg, vs, vb, 300.15).ids;
+  };
+  const double scale = std::fabs(op.ids) * 1e-3 + 1e-11;
+  EXPECT_NEAR(op.gds, (ids(b.vd + h, b.vg, b.vs, b.vb) -
+                       ids(b.vd - h, b.vg, b.vs, b.vb)) / (2 * h), scale);
+  EXPECT_NEAR(op.gm, (ids(b.vd, b.vg + h, b.vs, b.vb) -
+                      ids(b.vd, b.vg - h, b.vs, b.vb)) / (2 * h), scale);
+  EXPECT_NEAR(op.gs, (ids(b.vd, b.vg, b.vs + h, b.vb) -
+                      ids(b.vd, b.vg, b.vs - h, b.vb)) / (2 * h), scale);
+}
+
+TEST_P(MosfetProperty, PmosMirrorsNmosExactly) {
+  const Bias b = GetParam();
+  const double i_n = nmos_->evaluate(b.vd, b.vg, b.vs, b.vb, 320.0).ids;
+  const double i_p = pmos_->evaluate(-b.vd, -b.vg, -b.vs, -b.vb, 320.0).ids;
+  EXPECT_NEAR(i_n, -i_p, std::fabs(i_n) * 1e-12 + 1e-20);
+}
+
+TEST_P(MosfetProperty, HotterMeansWeakerInStrongInversion) {
+  const Bias b = GetParam();
+  // Only meaningful with real overdrive and forward bias.
+  if (b.vg - std::min(b.vs, b.vd) < 1.2 || std::fabs(b.vd - b.vs) < 0.2)
+    GTEST_SKIP();
+  const double cold = std::fabs(nmos_->evaluate(b.vd, b.vg, b.vs, b.vb, 260.0).ids);
+  const double hot = std::fabs(nmos_->evaluate(b.vd, b.vg, b.vs, b.vb, 360.0).ids);
+  EXPECT_GT(cold, hot);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BiasGrid, MosfetProperty,
+    ::testing::Values(Bias{1.2, 2.4, 0.0, 0.0}, Bias{0.1, 2.4, 0.0, 0.0},
+                      Bias{2.4, 4.4, 1.2, 0.0}, Bias{1.2, 0.4, 0.0, 0.0},
+                      Bias{0.6, 0.8, 0.2, 0.0}, Bias{2.4, 2.4, 2.2, 0.0},
+                      Bias{0.0, 2.4, 1.2, 0.0}, Bias{1.8, 3.0, 0.4, 0.2}));
+
+// ===================================================================
+// Healthy column across the full stress-corner grid
+// ===================================================================
+
+struct Corner {
+  double vdd, temp_c, tcyc, duty;
+};
+
+class CornerProperty : public ::testing::TestWithParam<Corner> {
+protected:
+  dram::DramColumn col_;
+};
+
+TEST_P(CornerProperty, HealthyColumnStoresBothValues) {
+  const Corner c = GetParam();
+  dram::ColumnSimulator sim(col_, {c.vdd, c.temp_c, c.tcyc, c.duty});
+  const auto r1 = sim.run({dram::Operation::w1(), dram::Operation::r()}, 0.0,
+                          Side::True);
+  EXPECT_EQ(r1.read_bit(1), 1);
+  const auto r0 = sim.run({dram::Operation::w0(), dram::Operation::r()},
+                          c.vdd, Side::True);
+  EXPECT_EQ(r0.read_bit(1), 0);
+}
+
+TEST_P(CornerProperty, VsaStaysInsideTheRails) {
+  const Corner c = GetParam();
+  dram::ColumnSimulator sim(col_, {c.vdd, c.temp_c, c.tcyc, c.duty});
+  const auto vsa = analysis::extract_vsa(sim, Side::True, {.tolerance = 10e-3});
+  EXPECT_EQ(vsa.kind, analysis::VsaResult::Kind::Normal);
+  EXPECT_GT(vsa.threshold, 0.15 * c.vdd);
+  EXPECT_LT(vsa.threshold, 0.85 * c.vdd);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StressGrid, CornerProperty,
+    ::testing::Values(Corner{2.1, -33.0, 55e-9, 0.45},
+                      Corner{2.1, 87.0, 65e-9, 0.55},
+                      Corner{2.4, 27.0, 60e-9, 0.50},
+                      Corner{2.7, -33.0, 65e-9, 0.50},
+                      Corner{2.7, 87.0, 55e-9, 0.45},
+                      Corner{2.4, 87.0, 50e-9, 0.55}));
+
+// ===================================================================
+// Defect-library invariants over every kind and side
+// ===================================================================
+
+class DefectProperty : public ::testing::TestWithParam<Defect> {
+protected:
+  dram::DramColumn col_;
+};
+
+TEST_P(DefectProperty, StrongDefectIsDetectedWeakIsNot) {
+  const Defect d = GetParam();
+  dram::ColumnSimulator sim(col_, {2.4, 27.0, 60e-9, 0.5});
+  // Strong value: high end for opens, low end for shunts.
+  const double strong = defect::is_series(d.kind) ? 10e6 : 10e3;
+  {
+    defect::Injection inj(col_, d, strong);
+    EXPECT_TRUE(analysis::derive_detection_condition(sim, d.side).has_value())
+        << d.name() << " strong";
+  }
+  // Benign value: the opposite extreme must derive nothing.
+  const double benign = defect::is_series(d.kind) ? 10.0 : 1e12;
+  {
+    defect::Injection inj(col_, d, benign);
+    EXPECT_FALSE(analysis::derive_detection_condition(sim, d.side).has_value())
+        << d.name() << " benign";
+  }
+}
+
+TEST_P(DefectProperty, InjectionAlwaysRestores) {
+  const Defect d = GetParam();
+  const double pristine =
+      col_.segment(d.side, d.segment_key())->resistance();
+  { defect::Injection inj(col_, d, 123e3); }
+  EXPECT_DOUBLE_EQ(col_.segment(d.side, d.segment_key())->resistance(),
+                   pristine);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDefects, DefectProperty,
+                         ::testing::ValuesIn(defect::paper_defect_set()),
+                         [](const auto& info) {
+                           std::string n = info.param.name();
+                           for (char& c : n)
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return n;
+                         });
+
+// ===================================================================
+// March-notation round trip over randomized tests
+// ===================================================================
+
+class MarchRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MarchRoundTrip, ParseOfStrIsIdentity) {
+  numeric::Rng rng(GetParam());
+  memtest::MarchTest t;
+  t.name = "random";
+  const int elements = 1 + static_cast<int>(rng.uniform() * 5);
+  for (int e = 0; e < elements; ++e) {
+    memtest::MarchElement el;
+    const double o = rng.uniform();
+    el.order = o < 0.33 ? memtest::AddressOrder::Up
+               : o < 0.66 ? memtest::AddressOrder::Down
+                          : memtest::AddressOrder::Any;
+    const int ops = 1 + static_cast<int>(rng.uniform() * 4);
+    for (int k = 0; k < ops; ++k) {
+      const double p = rng.uniform();
+      if (p < 0.22) el.ops.push_back(memtest::MarchOp::w0());
+      else if (p < 0.44) el.ops.push_back(memtest::MarchOp::w1());
+      else if (p < 0.66) el.ops.push_back(memtest::MarchOp::r0());
+      else if (p < 0.88) el.ops.push_back(memtest::MarchOp::r1());
+      else el.ops.push_back(memtest::MarchOp::del(100e-6));
+    }
+    t.elements.push_back(std::move(el));
+  }
+  const memtest::MarchTest parsed = memtest::parse_march(t.str(), t.name);
+  EXPECT_EQ(parsed.str(), t.str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MarchRoundTrip,
+                         ::testing::Range<uint64_t>(1, 13));

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/mna.hpp"
+#include "circuit/spice_reader.hpp"
+#include "circuit/transient.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+using namespace dramstress;
+using namespace dramstress::circuit;
+
+TEST(SpiceNumber, PlainAndSuffixed) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("2.4"), 2.4);
+  EXPECT_DOUBLE_EQ(parse_spice_number("200k"), 200e3);
+  EXPECT_DOUBLE_EQ(parse_spice_number("30f"), 30e-15);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1.5p"), 1.5e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_number("60n"), 60e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("100u"), 100e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("3m"), 3e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1meg"), 1e6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2g"), 2e9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("-1.2e-9"), -1.2e-9);
+}
+
+TEST(SpiceNumber, UnitTailsTolerated) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("2.4v"), 2.4);
+  EXPECT_DOUBLE_EQ(parse_spice_number("200kohm"), 200e3);
+}
+
+TEST(SpiceNumber, GarbageThrows) {
+  EXPECT_THROW(parse_spice_number("abc"), ModelError);
+  EXPECT_THROW(parse_spice_number(""), ModelError);
+}
+
+namespace {
+
+constexpr const char* kDividerDeck = R"(simple divider
+V1 in 0 DC 3.0
+R1 in mid 1k
+R2 mid 0 2k
+C1 mid 0 1n
+.ic V(mid)=2.0
+.tran 0.1u 20u
+.probe mid
+.end
+)";
+
+}  // namespace
+
+TEST(SpiceReader, ParsesDividerDeck) {
+  const SpiceDeck deck = parse_spice(kDividerDeck);
+  EXPECT_EQ(deck.title, "simple divider");
+  EXPECT_EQ(deck.netlist->num_devices(), 4u);
+  EXPECT_EQ(deck.netlist->num_nodes(), 2);  // in, mid
+  EXPECT_DOUBLE_EQ(deck.initial_conditions.at("mid"), 2.0);
+  EXPECT_DOUBLE_EQ(deck.tran_step, 0.1e-6);
+  EXPECT_DOUBLE_EQ(deck.tran_stop, 20e-6);
+  ASSERT_EQ(deck.probes.size(), 1u);
+  EXPECT_EQ(deck.probes[0], "mid");
+}
+
+TEST(SpiceReader, DividerTransientSettles) {
+  SpiceDeck deck = parse_spice(kDividerDeck);
+  MnaSystem sys(*deck.netlist);
+  TransientOptions opt;
+  opt.dt = deck.tran_step;
+  TransientSim sim(sys, opt);
+  sim.set_initial_condition(deck.netlist->find_node("mid"), 2.0);
+  sim.run(deck.tran_stop);  // ~30 tau
+  EXPECT_NEAR(sim.voltage(deck.netlist->find_node("mid")), 2.0, 1e-3);
+  // And from a different IC it settles to the same divider voltage.
+}
+
+TEST(SpiceReader, ContinuationAndComments) {
+  const SpiceDeck deck = parse_spice(
+      "continuation test title\n"
+      "* a comment line\n"
+      "V1 a 0\n"
+      "+ DC 1.0   $ trailing comment\n"
+      "R1 a 0 1k\n"
+      ".end\n");
+  EXPECT_EQ(deck.netlist->num_devices(), 2u);
+}
+
+TEST(SpiceReader, PwlSource) {
+  const SpiceDeck deck = parse_spice(
+      "pwl test\n"
+      "V1 a 0 PWL(0 0 1n 2.4 5n 2.4)\n"
+      "R1 a 0 1k\n"
+      ".end\n");
+  auto* src = static_cast<VoltageSource*>(deck.netlist->find_device("v1"));
+  ASSERT_NE(src, nullptr);
+  EXPECT_DOUBLE_EQ(src->value(0.0), 0.0);
+  EXPECT_NEAR(src->value(0.5e-9), 1.2, 1e-12);
+  EXPECT_DOUBLE_EQ(src->value(10e-9), 2.4);
+}
+
+TEST(SpiceReader, MosfetAndDiodeModels) {
+  const SpiceDeck deck = parse_spice(
+      "model test\n"
+      ".model nch NMOS (vto=0.7 kp=120u w=2u l=0.25u)\n"
+      ".model pch PMOS (vto=0.7 kp=40u)\n"
+      ".model dj D (is=1n eg=0.65)\n"
+      "Vdd vdd 0 DC 2.4\n"
+      "M1 out in 0 0 nch W=4u\n"
+      "M2 out in vdd vdd pch\n"
+      "D1 0 out dj\n"
+      ".end\n");
+  auto* m1 = static_cast<Mosfet*>(deck.netlist->find_device("m1"));
+  ASSERT_NE(m1, nullptr);
+  EXPECT_EQ(m1->type(), MosType::Nmos);
+  EXPECT_DOUBLE_EQ(m1->params().w, 4e-6);       // instance override
+  EXPECT_DOUBLE_EQ(m1->params().l, 0.25e-6);    // from the model card
+  auto* m2 = static_cast<Mosfet*>(deck.netlist->find_device("m2"));
+  ASSERT_NE(m2, nullptr);
+  EXPECT_EQ(m2->type(), MosType::Pmos);
+  auto* d1 = static_cast<Diode*>(deck.netlist->find_device("d1"));
+  ASSERT_NE(d1, nullptr);
+}
+
+TEST(SpiceReader, TempCard) {
+  const SpiceDeck deck = parse_spice("t\nR1 a 0 1k\n.temp 87\n.end\n");
+  EXPECT_DOUBLE_EQ(deck.temp_c, 87.0);
+}
+
+TEST(SpiceReader, ErrorsCarryLineNumbers) {
+  try {
+    parse_spice("title\nR1 a 0\n.end\n");  // missing value
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(SpiceReader, UnknownCardsThrow) {
+  EXPECT_THROW(parse_spice("t\nX1 a b c\n.end\n"), ModelError);
+  EXPECT_THROW(parse_spice("t\nR1 a 0 1k\n.fourier a\n.end\n"), ModelError);
+  EXPECT_THROW(parse_spice("t\nD1 a 0 nomodel\n.end\n"), ModelError);
+  EXPECT_THROW(parse_spice("t\n.model x NMOS (zzz=1)\nM1 a b c 0 x\n.end\n"),
+               ModelError);
+}
+
+TEST(SpiceReader, Rc_EndToEnd_MatchesAnalytic) {
+  // Full path: text -> netlist -> transient -> analytic check.
+  SpiceDeck deck = parse_spice(
+      "rc decay\n"
+      "R1 a 0 1k\n"
+      "C1 a 0 1n\n"
+      ".ic V(a)=1.0\n"
+      ".tran 5n 1u\n"
+      ".probe a\n"
+      ".end\n");
+  MnaSystem sys(*deck.netlist);
+  TransientOptions opt;
+  opt.dt = deck.tran_step;
+  TransientSim sim(sys, opt);
+  for (const auto& [node, v] : deck.initial_conditions)
+    sim.set_initial_condition(deck.netlist->find_node(node), v);
+  sim.run(deck.tran_stop);
+  EXPECT_NEAR(sim.voltage(deck.netlist->find_node("a")), std::exp(-1.0), 5e-3);
+}

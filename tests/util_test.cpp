@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace du = dramstress::util;
+namespace units = dramstress::units;
+
+TEST(Units, ThermalVoltageAtRoomTemperature) {
+  // kT/q at 300.15 K is about 25.9 mV.
+  EXPECT_NEAR(units::thermal_voltage(300.15), 25.9e-3, 0.2e-3);
+}
+
+TEST(Units, CelsiusKelvinRoundTrip) {
+  EXPECT_DOUBLE_EQ(units::celsius_to_kelvin(27.0), 300.15);
+  EXPECT_DOUBLE_EQ(units::kelvin_to_celsius(units::celsius_to_kelvin(-33.0)), -33.0);
+}
+
+TEST(Units, SuffixValues) {
+  EXPECT_DOUBLE_EQ(60.0 * units::ns, 60e-9);
+  EXPECT_DOUBLE_EQ(200.0 * units::kOhm, 2e5);
+  EXPECT_DOUBLE_EQ(30.0 * units::fF, 30e-15);
+}
+
+TEST(Strings, FormatBasics) {
+  EXPECT_EQ(du::format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(du::format("%.2f", 1.234), "1.23");
+}
+
+TEST(Strings, EngineeringNotation) {
+  EXPECT_EQ(du::eng(200e3, "Ohm"), "200 kOhm");
+  EXPECT_EQ(du::eng(2.4, "V"), "2.40 V");
+  EXPECT_EQ(du::eng(30e-15, "F"), "30.0 fF");
+  EXPECT_EQ(du::eng(0.0, "V"), "0 V");
+  EXPECT_EQ(du::eng(1e6, "Ohm"), "1.00 MOhm");
+}
+
+TEST(Strings, EngineeringNegative) {
+  EXPECT_EQ(du::eng(-1.5e-9, "A"), "-1.50 nA");
+}
+
+TEST(Strings, JoinAndPad) {
+  EXPECT_EQ(du::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(du::join({}, ","), "");
+  EXPECT_EQ(du::pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(du::pad_left("ab", 4), "  ab");
+  EXPECT_EQ(du::pad_left("abcde", 4), "abcde");
+}
+
+TEST(Csv, RoundTripText) {
+  du::CsvTable t({"x", "y"});
+  t.add_row({1.0, 2.5});
+  t.add_row({2.0, -3.0});
+  EXPECT_EQ(t.num_rows(), 2u);
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv, "x,y\n1,2.5\n2,-3\n");
+}
+
+TEST(Csv, RowSizeMismatchThrows) {
+  du::CsvTable t({"x", "y"});
+  EXPECT_THROW(t.add_row({1.0}), dramstress::ModelError);
+}
+
+TEST(Csv, WritesFile) {
+  du::CsvTable t({"a"});
+  t.add_row({7.0});
+  const std::string path = ::testing::TempDir() + "/ds_csv_test.csv";
+  t.write_file(path);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "a\n7\n");
+  std::remove(path.c_str());
+}
+
+TEST(AsciiPlot, RendersSeriesAndLegend) {
+  du::Series s;
+  s.name = "curve";
+  s.glyph = '*';
+  s.x = {0.0, 1.0, 2.0};
+  s.y = {0.0, 1.0, 0.0};
+  du::PlotOptions opt;
+  opt.title = "test plot";
+  const std::string out = du::ascii_plot({s}, opt);
+  EXPECT_NE(out.find("test plot"), std::string::npos);
+  EXPECT_NE(out.find("* = curve"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptySeriesIsHandled) {
+  du::PlotOptions opt;
+  opt.title = "empty";
+  const std::string out = du::ascii_plot({}, opt);
+  EXPECT_NE(out.find("empty"), std::string::npos);
+}
+
+TEST(AsciiPlot, LogXAxis) {
+  du::Series s;
+  s.name = "r-sweep";
+  s.x = {1e3, 1e4, 1e5, 1e6};
+  s.y = {1.0, 2.0, 3.0, 4.0};
+  du::PlotOptions opt;
+  opt.log_x = true;
+  opt.x_label = "R";
+  const std::string out = du::ascii_plot({s}, opt);
+  EXPECT_NE(out.find("(log)"), std::string::npos);
+}
+
+TEST(Error, RequireThrowsModelError) {
+  EXPECT_NO_THROW(dramstress::require(true, "ok"));
+  EXPECT_THROW(dramstress::require(false, "bad"), dramstress::ModelError);
+}
+
+TEST(Log, LevelFilteringAndRestore) {
+  using dramstress::util::LogLevel;
+  const LogLevel before = dramstress::util::log_level();
+  dramstress::util::set_log_level(LogLevel::Error);
+  EXPECT_EQ(dramstress::util::log_level(), LogLevel::Error);
+  // These must be no-ops (and must not crash) below the level.
+  dramstress::util::log_debug("hidden");
+  dramstress::util::log_info("hidden");
+  dramstress::util::log_warn("hidden");
+  dramstress::util::set_log_level(LogLevel::Off);
+  dramstress::util::log_error("also hidden");
+  dramstress::util::set_log_level(before);
+}

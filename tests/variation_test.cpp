@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/random.hpp"
+#include "stress/variation.hpp"
+#include "util/error.hpp"
+
+using namespace dramstress;
+using namespace dramstress::stress;
+
+TEST(Rng, DeterministicGivenSeed) {
+  numeric::Rng a(42);
+  numeric::Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformInRange) {
+  numeric::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, GaussMomentsRoughlyStandard) {
+  numeric::Rng rng(99);
+  const int n = 20000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gauss();
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Variation, PerturbationMovesParameters) {
+  const dram::TechnologyParams base = dram::default_technology();
+  numeric::Rng rng(5);
+  VariationSpec spec;
+  const dram::TechnologyParams t = perturb_technology(base, spec, rng);
+  EXPECT_NE(t.access.vth0, base.access.vth0);
+  EXPECT_NE(t.cs, base.cs);
+  EXPECT_NE(t.cell_leak.is_tnom, base.cell_leak.is_tnom);
+  // Perturbations stay physical.
+  EXPECT_GT(t.cs, 0.0);
+  EXPECT_GT(t.cell_leak.is_tnom, 0.0);
+}
+
+TEST(Variation, PerturbationScalesWithSigma) {
+  const dram::TechnologyParams base = dram::default_technology();
+  VariationSpec zero;
+  zero.vth_sigma = 0.0;
+  zero.kp_rel_sigma = 0.0;
+  zero.cs_rel_sigma = 0.0;
+  zero.cbl_rel_sigma = 0.0;
+  zero.leak_rel_sigma = 0.0;
+  zero.vref_sigma = 0.0;
+  numeric::Rng rng(5);
+  const dram::TechnologyParams t = perturb_technology(base, zero, rng);
+  EXPECT_DOUBLE_EQ(t.access.vth0, base.access.vth0);
+  EXPECT_DOUBLE_EQ(t.cs, base.cs);
+}
+
+TEST(Variation, DistributionStats) {
+  BorderDistribution d;
+  d.borders = {100e3, 200e3, 300e3};
+  EXPECT_NEAR(d.mean(), 200e3, 1.0);
+  EXPECT_NEAR(d.min(), 100e3, 1.0);
+  EXPECT_NEAR(d.max(), 300e3, 1.0);
+  EXPECT_NEAR(d.stddev(), 100e3, 1.0);
+  BorderDistribution empty;
+  EXPECT_THROW(empty.mean(), ModelError);
+}
+
+TEST(Variation, BorderDistributionAcrossSamples) {
+  // A small but real Monte-Carlo: the BR of the O3 open scatters with
+  // process variation but stays within a plausible band.
+  const defect::Defect d{defect::DefectKind::O3, dram::Side::True};
+  analysis::DetectionCondition cond;
+  cond.ops = {dram::Operation::w1(), dram::Operation::w1(),
+              dram::Operation::w1(), dram::Operation::w1(),
+              dram::Operation::w0(), dram::Operation::r()};
+  cond.expected = 0;
+  cond.init_logical = 0;
+
+  VariationOptions opt;
+  opt.samples = 4;
+  opt.settings.dt = 0.2e-9;
+  opt.border.scan_points = 7;
+  const BorderDistribution dist = border_distribution(
+      d, nominal_condition(), cond, dram::default_technology(), opt);
+  ASSERT_GE(dist.borders.size(), 3u);
+  EXPECT_GT(dist.min(), 50e3);
+  EXPECT_LT(dist.max(), 5e6);
+  EXPECT_GT(dist.stddev(), 0.0);
+}

@@ -1,0 +1,113 @@
+// dramstress: command-line driver for the full flow.
+//
+//   dramstress analyze  <defect> [side]          Section-3 fault analysis
+//   dramstress optimize <defect> [side]          Section-4 stress optimization
+//   dramstress report   <defect> [side]          markdown diagnostic report
+//   dramstress table1                            the paper's Table 1
+//   dramstress ffm      <defect> [side] <R>      fault-model classification
+//
+// defect in {o1,o2,o3,sg,sv,b1,b2,b3}; side in {true,comp} (default true);
+// R accepts engineering suffixes ("200k").
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "circuit/spice_reader.hpp"  // parse_spice_number
+#include "core/flow.hpp"
+#include "core/report.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+using namespace dramstress;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dramstress <analyze|optimize|report|table1|ffm> "
+               "[defect] [side] [R]\n"
+               "  defect: o1 o2 o3 sg sv b1 b2 b3   side: true|comp\n");
+  return 2;
+}
+
+bool parse_defect(const char* s, defect::DefectKind* out) {
+  using defect::DefectKind;
+  static const std::pair<const char*, DefectKind> kMap[] = {
+      {"o1", DefectKind::O1}, {"o2", DefectKind::O2}, {"o3", DefectKind::O3},
+      {"sg", DefectKind::Sg}, {"sv", DefectKind::Sv}, {"b1", DefectKind::B1},
+      {"b2", DefectKind::B2}, {"b3", DefectKind::B3}};
+  for (const auto& [name, kind] : kMap) {
+    if (std::strcmp(s, name) == 0) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+void show_border(const analysis::BorderResult& br,
+                 const defect::Defect& d) {
+  if (!br.br.has_value()) {
+    std::printf("%s: no faulty behaviour in its resistance range\n",
+                d.name().c_str());
+    return;
+  }
+  std::printf("%s: border %s (faults %s), condition '%s'\n", d.name().c_str(),
+              util::eng(*br.br, "Ohm").c_str(),
+              br.fault_at_high_r ? "above" : "below",
+              br.condition.str().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  defect::Defect d{defect::DefectKind::O3, dram::Side::True};
+  if (argc > 2 && !parse_defect(argv[2], &d.kind) && cmd != "table1")
+    return usage();
+  if (argc > 3 && std::strcmp(argv[3], "comp") == 0)
+    d.side = dram::Side::Comp;
+
+  try {
+    core::StressFlow flow;
+    if (cmd == "analyze") {
+      show_border(flow.analyze(d), d);
+      return 0;
+    }
+    if (cmd == "optimize") {
+      const auto r = flow.optimize(d);
+      show_border(r.nominal_border, d);
+      for (const auto& dec : r.decisions)
+        std::printf("  %-5s -> %s (%s)\n", stress::to_string(dec.axis),
+                    dec.direction().c_str(), stress::to_string(dec.method));
+      std::printf("stressed: %s\n", stress::describe(r.stressed_sc).c_str());
+      show_border(r.stressed_border, d);
+      return 0;
+    }
+    if (cmd == "report") {
+      const auto r = flow.optimize(d);
+      std::fputs(core::optimization_report(flow.column(), r).c_str(), stdout);
+      return 0;
+    }
+    if (cmd == "table1") {
+      std::fputs(flow.table1().render().c_str(), stdout);
+      return 0;
+    }
+    if (cmd == "ffm") {
+      if (argc < 5) return usage();
+      const double r = circuit::parse_spice_number(argv[4]);
+      defect::Injection inj(flow.column(), d, r);
+      dram::ColumnSimulator sim(flow.column(), flow.nominal());
+      std::printf("%s at %s: %s\n", d.name().c_str(),
+                  util::eng(r, "Ohm").c_str(),
+                  analysis::classify_ffm(sim, d.side).str().c_str());
+      return 0;
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

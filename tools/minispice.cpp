@@ -1,0 +1,83 @@
+// minispice: run a SPICE-dialect deck with the bundled electrical engine.
+//
+//   minispice deck.sp            # run .tran, print probes as CSV to stdout
+//   minispice deck.sp --plot     # ASCII-plot the probes instead
+//
+// Supported dialect: see circuit/spice_reader.hpp.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "circuit/mna.hpp"
+#include "circuit/spice_reader.hpp"
+#include "circuit/transient.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+using namespace dramstress;
+using namespace dramstress::circuit;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <deck.sp> [--plot]\n", argv[0]);
+    return 2;
+  }
+  const bool plot = argc > 2 && std::string(argv[2]) == "--plot";
+
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  try {
+    SpiceDeck deck = parse_spice(buffer.str());
+    if (!deck.title.empty())
+      std::fprintf(stderr, "* %s\n", deck.title.c_str());
+    if (deck.tran_stop <= 0.0) {
+      std::fprintf(stderr, "deck has no .tran card\n");
+      return 2;
+    }
+
+    MnaSystem sys(*deck.netlist);
+    TransientOptions opt;
+    opt.dt = deck.tran_step;
+    opt.temperature = units::celsius_to_kelvin(deck.temp_c);
+    TransientSim sim(sys, opt);
+    for (const auto& [node, volts] : deck.initial_conditions)
+      sim.set_initial_condition(deck.netlist->find_node(node), volts);
+    for (const std::string& probe : deck.probes)
+      sim.add_probe(probe, deck.netlist->find_node(probe));
+    sim.run(deck.tran_stop);
+
+    const Trace& trace = sim.trace();
+    if (plot) {
+      std::vector<util::Series> series;
+      for (size_t p = 0; p < trace.names.size(); ++p)
+        series.push_back({trace.names[p], static_cast<char>('1' + p),
+                          trace.time, trace.samples[p]});
+      util::PlotOptions po;
+      po.title = deck.title.empty() ? argv[1] : deck.title;
+      po.x_label = "t [s]";
+      std::printf("%s", util::ascii_plot(series, po).c_str());
+    } else {
+      std::printf("time");
+      for (const auto& name : trace.names) std::printf(",%s", name.c_str());
+      std::printf("\n");
+      for (size_t i = 0; i < trace.time.size(); ++i) {
+        std::printf("%.9g", trace.time[i]);
+        for (const auto& samples : trace.samples)
+          std::printf(",%.6g", samples[i]);
+        std::printf("\n");
+      }
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
