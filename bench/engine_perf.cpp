@@ -2,15 +2,30 @@
 //  * dense LU factorization at MNA-typical sizes,
 //  * one Newton-converged transient step of the full column,
 //  * a complete memory operation cycle,
-//  * one Vsa extraction (the inner loop of every result plane).
+//  * one Vsa extraction (the inner loop of every result plane),
+//  * generate_plane_set end to end: the seed serial path (1 thread, no Vsa
+//    memoization) vs. the parallel engine (pool + VsaCache).
+//
+// The plane-set comparison is written to BENCH_engine.json (wall time and
+// points/sec per variant plus the speedup) so the perf trajectory is
+// tracked across PRs.  Flags: --r-points=N shrinks the sweep grid,
+// --threads=N caps the pool, --skip-micro skips the google-benchmark
+// microbenches.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/result_plane.hpp"
 #include "analysis/vsa.hpp"
 #include "defect/defect.hpp"
 #include "circuit/mna.hpp"
 #include "dram/column_sim.hpp"
 #include "numeric/lu.hpp"
 #include "stress/stress.hpp"
+#include "util/parallel.hpp"
 
 using namespace dramstress;
 
@@ -66,6 +81,121 @@ void BM_VsaExtraction(benchmark::State& state) {
 }
 BENCHMARK(BM_VsaExtraction);
 
+// --- plane-set sweep: serial seed path vs. parallel engine ----------------
+
+struct SweepTiming {
+  double wall_s = 0.0;
+  long points = 0;  // R points x 3 planes
+  double points_per_s() const { return points / wall_s; }
+};
+
+/// Time the three planes of generate_plane_set.  `serial_seed_path`
+/// reproduces the pre-parallel engine exactly: three independent
+/// generate_plane calls on one thread with no Vsa memoization (each plane
+/// re-extracts the identical Vsa(R) curve).
+SweepTiming time_plane_set(const analysis::PlaneOptions& opt,
+                           bool serial_seed_path, int threads) {
+  dram::DramColumn column;
+  const defect::Defect d{defect::DefectKind::O3, dram::Side::True};
+  dram::ColumnSimulator sim(column, stress::nominal_condition());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (serial_seed_path) {
+    analysis::PlaneOptions o = opt;
+    o.threads = 1;
+    o.vsa_cache = nullptr;
+    auto w0 = analysis::generate_plane(column, d, sim, dram::OpKind::W0, o);
+    auto w1 = analysis::generate_plane(column, d, sim, dram::OpKind::W1, o);
+    auto r = analysis::generate_plane(column, d, sim, dram::OpKind::R, o);
+    benchmark::DoNotOptimize(w0);
+    benchmark::DoNotOptimize(w1);
+    benchmark::DoNotOptimize(r);
+  } else {
+    analysis::PlaneOptions o = opt;
+    o.threads = threads;
+    auto set = analysis::generate_plane_set(column, d, sim, o);
+    benchmark::DoNotOptimize(set);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  SweepTiming t;
+  t.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  t.points = 3L * opt.num_r_points;
+  return t;
+}
+
+void write_json(const std::string& path, const analysis::PlaneOptions& opt,
+                int threads, const SweepTiming& serial,
+                const SweepTiming& parallel) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"generate_plane_set\",\n"
+               "  \"defect\": \"O3 (true)\",\n"
+               "  \"r_points\": %d,\n"
+               "  \"ops_per_point\": %d,\n"
+               "  \"planes\": 3,\n"
+               "  \"points\": %ld,\n"
+               "  \"hardware_threads\": %d,\n"
+               "  \"threads\": %d,\n"
+               "  \"serial_seed_path\": {\"wall_s\": %.6f, "
+               "\"points_per_s\": %.3f},\n"
+               "  \"parallel_engine\": {\"wall_s\": %.6f, "
+               "\"points_per_s\": %.3f},\n"
+               "  \"speedup\": %.3f\n"
+               "}\n",
+               opt.num_r_points, opt.ops_per_point, serial.points,
+               util::hardware_threads(), threads, serial.wall_s,
+               serial.points_per_s(), parallel.wall_s,
+               parallel.points_per_s(), serial.wall_s / parallel.wall_s);
+  std::fclose(f);
+  std::printf("[json] wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  analysis::PlaneOptions opt;  // default PlaneOptions: the acceptance grid
+  int threads = 0;             // 0 = util::default_threads()
+  bool skip_micro = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--r-points=", 11) == 0)
+      opt.num_r_points = std::atoi(argv[i] + 11);
+    else if (std::strncmp(argv[i], "--threads=", 10) == 0)
+      threads = std::atoi(argv[i] + 10);
+    else if (std::strcmp(argv[i], "--skip-micro") == 0)
+      skip_micro = true;
+  }
+  if (threads > 0) util::set_default_threads(threads);
+  const int pool = util::resolve_threads(threads);
+
+  std::printf("generate_plane_set: %d R points x 3 planes, pool of %d "
+              "(hardware %d)\n",
+              opt.num_r_points, pool, util::hardware_threads());
+  try {
+    const SweepTiming serial =
+        time_plane_set(opt, /*serial_seed_path=*/true, 1);
+    std::printf("  serial seed path : %8.3f s  (%7.2f points/s)\n",
+                serial.wall_s, serial.points_per_s());
+    const SweepTiming parallel =
+        time_plane_set(opt, /*serial_seed_path=*/false, threads);
+    std::printf(
+        "  parallel engine  : %8.3f s  (%7.2f points/s)  speedup %.2fx\n",
+        parallel.wall_s, parallel.points_per_s(),
+        serial.wall_s / parallel.wall_s);
+    write_json("BENCH_engine.json", opt, pool, serial, parallel);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  if (skip_micro) return 0;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,34 +2,37 @@
 // for every defect kind, sweep the resistance and print which FFMs appear
 // where -- the bridge from electrical defect analysis to march-test
 // selection (a TF needs a transition sensitization, a DRF needs a pause).
+// The sweep runs on the parallel engine (analysis::ffm_map); set
+// DRAMSTRESS_THREADS to control the worker count.
 #include <cstdio>
 
 #include "analysis/ffm.hpp"
-#include "numeric/interp.hpp"
 #include "util/strings.hpp"
 
 using namespace dramstress;
 
 int main() {
-  dram::DramColumn column;
-  dram::ColumnSimulator sim(column, {2.4, 27.0, 60e-9, 0.5});
+  std::vector<defect::Defect> defects;
+  for (defect::DefectKind kind :
+       {defect::DefectKind::O1, defect::DefectKind::O3, defect::DefectKind::Sg,
+        defect::DefectKind::Sv, defect::DefectKind::B1, defect::DefectKind::B2})
+    defects.push_back({kind, dram::Side::True});
+
+  const dram::OperatingConditions cond{2.4, 27.0, 60e-9, 0.5};
+  const auto entries =
+      analysis::ffm_map(dram::default_technology(), cond, defects);
 
   std::printf("%-10s %-12s %s\n", "defect", "R", "fault models");
   std::printf("%s\n", std::string(60, '-').c_str());
-  for (defect::DefectKind kind :
-       {defect::DefectKind::O1, defect::DefectKind::O3, defect::DefectKind::Sg,
-        defect::DefectKind::Sv, defect::DefectKind::B1, defect::DefectKind::B2}) {
-    const defect::Defect d{kind, dram::Side::True};
-    const auto range = defect::default_sweep_range(kind);
-    for (double r : numeric::logspace(range.lo * 30, range.hi, 5)) {
-      defect::Injection inj(column, d, r);
-      const analysis::FfmReport report = analysis::classify_ffm(sim, d.side);
-      std::printf("%-10s %-12s %s\n", d.name().c_str(),
-                  util::eng(r, "Ohm").c_str(), report.str().c_str());
-    }
-    std::printf("\n");
+  const defect::Defect* last = nullptr;
+  for (const analysis::FfmMapEntry& e : entries) {
+    if (last && (last->kind != e.defect.kind || last->side != e.defect.side))
+      std::printf("\n");
+    last = &e.defect;
+    std::printf("%-10s %-12s %s\n", e.defect.name().c_str(),
+                util::eng(e.r, "Ohm").c_str(), e.report.str().c_str());
   }
-  std::printf("reading the map: opens turn into transition faults near the\n"
+  std::printf("\nreading the map: opens turn into transition faults near the\n"
               "border and retention faults beyond it; shorts/bridges are\n"
               "retention faults over most of their range and only become\n"
               "transition/stuck faults when strong.\n");

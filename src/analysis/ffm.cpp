@@ -1,5 +1,10 @@
 #include "analysis/ffm.hpp"
 
+#include <memory>
+
+#include "numeric/interp.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/strings.hpp"
 
 namespace dramstress::analysis {
@@ -119,6 +124,38 @@ FfmReport classify_ffm(const dram::ColumnSimulator& sim, Side side,
       add(FaultModel::ReadDisturb0);
   }
   return report;
+}
+
+std::vector<double> ffm_map_grid(defect::DefectKind kind,
+                                 const FfmMapOptions& opt) {
+  const auto range = defect::default_sweep_range(kind);
+  return numeric::logspace(range.lo * opt.lo_scale, range.hi,
+                           opt.num_r_points);
+}
+
+std::vector<FfmMapEntry> ffm_map(const dram::TechnologyParams& tech,
+                                 const dram::OperatingConditions& cond,
+                                 const std::vector<defect::Defect>& defects,
+                                 const FfmMapOptions& opt) {
+  require(opt.num_r_points >= 1, "ffm_map: need >= 1 R point");
+  std::vector<FfmMapEntry> entries;
+  for (const defect::Defect& d : defects)
+    for (double r : ffm_map_grid(d.kind, opt)) entries.push_back({d, r, {}, {}});
+
+  // One column clone per worker; the defect changes between entries, so
+  // each entry scopes its own RAII injection on that clone.
+  util::parallel_for_state(
+      entries.size(),
+      [&] { return std::make_unique<dram::DramColumn>(tech); },
+      [&](std::unique_ptr<dram::DramColumn>& column, size_t i) {
+        FfmMapEntry& e = entries[i];
+        defect::Injection inj(*column, e.defect, e.r);
+        const dram::ColumnSimulator sim(*column, cond, opt.settings);
+        e.vsa = extract_vsa(sim, e.defect.side, opt.vsa);
+        e.report = classify_ffm(sim, e.defect.side, opt.probe);
+      },
+      {.threads = opt.threads});
+  return entries;
 }
 
 }  // namespace dramstress::analysis

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/vsa.hpp"
 #include "defect/defect.hpp"
 #include "dram/column_sim.hpp"
 
@@ -49,5 +50,40 @@ struct FfmReport {
 /// the addressed cell on `side`.
 FfmReport classify_ffm(const dram::ColumnSimulator& sim, dram::Side side,
                        const FfmProbeOptions& opt = {});
+
+// --- FFM maps: classification swept over defects x resistance ------------
+
+struct FfmMapOptions {
+  int num_r_points = 5;   // log-spaced grid per defect
+  /// The grid starts at lo_scale * default_sweep_range(kind).lo: the very
+  /// bottom of the range is pristine for opens and catastrophic for
+  /// shunts, neither of which maps to an interesting FFM.
+  double lo_scale = 30.0;
+  FfmProbeOptions probe;
+  VsaOptions vsa;
+  dram::SimSettings settings;
+  /// Worker threads; 0 = util::default_threads().  Entry order and values
+  /// are identical for every thread count.
+  int threads = 0;
+};
+
+/// Resistance grid ffm_map uses for one defect kind.
+std::vector<double> ffm_map_grid(defect::DefectKind kind,
+                                 const FfmMapOptions& opt = {});
+
+struct FfmMapEntry {
+  defect::Defect defect;
+  double r = 0.0;
+  VsaResult vsa;
+  FfmReport report;
+};
+
+/// Sweep every defect over its resistance grid at corner `cond`, reporting
+/// the sense threshold and the exhibited FFMs per point.  Entries are
+/// ordered defect-major, R ascending.  Runs on the parallel sweep pool.
+std::vector<FfmMapEntry> ffm_map(const dram::TechnologyParams& tech,
+                                 const dram::OperatingConditions& cond,
+                                 const std::vector<defect::Defect>& defects,
+                                 const FfmMapOptions& opt = {});
 
 }  // namespace dramstress::analysis

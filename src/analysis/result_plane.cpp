@@ -1,6 +1,8 @@
 #include "analysis/result_plane.hpp"
 
+#include "defect/sweep_context.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace dramstress::analysis {
 
@@ -43,59 +45,86 @@ ResultPlane generate_plane(dram::DramColumn& column, const defect::Defect& d,
   plane.vmp = 0.5 * vdd;
   plane.r_values = numeric::logspace(opt.r_lo, opt.r_hi, opt.num_r_points);
 
+  const size_t n_points = plane.r_values.size();
   const int n_ops = opt.ops_per_point;
+  const std::vector<double> empty_curve(n_points, 0.0);
   if (op == OpKind::R) {
     for (int k = 0; k < n_ops; ++k) {
-      plane.curves.push_back({k + 1, false, {}});
-      plane.curves.push_back({k + 1, true, {}});
+      plane.curves.push_back({k + 1, false, empty_curve});
+      plane.curves.push_back({k + 1, true, empty_curve});
     }
   } else {
-    for (int k = 0; k < n_ops; ++k) plane.curves.push_back({k + 1, false, {}});
+    for (int k = 0; k < n_ops; ++k)
+      plane.curves.push_back({k + 1, false, empty_curve});
   }
+  plane.vsa.assign(n_points, 0.0);
+  plane.vsa_raw.assign(n_points, VsaResult{});
 
-  defect::Injection inj(column, d, plane.r_values.front());
-  for (double r : plane.r_values) {
-    inj.set_value(r);
-    const VsaResult vsa = extract_vsa(sim, d.side, opt.vsa);
-    plane.vsa_raw.push_back(vsa);
-    plane.vsa.push_back(vsa.threshold);
+  // Injection::set_value and waveform installation mutate column state, so
+  // each worker sweeps its own clone; every R point writes only its own
+  // pre-sized slot, keeping results bit-identical across thread counts.
+  const dram::TechnologyParams tech = column.tech();
+  const dram::OperatingConditions cond = sim.conditions();
+  const dram::SimSettings settings = sim.settings();
+  const double r_init = plane.r_values.front();
+  util::parallel_for_state(
+      n_points,
+      [&] { return defect::SweepContext(tech, d, r_init, cond, settings); },
+      [&](defect::SweepContext& ctx, size_t i) {
+        const double r = plane.r_values[i];
+        ctx.injection().set_value(r);
+        const VsaResult vsa =
+            opt.vsa_cache ? opt.vsa_cache->get_or_extract(ctx.sim(), d, r,
+                                                          opt.vsa)
+                          : extract_vsa(ctx.sim(), d.side, opt.vsa);
+        plane.vsa_raw[i] = vsa;
+        plane.vsa[i] = vsa.threshold;
 
-    if (op == OpKind::R) {
-      // Two read walks bracketing the threshold, as in Fig. 2(c).
-      const OpSequence reads(static_cast<size_t>(n_ops), Operation::r());
-      const double below = std::max(0.0, vsa.threshold - opt.read_probe_offset);
-      const double above = std::min(vdd, vsa.threshold + opt.read_probe_offset);
-      const dram::RunResult rb = sim.run(reads, below, d.side);
-      const dram::RunResult ra = sim.run(reads, above, d.side);
-      for (int k = 0; k < n_ops; ++k) {
-        plane.curves[static_cast<size_t>(2 * k)].vc.push_back(
-            rb.vc_after(static_cast<size_t>(k)));
-        plane.curves[static_cast<size_t>(2 * k + 1)].vc.push_back(
-            ra.vc_after(static_cast<size_t>(k)));
-      }
-    } else {
-      // Write walks start from the opposite rail: the w0 plane starts from
-      // a stored 1, the w1 plane from a stored 0 (physical level depends on
-      // the side the cell hangs on).
-      const int target = op == OpKind::W0 ? 0 : 1;
-      const double init = dram::physical_level(d.side, 1 - target, vdd);
-      const OpSequence writes(static_cast<size_t>(n_ops), op_of(op));
-      const dram::RunResult rr = sim.run(writes, init, d.side);
-      for (int k = 0; k < n_ops; ++k)
-        plane.curves[static_cast<size_t>(k)].vc.push_back(
-            rr.vc_after(static_cast<size_t>(k)));
-    }
-  }
+        if (op == OpKind::R) {
+          // Two read walks bracketing the threshold, as in Fig. 2(c).
+          const OpSequence reads(static_cast<size_t>(n_ops), Operation::r());
+          const double below =
+              std::max(0.0, vsa.threshold - opt.read_probe_offset);
+          const double above =
+              std::min(vdd, vsa.threshold + opt.read_probe_offset);
+          const dram::RunResult rb = ctx.sim().run(reads, below, d.side);
+          const dram::RunResult ra = ctx.sim().run(reads, above, d.side);
+          for (int k = 0; k < n_ops; ++k) {
+            plane.curves[static_cast<size_t>(2 * k)].vc[i] =
+                rb.vc_after(static_cast<size_t>(k));
+            plane.curves[static_cast<size_t>(2 * k + 1)].vc[i] =
+                ra.vc_after(static_cast<size_t>(k));
+          }
+        } else {
+          // Write walks start from the opposite rail: the w0 plane starts
+          // from a stored 1, the w1 plane from a stored 0 (physical level
+          // depends on the side the cell hangs on).
+          const int target = op == OpKind::W0 ? 0 : 1;
+          const double init = dram::physical_level(d.side, 1 - target, vdd);
+          const OpSequence writes(static_cast<size_t>(n_ops), op_of(op));
+          const dram::RunResult rr = ctx.sim().run(writes, init, d.side);
+          for (int k = 0; k < n_ops; ++k)
+            plane.curves[static_cast<size_t>(k)].vc[i] =
+                rr.vc_after(static_cast<size_t>(k));
+        }
+      },
+      {.threads = opt.threads});
   return plane;
 }
 
 PlaneSet generate_plane_set(dram::DramColumn& column, const defect::Defect& d,
                             const dram::ColumnSimulator& sim,
                             const PlaneOptions& opt) {
+  // All three planes share one Vsa(R) curve: memoize it so each point is
+  // extracted once instead of once per plane.
+  VsaCache local_cache;
+  PlaneOptions shared = opt;
+  if (!shared.vsa_cache) shared.vsa_cache = &local_cache;
+
   PlaneSet set;
-  set.w0 = generate_plane(column, d, sim, OpKind::W0, opt);
-  set.w1 = generate_plane(column, d, sim, OpKind::W1, opt);
-  set.r = generate_plane(column, d, sim, OpKind::R, opt);
+  set.w0 = generate_plane(column, d, sim, OpKind::W0, shared);
+  set.w1 = generate_plane(column, d, sim, OpKind::W1, shared);
+  set.r = generate_plane(column, d, sim, OpKind::R, shared);
   return set;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "analysis/vsa.hpp"
+#include "analysis/vsa_cache.hpp"
 #include "defect/defect.hpp"
 #include "dram/column_sim.hpp"
 #include "numeric/interp.hpp"
@@ -26,6 +27,12 @@ struct PlaneOptions {
   double r_hi = 10e6;
   double read_probe_offset = 0.2;  // V around Vsa for the r plane
   VsaOptions vsa;
+  /// Worker threads for the R sweep; 0 = util::default_threads().  Results
+  /// are bit-identical for every thread count.
+  int threads = 0;
+  /// Optional Vsa(R) memoization shared across planes of the same defect
+  /// and corner (generate_plane_set supplies one automatically).
+  VsaCache* vsa_cache = nullptr;
 };
 
 /// One curve of the plane: Vc after the (op_number)-th operation vs R.

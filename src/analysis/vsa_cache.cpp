@@ -1,0 +1,60 @@
+#include "analysis/vsa_cache.hpp"
+
+#include <tuple>
+
+namespace dramstress::analysis {
+
+bool VsaCacheKey::operator<(const VsaCacheKey& o) const {
+  return std::tie(kind, side, r, vdd, temp_c, tcyc, duty, tolerance) <
+         std::tie(o.kind, o.side, o.r, o.vdd, o.temp_c, o.tcyc, o.duty,
+                  o.tolerance);
+}
+
+VsaResult VsaCache::get_or_extract(const dram::ColumnSimulator& sim,
+                                   const defect::Defect& d, double r,
+                                   const VsaOptions& opt) {
+  const dram::OperatingConditions& c = sim.conditions();
+  const VsaCacheKey key{d.kind, d.side,  r,      c.vdd,
+                        c.temp_c, c.tcyc, c.duty, opt.tolerance};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Extract outside the lock: the bisection is the expensive part and the
+  // result is deterministic, so a duplicate race costs time, not identity.
+  const VsaResult result = extract_vsa(sim, d.side, opt);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
+    entries_.emplace(key, result);
+  }
+  return result;
+}
+
+size_t VsaCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+size_t VsaCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t VsaCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void VsaCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace dramstress::analysis

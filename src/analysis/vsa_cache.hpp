@@ -1,0 +1,59 @@
+// Memoized Vsa(R) extraction.
+//
+// generate_plane_set extracts the identical Vsa(R) curve once per op
+// plane -- three bisections (a dozen read simulations each) per R point
+// where one suffices.  The threshold is fully determined by the defect,
+// its resistance, the addressed side, the operating corner and the
+// bisection tolerance, so a cache keyed on exactly that tuple returns
+// bit-identical results to a fresh extraction.  The cache is thread-safe:
+// parallel plane workers share one instance.  Two workers racing on the
+// same missing key may both run the extraction, but they store the same
+// deterministic value, so the first insert wins harmlessly.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+
+#include "analysis/vsa.hpp"
+#include "defect/defect.hpp"
+
+namespace dramstress::analysis {
+
+/// Everything extract_vsa's result depends on, with exact (bitwise) double
+/// comparison -- sweep grids revisit the very same values.
+struct VsaCacheKey {
+  defect::DefectKind kind{};
+  dram::Side side{};
+  double r = 0.0;
+  double vdd = 0.0;
+  double temp_c = 0.0;
+  double tcyc = 0.0;
+  double duty = 0.0;
+  double tolerance = 0.0;
+
+  bool operator<(const VsaCacheKey& o) const;
+};
+
+class VsaCache {
+public:
+  /// Return the cached threshold for (d, r) under the simulator's corner,
+  /// or run extract_vsa and remember it.  The simulator's column must
+  /// already have `d` injected at resistance `r`.
+  VsaResult get_or_extract(const dram::ColumnSimulator& sim,
+                           const defect::Defect& d, double r,
+                           const VsaOptions& opt = {});
+
+  size_t hits() const;
+  size_t misses() const;
+  size_t size() const;
+  void clear();
+
+private:
+  mutable std::mutex mu_;
+  std::map<VsaCacheKey, VsaResult> entries_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace dramstress::analysis

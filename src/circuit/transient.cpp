@@ -1,5 +1,6 @@
 #include "circuit/transient.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/error.hpp"
@@ -10,15 +11,14 @@ namespace dramstress::circuit {
 double Trace::at(const std::string& name, double t) const {
   const size_t p = probe_index(name);
   require(!time.empty(), "Trace: empty");
-  size_t best = 0;
-  double best_d = std::fabs(time[0] - t);
-  for (size_t i = 1; i < time.size(); ++i) {
-    const double d = std::fabs(time[i] - t);
-    if (d < best_d) {
-      best_d = d;
-      best = i;
-    }
-  }
+  // `time` is monotone, so the nearest sample is one of the two neighbours
+  // of the lower_bound -- O(log N) instead of a full-trace scan.
+  const auto it = std::lower_bound(time.begin(), time.end(), t);
+  if (it == time.begin()) return samples[p].front();
+  if (it == time.end()) return samples[p].back();
+  const size_t hi = static_cast<size_t>(it - time.begin());
+  const size_t lo = hi - 1;
+  const size_t best = (t - time[lo] <= time[hi] - t) ? lo : hi;
   return samples[p][best];
 }
 

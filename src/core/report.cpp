@@ -3,7 +3,6 @@
 #include <sstream>
 
 #include "analysis/vsa.hpp"
-#include "numeric/interp.hpp"
 #include "util/strings.hpp"
 
 namespace dramstress::core {
@@ -18,15 +17,15 @@ namespace {
 void vsa_and_ffm_table(std::ostringstream& out, dram::DramColumn& column,
                        const Defect& d, const dram::ColumnSimulator& sim,
                        const ReportOptions& opt) {
-  const auto range = defect::default_sweep_range(d.kind);
+  analysis::FfmMapOptions mopt;
+  mopt.num_r_points = opt.r_samples;
+  mopt.probe = opt.ffm;
+  mopt.settings = sim.settings();
   out << "| R | Vsa | fault models |\n|---|---|---|\n";
-  for (double r :
-       numeric::logspace(range.lo * 30, range.hi, opt.r_samples)) {
-    defect::Injection inj(column, d, r);
-    const auto vsa = analysis::extract_vsa(sim, d.side);
-    const auto ffm = analysis::classify_ffm(sim, d.side, opt.ffm);
-    out << format("| %s | %.3f V | %s |\n", eng(r, "Ohm").c_str(),
-                  vsa.threshold, ffm.str().c_str());
+  for (const analysis::FfmMapEntry& e :
+       analysis::ffm_map(column.tech(), sim.conditions(), {d}, mopt)) {
+    out << format("| %s | %.3f V | %s |\n", eng(e.r, "Ohm").c_str(),
+                  e.vsa.threshold, e.report.str().c_str());
   }
 }
 

@@ -1,0 +1,13 @@
+#include "defect/sweep_context.hpp"
+
+namespace dramstress::defect {
+
+SweepContext::SweepContext(const dram::TechnologyParams& tech,
+                           const Defect& defect, double r_init,
+                           dram::OperatingConditions cond,
+                           dram::SimSettings settings)
+    : column_(std::make_unique<dram::DramColumn>(tech)),
+      injection_(std::make_unique<Injection>(*column_, defect, r_init)),
+      sim_(std::make_unique<dram::ColumnSimulator>(*column_, cond, settings)) {}
+
+}  // namespace dramstress::defect

@@ -1,0 +1,44 @@
+// Per-worker column clone for parallel sweeps.
+//
+// Defect sweeps mutate shared state twice over: Injection::set_value
+// rewrites a placeholder resistor of the column, and every
+// ColumnSimulator::run installs fresh control waveforms on it.  Workers of
+// a parallel sweep therefore cannot share one DramColumn.  A SweepContext
+// is the worker-local bundle -- its own column (rebuilt from the same
+// TechnologyParams, so electrically identical), its own RAII injection and
+// its own simulator.  Because runs are stateless apart from that mutable
+// column state, a sweep over per-worker clones is bit-identical to the
+// serial sweep over one shared column.
+#pragma once
+
+#include <memory>
+
+#include "defect/defect.hpp"
+#include "dram/column_sim.hpp"
+
+namespace dramstress::defect {
+
+class SweepContext {
+public:
+  /// Build a column from `tech`, inject `defect` at `r_init` and wrap a
+  /// simulator at corner `cond` with `settings`.
+  SweepContext(const dram::TechnologyParams& tech, const Defect& defect,
+               double r_init, dram::OperatingConditions cond = {},
+               dram::SimSettings settings = {});
+
+  SweepContext(SweepContext&&) = default;
+  SweepContext& operator=(SweepContext&&) = default;
+
+  dram::DramColumn& column() { return *column_; }
+  const dram::ColumnSimulator& sim() const { return *sim_; }
+  dram::ColumnSimulator& sim() { return *sim_; }
+  Injection& injection() { return *injection_; }
+  const Defect& defect() const { return injection_->defect(); }
+
+private:
+  std::unique_ptr<dram::DramColumn> column_;
+  std::unique_ptr<Injection> injection_;
+  std::unique_ptr<dram::ColumnSimulator> sim_;
+};
+
+}  // namespace dramstress::defect

@@ -1,5 +1,6 @@
 #include "numeric/lu.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/error.hpp"
@@ -10,8 +11,11 @@ namespace dramstress::numeric {
 void LuSolver::factor(const Matrix& a, double pivot_tol) {
   require(a.rows() == a.cols(), "LuSolver: matrix must be square");
   n_ = a.rows();
-  lu_ = a;
-  perm_.resize(n_);
+  // The transient loop refactors a same-sized Jacobian every Newton
+  // iteration: copy into the existing storage instead of reallocating.
+  if (lu_.rows() != n_ || lu_.cols() != n_) lu_ = Matrix(n_, n_);
+  std::copy(a.data(), a.data() + n_ * n_, lu_.data());
+  if (perm_.size() != n_) perm_.resize(n_);
   for (size_t i = 0; i < n_; ++i) perm_[i] = i;
 
   double amax = 0.0;

@@ -24,6 +24,10 @@ public:
 
   size_t size() const { return n_; }
 
+  /// Address of the internal factor storage; exposed so tests can assert
+  /// that same-sized refactorizations reuse it instead of reallocating.
+  const double* lu_storage() const { return lu_.data(); }
+
 private:
   size_t n_ = 0;
   Matrix lu_;

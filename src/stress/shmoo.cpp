@@ -2,7 +2,9 @@
 
 #include <sstream>
 
+#include "defect/sweep_context.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/strings.hpp"
 
 namespace dramstress::stress {
@@ -48,17 +50,33 @@ ShmooPlot shmoo_plot(dram::DramColumn& column, const defect::Defect& d,
   plot.x_values = opt.x_values;
   plot.y_values = opt.y_values;
 
-  defect::Injection inj(column, d, r_defect);
-  for (double y : opt.y_values) {
-    std::vector<bool> row;
-    for (double x : opt.x_values) {
-      StressCondition sc = base;
-      set_axis(sc, opt.x_axis, x);
-      set_axis(sc, opt.y_axis, y);
-      dram::ColumnSimulator sim(column, sc, opt.settings);
-      row.push_back(!analysis::condition_fails(sim, d.side, cond));
-      ++plot.simulations;
-    }
+  // Flat pass/fail scratch (vector<bool> bit-packs, so concurrent writes
+  // to neighbouring cells of one row would race); each grid point fills
+  // exactly one byte.
+  const size_t nx = opt.x_values.size();
+  const size_t ny = opt.y_values.size();
+  std::vector<unsigned char> pass_flat(nx * ny, 0);
+  const dram::TechnologyParams tech = column.tech();
+  util::parallel_for_state(
+      nx * ny,
+      [&] {
+        return defect::SweepContext(tech, d, r_defect, base, opt.settings);
+      },
+      [&](defect::SweepContext& ctx, size_t idx) {
+        StressCondition sc = base;
+        set_axis(sc, opt.x_axis, opt.x_values[idx % nx]);
+        set_axis(sc, opt.y_axis, opt.y_values[idx / nx]);
+        const dram::ColumnSimulator sim(ctx.column(), sc, opt.settings);
+        pass_flat[idx] =
+            analysis::condition_fails(sim, d.side, cond) ? 0 : 1;
+      },
+      {.threads = opt.threads});
+
+  plot.simulations = static_cast<long>(nx * ny);
+  plot.pass.reserve(ny);
+  for (size_t iy = 0; iy < ny; ++iy) {
+    std::vector<bool> row(nx);
+    for (size_t ix = 0; ix < nx; ++ix) row[ix] = pass_flat[iy * nx + ix] != 0;
     plot.pass.push_back(std::move(row));
   }
   return plot;

@@ -22,6 +22,9 @@ struct ShmooOptions {
   std::vector<double> x_values;  // required
   std::vector<double> y_values;  // required
   dram::SimSettings settings;
+  /// Worker threads for the x*y grid; 0 = util::default_threads().  The
+  /// plot is bit-identical for every thread count.
+  int threads = 0;
 };
 
 struct ShmooPlot {

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace dramstress::stress {
 
@@ -62,17 +64,33 @@ BorderDistribution border_distribution(const defect::Defect& d,
                                        const VariationOptions& opt) {
   require(opt.samples >= 1, "border_distribution: need >= 1 sample");
   BorderDistribution dist;
-  numeric::Rng rng(opt.seed);
   const auto range = defect::default_sweep_range(d.kind);
-  for (int s = 0; s < opt.samples; ++s) {
-    const dram::TechnologyParams tech =
-        perturb_technology(base, opt.spec, rng);
-    dram::DramColumn column(tech);
-    dram::ColumnSimulator sim(column, sc, opt.settings);
-    const analysis::BorderResult br = analysis::find_border_resistance(
-        column, d, sim, cond, range, opt.border);
-    if (br.br.has_value())
-      dist.borders.push_back(*br.br);
+
+  // Draw every technology sample serially from the single seeded stream
+  // (cheap), then fan the expensive border searches out over the pool.
+  // Each sample writes its own slot; the in-order aggregation below keeps
+  // the distribution identical for every thread count.
+  numeric::Rng rng(opt.seed);
+  std::vector<dram::TechnologyParams> techs;
+  techs.reserve(static_cast<size_t>(opt.samples));
+  for (int s = 0; s < opt.samples; ++s)
+    techs.push_back(perturb_technology(base, opt.spec, rng));
+
+  std::vector<std::optional<double>> borders(techs.size());
+  util::parallel_for(
+      techs.size(),
+      [&](size_t s) {
+        dram::DramColumn column(techs[s]);
+        dram::ColumnSimulator sim(column, sc, opt.settings);
+        const analysis::BorderResult br = analysis::find_border_resistance(
+            column, d, sim, cond, range, opt.border);
+        borders[s] = br.br;
+      },
+      {.threads = opt.threads});
+
+  for (const std::optional<double>& b : borders) {
+    if (b.has_value())
+      dist.borders.push_back(*b);
     else
       ++dist.no_fault_samples;
   }

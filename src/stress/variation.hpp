@@ -45,6 +45,10 @@ struct VariationOptions {
   VariationSpec spec;
   analysis::BorderOptions border;
   dram::SimSettings settings;
+  /// Worker threads for the Monte-Carlo samples; 0 = default.  Every
+  /// technology sample is drawn up front from the single seeded stream, so
+  /// the distribution is identical for every thread count.
+  int threads = 0;
 };
 
 /// Distribution of the border resistance of a *fixed* test `cond` for

@@ -484,3 +484,23 @@ TEST(Transient, IcAfterRunThrows) {
   sim.run(1e-9);
   EXPECT_THROW(sim.set_initial_condition(a, 1.0), ModelError);
 }
+
+TEST(Transient, TraceAtPicksNearestSample) {
+  Trace tr;
+  tr.names = {"v"};
+  tr.time = {0.0, 1.0, 2.0, 3.0};
+  tr.samples = {{10.0, 11.0, 12.0, 13.0}};
+  // Exact sample times.
+  EXPECT_DOUBLE_EQ(tr.at("v", 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(tr.at("v", 2.0), 12.0);
+  EXPECT_DOUBLE_EQ(tr.at("v", 3.0), 13.0);
+  // Between samples: nearest of the two neighbours (ties go low).
+  EXPECT_DOUBLE_EQ(tr.at("v", 1.4), 11.0);
+  EXPECT_DOUBLE_EQ(tr.at("v", 1.6), 12.0);
+  EXPECT_DOUBLE_EQ(tr.at("v", 1.5), 11.0);
+  // Out of range clamps to the first/last sample.
+  EXPECT_DOUBLE_EQ(tr.at("v", -5.0), 10.0);
+  EXPECT_DOUBLE_EQ(tr.at("v", 99.0), 13.0);
+  // Unknown probe still throws.
+  EXPECT_THROW(tr.at("nope", 1.0), ModelError);
+}

@@ -185,3 +185,33 @@ TEST(Interp, GridHelpers) {
   EXPECT_NEAR(lg[1], 1e4, 1e-6 * 1e4);
   EXPECT_NEAR(lg[3], 1e6, 1e-6 * 1e6);
 }
+
+TEST(Lu, FactorReusesStorageAcrossSameSizedCalls) {
+  auto make = [](double scale) {
+    dn::Matrix a(4, 4);
+    for (size_t i = 0; i < 4; ++i) {
+      for (size_t j = 0; j < 4; ++j) a(i, j) = scale * (1.0 + double(i * 4 + j));
+      a(i, i) += 10.0 * scale;
+    }
+    return a;
+  };
+  dn::LuSolver lu;
+  lu.factor(make(1.0));
+  const double* storage = lu.lu_storage();
+  const dn::Vector x1 = lu.solve({1.0, 2.0, 3.0, 4.0});
+  // A same-sized refactorization must reuse the internal buffer (the
+  // transient loop refactors every Newton iteration)...
+  lu.factor(make(2.0));
+  EXPECT_EQ(lu.lu_storage(), storage);
+  // ...and still produce a correct factorization: A2 = 2 A1, so the
+  // solution of A2 x = b is half the solution of A1 x = b.
+  const dn::Vector x2 = lu.solve({1.0, 2.0, 3.0, 4.0});
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(x2[i], 0.5 * x1[i], 1e-12);
+  // Growing the system reallocates and keeps solving correctly.
+  dn::Matrix big(6, 6);
+  for (size_t i = 0; i < 6; ++i) big(i, i) = 2.0;
+  lu.factor(big);
+  EXPECT_EQ(lu.size(), 6u);
+  const dn::Vector xb = lu.solve({2.0, 2.0, 2.0, 2.0, 2.0, 2.0});
+  for (size_t i = 0; i < 6; ++i) EXPECT_NEAR(xb[i], 1.0, 1e-12);
+}

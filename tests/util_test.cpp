@@ -3,11 +3,13 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "util/ascii_plot.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 #include "util/strings.hpp"
 #include "util/units.hpp"
 
@@ -131,4 +133,62 @@ TEST(Log, LevelFilteringAndRestore) {
   dramstress::util::set_log_level(LogLevel::Off);
   dramstress::util::log_error("also hidden");
   dramstress::util::set_log_level(before);
+}
+
+// ---------------------------------------------------------------- parallel
+
+TEST(Parallel, ThreadCountResolution) {
+  EXPECT_GE(du::hardware_threads(), 1);
+  const int before = du::default_threads();
+  du::set_default_threads(3);
+  EXPECT_EQ(du::default_threads(), 3);
+  EXPECT_EQ(du::resolve_threads(0), 3);
+  EXPECT_EQ(du::resolve_threads(7), 7);
+  du::set_default_threads(0);  // restore automatic resolution
+  EXPECT_EQ(du::default_threads(), before);
+}
+
+TEST(Parallel, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 9}) {
+    const size_t n = 1000;
+    std::vector<int> hits(n, 0);
+    du::parallel_for(
+        n, [&](size_t i) { ++hits[i]; }, {.threads = threads});
+    for (size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i], 1) << "i=" << i;
+  }
+}
+
+TEST(Parallel, WorkerStateIsPerThreadAndResultsDeterministic) {
+  const size_t n = 64;
+  std::vector<double> out_1(n, 0.0);
+  std::vector<double> out_4(n, 0.0);
+  auto body = [](std::vector<double>& out) {
+    return [&out](int& scratch, size_t i) {
+      scratch += static_cast<int>(i);  // worker-local, never shared
+      out[i] = static_cast<double>(i) * 1.5;
+    };
+  };
+  du::parallel_for_state(n, [] { return 0; }, body(out_1), {.threads = 1});
+  du::parallel_for_state(n, [] { return 0; }, body(out_4), {.threads = 4});
+  EXPECT_EQ(out_1, out_4);
+}
+
+TEST(Parallel, PropagatesBodyException) {
+  EXPECT_THROW(
+      du::parallel_for(
+          100,
+          [](size_t i) {
+            if (i == 37) throw dramstress::ModelError("boom");
+          },
+          {.threads = 4}),
+      dramstress::ModelError);
+}
+
+TEST(Parallel, RespectsMinChunkAndZeroN) {
+  du::parallel_for(0, [](size_t) { FAIL() << "body on empty range"; });
+  std::vector<int> hits(10, 0);
+  du::parallel_for(
+      hits.size(), [&](size_t i) { ++hits[i]; },
+      {.threads = 4, .min_chunk = 64});
+  for (int h : hits) EXPECT_EQ(h, 1);
 }

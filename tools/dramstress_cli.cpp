@@ -8,14 +8,20 @@
 //
 // defect in {o1,o2,o3,sg,sv,b1,b2,b3}; side in {true,comp} (default true);
 // R accepts engineering suffixes ("200k").
+//
+// --threads N caps the sweep worker pool (default: DRAMSTRESS_THREADS or
+// all hardware threads); results are identical for every thread count.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "circuit/spice_reader.hpp"  // parse_spice_number
 #include "core/flow.hpp"
 #include "core/report.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/strings.hpp"
 
 using namespace dramstress;
@@ -25,9 +31,32 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: dramstress <analyze|optimize|report|table1|ffm> "
-               "[defect] [side] [R]\n"
+               "[defect] [side] [R] [--threads N]\n"
                "  defect: o1 o2 o3 sg sv b1 b2 b3   side: true|comp\n");
   return 2;
+}
+
+/// Strip --threads[=| ]N from argv, applying it to the sweep pool.
+/// Returns the remaining positional arguments; false on a malformed flag.
+bool extract_thread_flag(int argc, char** argv, std::vector<char*>* args) {
+  for (int i = 0; i < argc; ++i) {
+    const char* a = argv[i];
+    const char* value = nullptr;
+    if (std::strncmp(a, "--threads=", 10) == 0) {
+      value = a + 10;
+    } else if (std::strcmp(a, "--threads") == 0) {
+      if (i + 1 >= argc) return false;
+      value = argv[++i];
+    } else {
+      args->push_back(argv[i]);
+      continue;
+    }
+    char* end = nullptr;
+    const long n = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || n < 1) return false;
+    util::set_default_threads(static_cast<int>(n));
+  }
+  return true;
 }
 
 bool parse_defect(const char* s, defect::DefectKind* out) {
@@ -60,7 +89,11 @@ void show_border(const analysis::BorderResult& br,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int raw_argc, char** raw_argv) {
+  std::vector<char*> args;
+  if (!extract_thread_flag(raw_argc, raw_argv, &args)) return usage();
+  const int argc = static_cast<int>(args.size());
+  char** argv = args.data();
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
 

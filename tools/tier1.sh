@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the thread-sanitized
+# determinism/parallel tests (DRAMSTRESS_SANITIZE=thread instruments the
+# whole tree, so it needs its own build directory).
+#
+# Usage: tools/tier1.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+skip_tsan=0
+[[ "${1:-}" == "--skip-tsan" ]] && skip_tsan=1
+
+echo "=== tier-1: standard build + full ctest ==="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+if [[ "$skip_tsan" == 1 ]]; then
+  echo "=== tier-1: TSan stage skipped ==="
+  exit 0
+fi
+
+echo "=== tier-1: TSan build + determinism/parallel tests ==="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DDRAMSTRESS_SANITIZE=thread
+cmake --build build-tsan -j --target determinism_test util_test
+ctest --test-dir build-tsan --output-on-failure -R 'Determinism|Parallel'
+
+echo "=== tier-1: OK ==="
