@@ -1,16 +1,20 @@
 // Engine microbenchmarks: the cost centres of the whole flow.
-//  * dense LU factorization at MNA-typical sizes,
+//  * dense LU factorization at MNA-typical sizes, and sparse
+//    refactorization of the actual column Jacobian for comparison,
 //  * one Newton-converged transient step of the full column,
 //  * a complete memory operation cycle,
 //  * one Vsa extraction (the inner loop of every result plane),
 //  * generate_plane_set end to end: the seed serial path (1 thread, no Vsa
-//    memoization) vs. the parallel engine (pool + VsaCache).
+//    memoization) vs. the parallel engine (pool + VsaCache),
+//  * the transient-engine ladder on the Fig. 2 plane workload (1 thread):
+//    seed fixed-dt dense vs fixed-dt sparse vs adaptive (LTE) + sparse.
 //
-// The plane-set comparison is written to BENCH_engine.json (wall time and
-// points/sec per variant plus the speedup) so the perf trajectory is
-// tracked across PRs.  Flags: --r-points=N shrinks the sweep grid,
-// --threads=N caps the pool, --skip-micro skips the google-benchmark
-// microbenches.
+// Both comparisons are written to BENCH_engine.json (wall time and
+// points/sec per variant plus the speedups) so the perf trajectory is
+// tracked across PRs.  The acceptance floor for this PR's engine work is
+// adaptive_sparse_speedup >= 3 over the seed fixed-dense configuration.
+// Flags: --r-points=N shrinks the sweep grid, --threads=N caps the pool,
+// --skip-micro skips the google-benchmark microbenches.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -25,7 +29,9 @@
 #include "dram/column_sim.hpp"
 #include "numeric/lu.hpp"
 #include "stress/stress.hpp"
+#include "numeric/sparse.hpp"
 #include "util/parallel.hpp"
+#include "util/strings.hpp"
 
 using namespace dramstress;
 
@@ -49,6 +55,34 @@ void BM_LuFactor(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LuFactor)->Arg(16)->Arg(32)->Arg(48)->Arg(64);
+
+void BM_SparseRefactorColumn(benchmark::State& state) {
+  // Numeric-only sparse refactorization of the real column Jacobian -- the
+  // per-iteration linear-algebra cost of the sparse Newton path (compare
+  // BM_LuFactor at n=48).
+  dram::DramColumn column;
+  circuit::MnaSystem sys(column.netlist(), circuit::SolverBackend::Sparse);
+  const size_t n = static_cast<size_t>(sys.num_unknowns());
+  numeric::Vector x(n, 0.5);
+  circuit::StampContext ctx;
+  ctx.mode = circuit::AnalysisMode::TransientBe;
+  ctx.time = 1e-9;
+  ctx.dt = 0.1e-9;
+  ctx.x = &x;
+  ctx.num_nodes = sys.num_nodes();
+  numeric::SparseMatrix& jac = sys.sparse_jacobian();
+  numeric::Vector res(n, 0.0);
+  sys.assemble_sparse(ctx, 1e-12, jac, res);
+  numeric::SparseLuSolver lu;
+  lu.factor(jac);
+  for (auto _ : state) {
+    lu.refactor(jac);
+    benchmark::DoNotOptimize(lu.refactor_count());
+  }
+  state.SetLabel(util::format("n=%zu nnz=%zu fill=%zu", n, jac.nnz(),
+                              lu.factor_nnz()));
+}
+BENCHMARK(BM_SparseRefactorColumn);
 
 void BM_ColumnCycleW1(benchmark::State& state) {
   dram::DramColumn column;
@@ -124,9 +158,30 @@ SweepTiming time_plane_set(const analysis::PlaneOptions& opt,
   return t;
 }
 
+/// Time generate_plane_set single-threaded under one engine configuration
+/// (the Fig. 2 plane workload with only the transient engine varying).
+SweepTiming time_plane_engine(const analysis::PlaneOptions& opt,
+                              const dram::SimSettings& settings) {
+  dram::DramColumn column;
+  const defect::Defect d{defect::DefectKind::O3, dram::Side::True};
+  dram::ColumnSimulator sim(column, stress::nominal_condition(), settings);
+  analysis::PlaneOptions o = opt;
+  o.threads = 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto set = analysis::generate_plane_set(column, d, sim, o);
+  benchmark::DoNotOptimize(set);
+  const auto t1 = std::chrono::steady_clock::now();
+  SweepTiming t;
+  t.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  t.points = 3L * opt.num_r_points;
+  return t;
+}
+
 void write_json(const std::string& path, const analysis::PlaneOptions& opt,
                 int threads, const SweepTiming& serial,
-                const SweepTiming& parallel) {
+                const SweepTiming& parallel, const SweepTiming& fixed_dense,
+                const SweepTiming& fixed_sparse,
+                const SweepTiming& adaptive_sparse) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -146,12 +201,27 @@ void write_json(const std::string& path, const analysis::PlaneOptions& opt,
                "\"points_per_s\": %.3f},\n"
                "  \"parallel_engine\": {\"wall_s\": %.6f, "
                "\"points_per_s\": %.3f},\n"
-               "  \"speedup\": %.3f\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"transient_engine\": {\n"
+               "    \"fixed_dense\": {\"wall_s\": %.6f, "
+               "\"points_per_s\": %.3f},\n"
+               "    \"fixed_sparse\": {\"wall_s\": %.6f, "
+               "\"points_per_s\": %.3f},\n"
+               "    \"adaptive_sparse\": {\"wall_s\": %.6f, "
+               "\"points_per_s\": %.3f},\n"
+               "    \"sparse_speedup\": %.3f,\n"
+               "    \"adaptive_sparse_speedup\": %.3f\n"
+               "  }\n"
                "}\n",
                opt.num_r_points, opt.ops_per_point, serial.points,
                util::hardware_threads(), threads, serial.wall_s,
                serial.points_per_s(), parallel.wall_s,
-               parallel.points_per_s(), serial.wall_s / parallel.wall_s);
+               parallel.points_per_s(), serial.wall_s / parallel.wall_s,
+               fixed_dense.wall_s, fixed_dense.points_per_s(),
+               fixed_sparse.wall_s, fixed_sparse.points_per_s(),
+               adaptive_sparse.wall_s, adaptive_sparse.points_per_s(),
+               fixed_dense.wall_s / fixed_sparse.wall_s,
+               fixed_dense.wall_s / adaptive_sparse.wall_s);
   std::fclose(f);
   std::printf("[json] wrote %s\n", path.c_str());
 }
@@ -187,7 +257,28 @@ int main(int argc, char** argv) {
         "  parallel engine  : %8.3f s  (%7.2f points/s)  speedup %.2fx\n",
         parallel.wall_s, parallel.points_per_s(),
         serial.wall_s / parallel.wall_s);
-    write_json("BENCH_engine.json", opt, pool, serial, parallel);
+
+    std::printf("transient-engine ladder (1 thread, same plane workload):\n");
+    dram::SimSettings s_fixed_dense;
+    s_fixed_dense.adaptive = false;
+    s_fixed_dense.backend = circuit::SolverBackend::Dense;
+    const SweepTiming fixed_dense = time_plane_engine(opt, s_fixed_dense);
+    std::printf("  fixed + dense (seed) : %8.3f s  (%7.2f points/s)\n",
+                fixed_dense.wall_s, fixed_dense.points_per_s());
+    dram::SimSettings s_fixed_sparse;
+    s_fixed_sparse.adaptive = false;
+    const SweepTiming fixed_sparse = time_plane_engine(opt, s_fixed_sparse);
+    std::printf("  fixed + sparse       : %8.3f s  (%7.2f points/s)  %.2fx\n",
+                fixed_sparse.wall_s, fixed_sparse.points_per_s(),
+                fixed_dense.wall_s / fixed_sparse.wall_s);
+    const SweepTiming adaptive_sparse =
+        time_plane_engine(opt, dram::SimSettings{});
+    std::printf("  adaptive + sparse    : %8.3f s  (%7.2f points/s)  %.2fx\n",
+                adaptive_sparse.wall_s, adaptive_sparse.points_per_s(),
+                fixed_dense.wall_s / adaptive_sparse.wall_s);
+
+    write_json("BENCH_engine.json", opt, pool, serial, parallel, fixed_dense,
+               fixed_sparse, adaptive_sparse);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

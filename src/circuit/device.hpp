@@ -7,8 +7,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "numeric/matrix.hpp"
+#include "numeric/sparse.hpp"
 
 namespace dramstress::circuit {
 
@@ -45,35 +47,48 @@ struct StampContext {
 
 /// Accumulates Jacobian and residual entries, mapping node ids / branch
 /// indices to unknown indices and silently dropping ground rows/columns.
+/// The Jacobian target is either a dense matrix or a SparseMatrix; a
+/// not-yet-finalized sparse target records the structural pattern instead
+/// of values, which is how MnaSystem builds its stamp-slot map once at
+/// construction.
 class Stamper {
 public:
   Stamper(numeric::Matrix& jac, numeric::Vector& res, int num_nodes)
-      : jac_(jac), res_(res), num_nodes_(num_nodes) {}
+      : dense_(&jac), res_(res), num_nodes_(num_nodes) {}
+  Stamper(numeric::SparseMatrix& jac, numeric::Vector& res, int num_nodes)
+      : sparse_(&jac), res_(res), num_nodes_(num_nodes) {}
 
   // --- node-row stamps (KCL residuals) ---
   void res_node(NodeId n, double current_leaving) {
     if (n != kGround) res_[idx(n)] += current_leaving;
   }
   void jac_node_node(NodeId r, NodeId c, double g) {
-    if (r != kGround && c != kGround) jac_(idx(r), idx(c)) += g;
+    if (r != kGround && c != kGround) jac(idx(r), idx(c), g);
   }
   void jac_node_branch(NodeId r, int b, double g) {
-    if (r != kGround) jac_(idx(r), bidx(b)) += g;
+    if (r != kGround) jac(idx(r), bidx(b), g);
   }
 
   // --- branch-row stamps (constitutive residuals) ---
   void res_branch(int b, double residual) { res_[bidx(b)] += residual; }
   void jac_branch_node(int b, NodeId c, double g) {
-    if (c != kGround) jac_(bidx(b), idx(c)) += g;
+    if (c != kGround) jac(bidx(b), idx(c), g);
   }
   void jac_branch_branch(int br, int bc, double g) {
-    jac_(bidx(br), bidx(bc)) += g;
+    jac(bidx(br), bidx(bc), g);
   }
 
 private:
+  void jac(size_t r, size_t c, double g) {
+    if (sparse_ != nullptr)
+      sparse_->add(r, c, g);
+    else
+      (*dense_)(r, c) += g;
+  }
   size_t idx(NodeId n) const { return static_cast<size_t>(n - 1); }
   size_t bidx(int b) const { return static_cast<size_t>(num_nodes_ + b); }
-  numeric::Matrix& jac_;
+  numeric::Matrix* dense_ = nullptr;
+  numeric::SparseMatrix* sparse_ = nullptr;
   numeric::Vector& res_;
   int num_nodes_;
 };
@@ -103,6 +118,11 @@ public:
 
   /// Update internal state after an accepted transient step.
   virtual void commit_step(const StampContext& /*ctx*/) {}
+
+  /// Append the times at which this device's stimulus has a slope break
+  /// (waveform corners).  The adaptive transient engine forces accepted
+  /// steps to land exactly on these so no command edge is integrated over.
+  virtual void append_breakpoints(std::vector<double>& /*out*/) const {}
 
   const std::string& name() const { return name_; }
 

@@ -8,7 +8,14 @@
 
 namespace dramstress::circuit {
 
-MnaSystem::MnaSystem(Netlist& netlist) : netlist_(&netlist) {
+namespace {
+/// Below this unknown count the dense O(n^3) sweep beats the sparse
+/// bookkeeping; above it the MNA matrix is sparse enough to win big.
+constexpr int kSparseThreshold = 16;
+}  // namespace
+
+MnaSystem::MnaSystem(Netlist& netlist, SolverBackend backend)
+    : netlist_(&netlist) {
   num_nodes_ = netlist.num_nodes();
   int branch = 0;
   for (const auto& dev : netlist.devices()) {
@@ -20,6 +27,42 @@ MnaSystem::MnaSystem(Netlist& netlist) : netlist_(&netlist) {
   jac_ = numeric::Matrix(n, n);
   res_.assign(n, 0.0);
   dx_.assign(n, 0.0);
+  use_sparse_ = backend == SolverBackend::Sparse ||
+                (backend == SolverBackend::Auto &&
+                 num_unknowns() >= kSparseThreshold);
+  if (use_sparse_) capture_pattern();
+}
+
+void MnaSystem::capture_pattern() {
+  const size_t n = static_cast<size_t>(num_unknowns());
+  sjac_ = numeric::SparseMatrix(n);
+  // Stamp every device in every analysis mode at a zero iterate: the union
+  // covers mode-dependent structure (capacitors stamp no Jacobian in DC,
+  // inductors change their branch row between modes).  Values are ignored
+  // by the unfinalized matrix, so a nonsense operating point is fine.
+  numeric::Vector x0(n, 0.0);
+  numeric::Vector res_scratch(n, 0.0);
+  for (const AnalysisMode mode :
+       {AnalysisMode::DcOp, AnalysisMode::TransientBe,
+        AnalysisMode::TransientTrap}) {
+    StampContext ctx;
+    ctx.mode = mode;
+    ctx.time = 0.0;
+    ctx.dt = 1e-9;  // any positive dt: only the structure matters here
+    ctx.x = &x0;
+    ctx.num_nodes = num_nodes_;
+    Stamper stamper(sjac_, res_scratch, num_nodes_);
+    for (const auto& dev : netlist_->devices()) dev->stamp(ctx, stamper);
+  }
+  // gmin diagonal on every node row.
+  for (int i = 0; i < num_nodes_; ++i)
+    sjac_.add(static_cast<size_t>(i), static_cast<size_t>(i), 0.0);
+  sjac_.finalize();
+}
+
+numeric::SparseMatrix& MnaSystem::sparse_jacobian() const {
+  require(use_sparse_, "MnaSystem: sparse backend not enabled");
+  return sjac_;
 }
 
 void MnaSystem::assemble(const StampContext& ctx, double gmin,
@@ -38,6 +81,20 @@ void MnaSystem::assemble(const StampContext& ctx, double gmin,
   }
 }
 
+void MnaSystem::assemble_sparse(const StampContext& ctx, double gmin,
+                                numeric::SparseMatrix& jac,
+                                numeric::Vector& res) const {
+  jac.zero();
+  std::fill(res.begin(), res.end(), 0.0);
+  Stamper stamper(jac, res, num_nodes_);
+  for (const auto& dev : netlist_->devices()) dev->stamp(ctx, stamper);
+  for (int i = 0; i < num_nodes_; ++i) {
+    const size_t k = static_cast<size_t>(i);
+    jac.add(k, k, gmin);
+    res[k] += gmin * (*ctx.x)[k];
+  }
+}
+
 NewtonResult MnaSystem::solve(StampContext ctx, numeric::Vector& x,
                               const NewtonOptions& opt) const {
   require(x.size() == static_cast<size_t>(num_unknowns()),
@@ -45,11 +102,38 @@ NewtonResult MnaSystem::solve(StampContext ctx, numeric::Vector& x,
   ctx.x = &x;
   ctx.num_nodes = num_nodes_;
 
+  // Modified Newton: reuse the previous factorization only while the
+  // companion-model coefficients it was built from are unchanged.
+  bool reuse = use_sparse_ && opt.reuse_jacobian &&
+               factor_key_matches(ctx, opt.gmin);
+  double prev_residual = 0.0;
+
   NewtonResult result;
   for (int iter = 0; iter < opt.max_iter; ++iter) {
-    assemble(ctx, opt.gmin, jac_, res_);
-    lu_.factor(jac_);
-    lu_.solve_into(res_, dx_);  // dx_ = J^{-1} f ; the update is -dx_
+    if (use_sparse_) {
+      assemble_sparse(ctx, opt.gmin, sjac_, res_);
+      if (reuse) {
+        ++reuse_count_;
+      } else {
+        if (slu_.analyzed())
+          slu_.refactor(sjac_);
+        else
+          slu_.factor(sjac_);
+        have_factor_ = true;
+        fkey_mode_ = ctx.mode;
+        fkey_dt_ = ctx.dt;
+        fkey_gmin_ = opt.gmin;
+        fkey_temp_ = ctx.temperature;
+        // Within-solve chord iteration: hold this factorization for the
+        // remaining iterations (until the stall check below revokes it).
+        reuse = opt.reuse_jacobian;
+      }
+      slu_.solve_into(res_, dx_);  // dx_ = J^{-1} f ; the update is -dx_
+    } else {
+      assemble(ctx, opt.gmin, jac_, res_);
+      lu_.factor(jac_);
+      lu_.solve_into(res_, dx_);
+    }
 
     // Damping: clamp the largest node-voltage update.
     double max_dv = 0.0;
@@ -65,10 +149,18 @@ NewtonResult MnaSystem::solve(StampContext ctx, numeric::Vector& x,
       result.converged = true;
       return result;
     }
+    // A stale factorization that stops shrinking the residual is not worth
+    // keeping: refactor from the next assembly on.
+    if (reuse && iter > 0 && result.residual > 0.5 * prev_residual)
+      reuse = false;
+    prev_residual = result.residual;
   }
   // Final residual check: accept if the residual alone is tiny (can happen
   // when the update is limited by conditioning, not by physics).
-  assemble(ctx, opt.gmin, jac_, res_);
+  if (use_sparse_)
+    assemble_sparse(ctx, opt.gmin, sjac_, res_);
+  else
+    assemble(ctx, opt.gmin, jac_, res_);
   result.residual = numeric::norm_inf(res_);
   result.converged = result.residual < opt.res_tol;
   if (!result.converged) {

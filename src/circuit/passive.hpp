@@ -59,6 +59,9 @@ public:
   CurrentSource(std::string name, NodeId a, NodeId b, Waveform amps);
 
   void stamp(const StampContext& ctx, Stamper& s) const override;
+  void append_breakpoints(std::vector<double>& out) const override {
+    amps_.append_breakpoints(out);
+  }
 
   void set_waveform(Waveform w) { amps_ = std::move(w); }
 

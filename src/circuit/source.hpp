@@ -16,6 +16,9 @@ public:
 
   void stamp(const StampContext& ctx, Stamper& s) const override;
   int num_branches() const override { return 1; }
+  void append_breakpoints(std::vector<double>& out) const override {
+    volts_.append_breakpoints(out);
+  }
 
   /// Replace the stimulus (used per operation sequence by the DRAM engine).
   void set_waveform(Waveform w) { volts_ = std::move(w); }

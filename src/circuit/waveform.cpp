@@ -73,4 +73,9 @@ double Waveform::last_value() const {
   return values_.empty() ? 0.0 : values_.back();
 }
 
+void Waveform::append_breakpoints(std::vector<double>& out) const {
+  if (times_.size() < 2) return;  // DC or empty: no slope breaks
+  out.insert(out.end(), times_.begin(), times_.end());
+}
+
 }  // namespace dramstress::circuit

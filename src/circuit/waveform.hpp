@@ -46,6 +46,10 @@ public:
   /// Time of the last breakpoint (0 for DC).
   double end_time() const { return times_.empty() ? 0.0 : times_.back(); }
 
+  /// Breakpoint times (slope discontinuities).  A DC waveform's single
+  /// t = 0 point is not a transient breakpoint and is skipped.
+  void append_breakpoints(std::vector<double>& out) const;
+
 private:
   std::vector<double> times_;
   std::vector<double> values_;

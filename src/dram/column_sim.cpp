@@ -40,13 +40,18 @@ RunResult ColumnSimulator::run(const OpSequence& seq, double vc_init,
   const CompiledSchedule sched =
       compile_sequence(col, cond_, side, seq, settings_.timing);
 
-  MnaSystem sys(col.netlist());
+  MnaSystem sys(col.netlist(), settings_.backend);
   TransientOptions topt;
   topt.dt = settings_.dt;
   topt.integrator = settings_.integrator;
   topt.temperature = cond_.kelvin();
   topt.newton = settings_.newton;
   topt.record_stride = settings_.record_stride;
+  topt.adaptive = settings_.adaptive;
+  topt.lte_tol = settings_.lte_tol;
+  topt.dt_min = settings_.dt_min;
+  topt.dt_max = settings_.dt_max;
+  topt.reuse_jacobian = settings_.reuse_jacobian;
   TransientSim sim(sys, topt);
 
   // --- initial conditions -----------------------------------------------

@@ -23,6 +23,20 @@ struct SimSettings {
   CommandTiming timing;
   /// Retention (del) phases integrate with dur/del_steps instead of dt.
   int del_steps = 256;
+
+  // --- adaptive (LTE-controlled) stepping ---------------------------------
+  // On by default: column waveforms are mostly flat holds, and the LTE
+  // controller reproduces the fixed-step planes within documented tolerance
+  // (docs/ENGINE.md) at a fraction of the steps.  `dt` above doubles as the
+  // adaptive initial step.
+  bool adaptive = true;
+  double lte_tol = 5e-4;   // relative LTE tolerance on node voltages
+  double dt_min = 1e-13;   // s, smallest adaptive step
+  double dt_max = 0.0;     // s, largest adaptive step; 0 = uncapped
+  /// Modified Newton: reuse the last factorization while convergence is fast.
+  bool reuse_jacobian = true;
+  /// MNA linear-solver backend (Auto picks sparse for column-sized systems).
+  circuit::SolverBackend backend = circuit::SolverBackend::Auto;
 };
 
 struct OpResult {

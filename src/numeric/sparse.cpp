@@ -1,0 +1,262 @@
+#include "numeric/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::numeric {
+
+namespace {
+constexpr size_t kNpos = std::numeric_limits<size_t>::max();
+}  // namespace
+
+// ------------------------------------------------------------ SparseMatrix
+
+void SparseMatrix::add(size_t r, size_t c, double v) {
+  if (!finalized_) {
+    require(r < n_ && c < n_, "SparseMatrix: entry out of range");
+    row_entries_[r].push_back(c);
+    return;
+  }
+  const size_t s = slot(r, c);
+  if (s == kNpos) {
+    throw ModelError(util::format(
+        "SparseMatrix: (%zu, %zu) is not a structural entry", r, c));
+  }
+  values_[s] += v;
+}
+
+void SparseMatrix::finalize() {
+  if (finalized_) return;
+  row_ptr_.assign(n_ + 1, 0);
+  for (size_t r = 0; r < n_; ++r) {
+    auto& cols = row_entries_[r];
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    row_ptr_[r + 1] = row_ptr_[r] + cols.size();
+  }
+  col_idx_.reserve(row_ptr_[n_]);
+  for (size_t r = 0; r < n_; ++r)
+    col_idx_.insert(col_idx_.end(), row_entries_[r].begin(),
+                    row_entries_[r].end());
+  values_.assign(col_idx_.size(), 0.0);
+  row_entries_.clear();
+  row_entries_.shrink_to_fit();
+  finalized_ = true;
+}
+
+void SparseMatrix::zero() {
+  std::fill(values_.begin(), values_.end(), 0.0);
+}
+
+size_t SparseMatrix::slot(size_t r, size_t c) const {
+  const auto first = col_idx_.begin() + static_cast<ptrdiff_t>(row_ptr_[r]);
+  const auto last = col_idx_.begin() + static_cast<ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(first, last, c);
+  if (it == last || *it != c) return kNpos;
+  return static_cast<size_t>(it - col_idx_.begin());
+}
+
+double SparseMatrix::at(size_t r, size_t c) const {
+  require(finalized_, "SparseMatrix::at: not finalized");
+  const size_t s = slot(r, c);
+  return s == kNpos ? 0.0 : values_[s];
+}
+
+Matrix SparseMatrix::to_dense() const {
+  require(finalized_, "SparseMatrix::to_dense: not finalized");
+  Matrix m(n_, n_);
+  for (size_t r = 0; r < n_; ++r)
+    for (size_t s = row_ptr_[r]; s < row_ptr_[r + 1]; ++s)
+      m(r, col_idx_[s]) = values_[s];
+  return m;
+}
+
+// ---------------------------------------------------------- SparseLuSolver
+
+void SparseLuSolver::factor(const SparseMatrix& a, double pivot_tol) {
+  require(a.finalized(), "SparseLuSolver: matrix not finalized");
+  n_ = a.size();
+  ++factor_count_;
+
+  // Dense partial-pivot LU chooses the row permutation and provides the
+  // numeric values of this factorization in one pass.
+  Matrix w = a.to_dense();
+  perm_.resize(n_);
+  for (size_t i = 0; i < n_; ++i) perm_[i] = i;
+  double amax = 0.0;
+  for (size_t i = 0; i < n_ * n_; ++i)
+    amax = std::max(amax, std::fabs(w.data()[i]));
+  const double tiny = std::max(amax, 1.0) * pivot_tol;
+  for (size_t k = 0; k < n_; ++k) {
+    size_t piv = k;
+    double best = std::fabs(w(k, k));
+    for (size_t r = k + 1; r < n_; ++r) {
+      const double v = std::fabs(w(r, k));
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best < tiny) {
+      throw ConvergenceError(util::format(
+          "SparseLU: singular matrix (pivot %.3e at column %zu)", best, k));
+    }
+    if (piv != k) {
+      std::swap(perm_[piv], perm_[k]);
+      for (size_t c = 0; c < n_; ++c) std::swap(w(piv, c), w(k, c));
+    }
+    const double dinv = 1.0 / w(k, k);
+    for (size_t r = k + 1; r < n_; ++r) {
+      const double m = w(r, k) * dinv;
+      w(r, k) = m;
+      if (m == 0.0) continue;
+      for (size_t c = k + 1; c < n_; ++c) w(r, c) -= m * w(k, c);
+    }
+  }
+  pinv_.resize(n_);
+  for (size_t i = 0; i < n_; ++i) pinv_[perm_[i]] = i;
+
+  analyze_pattern(a);
+
+  // Load the numeric values of this factorization from the dense factors.
+  for (size_t j = 0; j < n_; ++j) {
+    diag_[j] = w(j, j);
+    for (size_t s = lcol_ptr_[j]; s < lcol_ptr_[j + 1]; ++s)
+      lval_[s] = w(lrow_[s], j);
+    for (size_t t = ucol_ptr_[j]; t < ucol_ptr_[j + 1]; ++t)
+      uval_[t] = w(urow_[t], j);
+  }
+  work_.assign(n_, 0.0);
+  analyzed_ = true;
+}
+
+void SparseLuSolver::analyze_pattern(const SparseMatrix& a) {
+  // Boolean elimination of the permuted structural pattern.  The fill is a
+  // superset of every numeric nonzero any future refactorization with this
+  // pivot order can produce, so slots computed here never need to grow.
+  std::vector<std::vector<bool>> b(n_, std::vector<bool>(n_, false));
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  for (size_t r = 0; r < n_; ++r)
+    for (size_t s = row_ptr[r]; s < row_ptr[r + 1]; ++s)
+      b[pinv_[r]][col_idx[s]] = true;
+  for (size_t j = 0; j < n_; ++j) b[j][j] = true;  // pivots are nonzero
+  for (size_t k = 0; k < n_; ++k) {
+    for (size_t i = k + 1; i < n_; ++i) {
+      if (!b[i][k]) continue;
+      for (size_t c = k + 1; c < n_; ++c)
+        if (b[k][c]) b[i][c] = true;
+    }
+  }
+
+  lcol_ptr_.assign(n_ + 1, 0);
+  ucol_ptr_.assign(n_ + 1, 0);
+  lrow_.clear();
+  urow_.clear();
+  colpat_ptr_.assign(n_ + 1, 0);
+  colpat_row_.clear();
+  for (size_t j = 0; j < n_; ++j) {
+    for (size_t k = 0; k < j; ++k) {
+      if (b[k][j]) {
+        urow_.push_back(k);
+        colpat_row_.push_back(k);
+      }
+    }
+    colpat_row_.push_back(j);
+    for (size_t i = j + 1; i < n_; ++i) {
+      if (b[i][j]) {
+        lrow_.push_back(i);
+        colpat_row_.push_back(i);
+      }
+    }
+    ucol_ptr_[j + 1] = urow_.size();
+    lcol_ptr_[j + 1] = lrow_.size();
+    colpat_ptr_[j + 1] = colpat_row_.size();
+  }
+  lval_.assign(lrow_.size(), 0.0);
+  uval_.assign(urow_.size(), 0.0);
+  diag_.assign(n_, 0.0);
+
+  // Column-wise scatter lists into A's CSR value slots.
+  acol_ptr_.assign(n_ + 1, 0);
+  for (size_t s = 0; s < col_idx.size(); ++s) ++acol_ptr_[col_idx[s] + 1];
+  for (size_t j = 0; j < n_; ++j) acol_ptr_[j + 1] += acol_ptr_[j];
+  ascatter_.resize(col_idx.size());
+  std::vector<size_t> fill = acol_ptr_;
+  for (size_t r = 0; r < n_; ++r)
+    for (size_t s = row_ptr[r]; s < row_ptr[r + 1]; ++s)
+      ascatter_[fill[col_idx[s]]++] = {pinv_[r], s};
+}
+
+void SparseLuSolver::refactor(const SparseMatrix& a, double pivot_tol) {
+  if (!analyzed_ || a.size() != n_) {
+    factor(a, pivot_tol);
+    return;
+  }
+  const auto& avals = a.values();
+  double* x = work_.data();
+  for (size_t j = 0; j < n_; ++j) {
+    for (size_t p = colpat_ptr_[j]; p < colpat_ptr_[j + 1]; ++p)
+      x[colpat_row_[p]] = 0.0;
+    for (size_t p = acol_ptr_[j]; p < acol_ptr_[j + 1]; ++p)
+      x[ascatter_[p].first] += avals[ascatter_[p].second];
+    // Left-looking update: ascending U rows k of this column; every row the
+    // inner loop touches is structural in column j by the fill closure.
+    for (size_t t = ucol_ptr_[j]; t < ucol_ptr_[j + 1]; ++t) {
+      const size_t k = urow_[t];
+      const double xk = x[k];
+      uval_[t] = xk;
+      if (xk == 0.0) continue;
+      for (size_t s = lcol_ptr_[k]; s < lcol_ptr_[k + 1]; ++s)
+        x[lrow_[s]] -= lval_[s] * xk;
+    }
+    const double pivot = x[j];
+    double colmax = std::fabs(pivot);
+    for (size_t s = lcol_ptr_[j]; s < lcol_ptr_[j + 1]; ++s)
+      colmax = std::max(colmax, std::fabs(x[lrow_[s]]));
+    if (std::fabs(pivot) < pivot_tol * std::max(colmax, 1.0)) {
+      // The recorded pivot order degraded for these values: pick a fresh
+      // order.  factor() throws if the matrix is genuinely singular.
+      ++fallback_count_;
+      factor(a, pivot_tol);
+      return;
+    }
+    diag_[j] = pivot;
+    const double dinv = 1.0 / pivot;
+    for (size_t s = lcol_ptr_[j]; s < lcol_ptr_[j + 1]; ++s)
+      lval_[s] = x[lrow_[s]] * dinv;
+  }
+  ++refactor_count_;
+}
+
+void SparseLuSolver::solve_into(const Vector& b, Vector& x) const {
+  require(analyzed_, "SparseLuSolver::solve: no factorization");
+  require(b.size() == n_, "SparseLuSolver::solve dimension mismatch");
+  require(x.size() == n_, "SparseLuSolver::solve output not pre-sized");
+  for (size_t i = 0; i < n_; ++i) x[i] = b[perm_[i]];
+  for (size_t k = 0; k < n_; ++k) {
+    const double xk = x[k];
+    if (xk == 0.0) continue;
+    for (size_t s = lcol_ptr_[k]; s < lcol_ptr_[k + 1]; ++s)
+      x[lrow_[s]] -= lval_[s] * xk;
+  }
+  for (size_t jj = n_; jj-- > 0;) {
+    x[jj] /= diag_[jj];
+    const double xj = x[jj];
+    if (xj == 0.0) continue;
+    for (size_t t = ucol_ptr_[jj]; t < ucol_ptr_[jj + 1]; ++t)
+      x[urow_[t]] -= uval_[t] * xj;
+  }
+}
+
+Vector SparseLuSolver::solve(const Vector& b) const {
+  Vector x(n_, 0.0);
+  solve_into(b, x);
+  return x;
+}
+
+}  // namespace dramstress::numeric

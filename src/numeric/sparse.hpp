@@ -1,0 +1,139 @@
+// Sparse (CSR) matrix storage and a pattern-reusing sparse LU solver.
+//
+// The folded-bitline MNA Jacobian is ~95% structural zeros and its pattern
+// never changes between Newton iterations or time steps (defect injection
+// only rewrites resistor values).  The solver exploits that: `factor`
+// chooses a pivot order once (dense partial pivoting on the first numeric
+// matrix) and computes the structural fill of L and U for that order;
+// every subsequent `refactor` replays only the numeric elimination over
+// the recorded structure -- no pivot search, no pattern discovery, no
+// dense O(n^3) sweep.  A pivot that degrades past the threshold during a
+// refactorization triggers an automatic fresh `factor` (new pivot order),
+// so accuracy never depends on the staleness of the recorded order.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace dramstress::numeric {
+
+/// Compressed-sparse-row matrix with a two-phase life cycle:
+///   1. pattern capture: `add` records structural positions (values are
+///      ignored) until `finalize` sorts and dedups them into CSR;
+///   2. assembly: `zero` + `add` accumulate values into the fixed slots.
+/// Adding a value at a non-structural position after finalize throws --
+/// the stamp pattern is a construction-time contract.
+class SparseMatrix {
+public:
+  SparseMatrix() = default;
+  explicit SparseMatrix(size_t n) : n_(n), row_entries_(n) {}
+
+  size_t size() const { return n_; }
+  bool finalized() const { return finalized_; }
+  size_t nnz() const { return col_idx_.size(); }
+
+  /// Pattern phase: record the structural entry (r, c).  Assembly phase:
+  /// accumulate v into slot (r, c); throws ModelError if (r, c) is not
+  /// structural.
+  void add(size_t r, size_t c, double v);
+
+  /// Freeze the captured pattern into CSR storage.  Idempotent.
+  void finalize();
+
+  /// Set every stored value to zero (pattern unchanged).
+  void zero();
+
+  /// Stored value at (r, c); 0.0 for non-structural positions.
+  double at(size_t r, size_t c) const;
+
+  /// Dense copy (equivalence tests, fallback paths).
+  Matrix to_dense() const;
+
+  // CSR internals, for the solver.
+  const std::vector<size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<size_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+private:
+  /// Slot of (r, c) in values_, or npos.
+  size_t slot(size_t r, size_t c) const;
+
+  size_t n_ = 0;
+  bool finalized_ = false;
+  std::vector<std::vector<size_t>> row_entries_;  // capture phase only
+  std::vector<size_t> row_ptr_;                   // n_ + 1
+  std::vector<size_t> col_idx_;                   // sorted within each row
+  std::vector<double> values_;
+};
+
+/// LU factorization of a SparseMatrix that amortizes all structural work.
+///
+///   factor(A):   dense partial-pivot LU picks the row permutation, then a
+///                boolean elimination of the permuted pattern computes the
+///                fill structure of L and U, which is compiled into
+///                column-major slot lists.  O(n^3) but run once per
+///                pattern (and on pivot-degradation fallback).
+///   refactor(A): numeric left-looking elimination over the recorded
+///                structure: per column, scatter A's column, replay the
+///                recorded updates, divide by the recorded pivot position.
+///                O(flops over structural fill) -- for MNA-sized systems
+///                an order of magnitude cheaper than the dense sweep.
+class SparseLuSolver {
+public:
+  /// Full factorization: pivot order + fill pattern + numeric values.
+  void factor(const SparseMatrix& a, double pivot_tol = 1e-13);
+
+  /// Numeric-only refactorization over the recorded structure.  Falls back
+  /// to factor() (fresh pivot order) if any pivot falls below
+  /// pivot_tol * max|column|; calls factor() outright if no structure has
+  /// been recorded or the size changed.
+  void refactor(const SparseMatrix& a, double pivot_tol = 1e-13);
+
+  /// Solve A x = b with the last factorization.
+  void solve_into(const Vector& b, Vector& x) const;
+  Vector solve(const Vector& b) const;
+
+  size_t size() const { return n_; }
+  bool analyzed() const { return analyzed_; }
+  /// Structural nonzeros of L + U (diagnostics; includes fill-in).
+  size_t factor_nnz() const { return lrow_.size() + urow_.size() + n_; }
+
+  // Counters for tests and the perf bench.
+  long factor_count() const { return factor_count_; }
+  long refactor_count() const { return refactor_count_; }
+  long fallback_count() const { return fallback_count_; }
+
+private:
+  /// Boolean elimination of the permuted pattern; fills the column-major
+  /// L/U structure and the per-column A-scatter lists.
+  void analyze_pattern(const SparseMatrix& a);
+
+  size_t n_ = 0;
+  bool analyzed_ = false;
+  std::vector<size_t> perm_;  // perm_[i] = original row at permuted position i
+  std::vector<size_t> pinv_;  // pinv_[perm_[i]] = i
+
+  // Column-major unit-lower L (diagonal implicit) and strict-upper U.
+  std::vector<size_t> lcol_ptr_, lrow_;  // rows > j per column j
+  std::vector<double> lval_;
+  std::vector<size_t> ucol_ptr_, urow_;  // rows < j per column j, ascending
+  std::vector<double> uval_;
+  std::vector<double> diag_;
+
+  // Scatter lists: for column j of A, (permuted row, slot in A.values()).
+  std::vector<size_t> acol_ptr_;
+  std::vector<std::pair<size_t, size_t>> ascatter_;
+
+  // Union of structural rows per column (zeroing list for the work vector).
+  std::vector<size_t> colpat_ptr_, colpat_row_;
+
+  std::vector<double> work_;
+
+  long factor_count_ = 0;
+  long refactor_count_ = 0;
+  long fallback_count_ = 0;
+};
+
+}  // namespace dramstress::numeric

@@ -485,7 +485,7 @@ TEST(Transient, IcAfterRunThrows) {
   EXPECT_THROW(sim.set_initial_condition(a, 1.0), ModelError);
 }
 
-TEST(Transient, TraceAtPicksNearestSample) {
+TEST(Transient, TraceAtInterpolatesBetweenSamples) {
   Trace tr;
   tr.names = {"v"};
   tr.time = {0.0, 1.0, 2.0, 3.0};
@@ -494,13 +494,19 @@ TEST(Transient, TraceAtPicksNearestSample) {
   EXPECT_DOUBLE_EQ(tr.at("v", 0.0), 10.0);
   EXPECT_DOUBLE_EQ(tr.at("v", 2.0), 12.0);
   EXPECT_DOUBLE_EQ(tr.at("v", 3.0), 13.0);
-  // Between samples: nearest of the two neighbours (ties go low).
-  EXPECT_DOUBLE_EQ(tr.at("v", 1.4), 11.0);
-  EXPECT_DOUBLE_EQ(tr.at("v", 1.6), 12.0);
-  EXPECT_DOUBLE_EQ(tr.at("v", 1.5), 11.0);
+  // Between samples: linear interpolation of the two neighbours.
+  EXPECT_DOUBLE_EQ(tr.at("v", 1.4), 11.4);
+  EXPECT_DOUBLE_EQ(tr.at("v", 1.6), 11.6);
+  EXPECT_DOUBLE_EQ(tr.at("v", 1.5), 11.5);
   // Out of range clamps to the first/last sample.
   EXPECT_DOUBLE_EQ(tr.at("v", -5.0), 10.0);
   EXPECT_DOUBLE_EQ(tr.at("v", 99.0), 13.0);
+  // Index-based access skips the name lookup.
+  const size_t p = tr.probe_index("v");
+  EXPECT_EQ(p, 0u);
+  EXPECT_DOUBLE_EQ(tr.at(p, 1.25), 11.25);
+  EXPECT_DOUBLE_EQ(tr.back(p), 13.0);
   // Unknown probe still throws.
   EXPECT_THROW(tr.at("nope", 1.0), ModelError);
+  EXPECT_THROW(tr.probe_index("nope"), ModelError);
 }

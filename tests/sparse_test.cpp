@@ -1,0 +1,263 @@
+// Sparse backend equivalence: the CSR matrix and the pattern-reusing LU
+// must reproduce the dense reference path on random patterned systems and
+// on the actual DRAM-column MNA Jacobian, across refactorizations and
+// pivot-degradation fallbacks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "circuit/mna.hpp"
+#include "dram/column.hpp"
+#include "numeric/lu.hpp"
+#include "numeric/sparse.hpp"
+#include "util/error.hpp"
+
+using namespace dramstress;
+using numeric::Matrix;
+using numeric::SparseLuSolver;
+using numeric::SparseMatrix;
+using numeric::Vector;
+
+namespace {
+
+/// Deterministic LCG so random-pattern tests never flake.
+class Rng {
+public:
+  explicit Rng(uint64_t seed) : s_(seed) {}
+  double uniform() {  // in (0, 1)
+    s_ = s_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>((s_ >> 11) + 1) / 9007199254740994.0;
+  }
+
+private:
+  uint64_t s_;
+};
+
+/// Random sparse pattern with a guaranteed-dominant diagonal (keeps every
+/// matrix from a given pattern comfortably non-singular).
+SparseMatrix random_pattern(size_t n, double density, Rng& rng) {
+  SparseMatrix a(n);
+  for (size_t i = 0; i < n; ++i) {
+    a.add(i, i, 0.0);
+    for (size_t j = 0; j < n; ++j)
+      if (i != j && rng.uniform() < density) a.add(i, j, 0.0);
+  }
+  a.finalize();
+  return a;
+}
+
+/// Fill the finalized pattern with fresh random values, diagonally dominant.
+void randomize_values(SparseMatrix& a, Rng& rng) {
+  const size_t n = a.size();
+  a.zero();
+  for (size_t i = 0; i < n; ++i) {
+    double offdiag = 0.0;
+    for (size_t p = a.row_ptr()[i]; p < a.row_ptr()[i + 1]; ++p) {
+      const size_t j = a.col_idx()[p];
+      if (j == i) continue;
+      const double v = 2.0 * rng.uniform() - 1.0;
+      a.add(i, j, v);
+      offdiag += std::fabs(v);
+    }
+    a.add(i, i, offdiag + 0.5 + rng.uniform());
+  }
+}
+
+double max_abs_diff(const Vector& a, const Vector& b) {
+  double m = 0.0;
+  for (size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace
+
+TEST(SparseMatrix, PatternCaptureAndAssembly) {
+  SparseMatrix a(3);
+  a.add(0, 0, 123.0);  // value ignored during capture
+  a.add(0, 2, 0.0);
+  a.add(1, 1, 0.0);
+  a.add(2, 0, 0.0);
+  a.add(2, 2, 0.0);
+  a.add(0, 0, 0.0);  // duplicate entries collapse into one slot
+  EXPECT_FALSE(a.finalized());
+  a.finalize();
+  EXPECT_TRUE(a.finalized());
+  EXPECT_EQ(a.nnz(), 5u);
+
+  a.add(0, 0, 2.0);
+  a.add(0, 0, 3.0);  // assembly accumulates
+  a.add(0, 2, -1.0);
+  a.add(2, 0, 4.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 0.0);  // non-structural reads as zero
+
+  // Writing a non-structural slot is a contract violation.
+  EXPECT_THROW(a.add(1, 0, 1.0), ModelError);
+
+  a.zero();
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 0.0);
+  EXPECT_EQ(a.nnz(), 5u);  // pattern survives zero()
+
+  const Matrix d = a.to_dense();
+  EXPECT_EQ(d.rows(), 3u);
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+}
+
+TEST(SparseLu, MatchesDenseOnRandomPatterns) {
+  Rng rng(42);
+  for (const size_t n : {3u, 8u, 20u, 45u}) {
+    SparseMatrix a = random_pattern(n, 0.15, rng);
+    randomize_values(a, rng);
+
+    Vector b(n);
+    for (size_t i = 0; i < n; ++i) b[i] = 2.0 * rng.uniform() - 1.0;
+
+    numeric::LuSolver dense;
+    dense.factor(a.to_dense());
+    const Vector x_ref = dense.solve(b);
+
+    SparseLuSolver sparse;
+    sparse.factor(a);
+    const Vector x = sparse.solve(b);
+    EXPECT_LT(max_abs_diff(x, x_ref), 1e-11) << "n=" << n;
+  }
+}
+
+TEST(SparseLu, RefactorReusesPatternAndMatchesDense) {
+  Rng rng(7);
+  const size_t n = 30;
+  SparseMatrix a = random_pattern(n, 0.2, rng);
+
+  SparseLuSolver sparse;
+  numeric::LuSolver dense;
+  Vector b(n);
+  for (size_t i = 0; i < n; ++i) b[i] = 2.0 * rng.uniform() - 1.0;
+
+  for (int round = 0; round < 10; ++round) {
+    randomize_values(a, rng);
+    if (round == 0)
+      sparse.factor(a);
+    else
+      sparse.refactor(a);
+    dense.factor(a.to_dense());
+    EXPECT_LT(max_abs_diff(sparse.solve(b), dense.solve(b)), 1e-11)
+        << "round " << round;
+  }
+  // Diagonally dominant values never degrade the recorded pivot order.
+  EXPECT_EQ(sparse.factor_count(), 1);
+  EXPECT_EQ(sparse.refactor_count(), 9);
+  EXPECT_EQ(sparse.fallback_count(), 0);
+}
+
+TEST(SparseLu, PivotDegradationFallsBackToFreshFactor) {
+  // The recorded pivot order is chosen for the first matrix; a value set
+  // that zeroes the old pivot must trigger a fresh factorization, not a
+  // wrong answer.
+  SparseMatrix a(2);
+  a.add(0, 0, 0.0);
+  a.add(0, 1, 0.0);
+  a.add(1, 0, 0.0);
+  a.add(1, 1, 0.0);
+  a.finalize();
+
+  a.zero();
+  a.add(0, 0, 4.0);
+  a.add(0, 1, 1.0);
+  a.add(1, 0, 1.0);
+  a.add(1, 1, 3.0);
+  SparseLuSolver sparse;
+  sparse.factor(a);  // pivot order: natural (diagonal dominant)
+
+  a.zero();
+  a.add(0, 0, 1e-16);  // old pivot collapses; rows must swap
+  a.add(0, 1, 1.0);
+  a.add(1, 0, 1.0);
+  a.add(1, 1, 1e-16);
+  sparse.refactor(a);
+  EXPECT_EQ(sparse.fallback_count(), 1);
+
+  const Vector x = sparse.solve({2.0, 3.0});
+  // x1 ~= 2, x0 ~= 3 for the permuted system.
+  EXPECT_NEAR(x[0], 3.0, 1e-9);
+  EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(SparseLu, MatchesDenseOnColumnJacobian) {
+  // The real workload: assemble the DRAM column's MNA Jacobian through both
+  // backends at a nonzero iterate and compare matrices and Newton solves.
+  dram::DramColumn col;
+  circuit::Netlist& nl = col.netlist();
+  circuit::MnaSystem sys(nl, circuit::SolverBackend::Sparse);
+  ASSERT_TRUE(sys.using_sparse());
+  ASSERT_GE(sys.num_unknowns(), 16);
+
+  const size_t n = static_cast<size_t>(sys.num_unknowns());
+  Vector x(n, 0.0);
+  // A mildly exciting iterate: stagger node voltages across the rail range.
+  for (size_t i = 0; i < static_cast<size_t>(sys.num_nodes()); ++i)
+    x[i] = 0.1 + 2.0 * static_cast<double>(i % 7) / 7.0;
+
+  circuit::StampContext ctx;
+  ctx.mode = circuit::AnalysisMode::TransientBe;
+  ctx.time = 1e-9;
+  ctx.dt = 0.1e-9;
+  ctx.x = &x;
+  ctx.num_nodes = sys.num_nodes();
+
+  const double gmin = 1e-12;
+  Matrix jd(n, n);
+  Vector rd(n, 0.0);
+  sys.assemble(ctx, gmin, jd, rd);
+
+  numeric::SparseMatrix& js = sys.sparse_jacobian();
+  Vector rs(n, 0.0);
+  sys.assemble_sparse(ctx, gmin, js, rs);
+
+  // Identical residuals and identical matrices entry for entry.
+  EXPECT_EQ(max_abs_diff(rd, rs), 0.0);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j)
+      EXPECT_EQ(jd(i, j), js.at(i, j)) << "(" << i << "," << j << ")";
+
+  // Solves agree to solver precision.
+  numeric::LuSolver dense;
+  dense.factor(jd);
+  SparseLuSolver sparse;
+  sparse.factor(js);
+  const Vector x_ref = dense.solve(rd);
+  const Vector x_sp = sparse.solve(rs);
+  double scale = 0.0;
+  for (size_t i = 0; i < n; ++i) scale = std::max(scale, std::fabs(x_ref[i]));
+  EXPECT_LT(max_abs_diff(x_sp, x_ref), 1e-9 * std::max(scale, 1.0));
+}
+
+TEST(SparseLu, ColumnNewtonSolvesMatchDenseBackend) {
+  // Full damped-Newton DC solve through both backends from the same start.
+  dram::DramColumn col_s;
+  circuit::MnaSystem sys_s(col_s.netlist(), circuit::SolverBackend::Sparse);
+  dram::DramColumn col_d;
+  circuit::MnaSystem sys_d(col_d.netlist(), circuit::SolverBackend::Dense);
+  ASSERT_EQ(sys_s.num_unknowns(), sys_d.num_unknowns());
+
+  circuit::StampContext ctx;
+  ctx.mode = circuit::AnalysisMode::DcOp;
+  ctx.time = 0.0;
+  ctx.dt = 1e-10;
+
+  Vector xs(static_cast<size_t>(sys_s.num_unknowns()), 0.0);
+  Vector xd = xs;
+  circuit::NewtonOptions nopt;
+  const auto rs = sys_s.solve(ctx, xs, nopt);
+  const auto rd = sys_d.solve(ctx, xd, nopt);
+  ASSERT_TRUE(rs.converged);
+  ASSERT_TRUE(rd.converged);
+  // Same physics, same tolerance: node voltages agree far below v_tol.
+  for (int i = 0; i < sys_s.num_nodes(); ++i)
+    EXPECT_NEAR(xs[static_cast<size_t>(i)], xd[static_cast<size_t>(i)], 1e-6)
+        << "node " << i;
+}

@@ -11,6 +11,11 @@
 //
 // --threads N caps the sweep worker pool (default: DRAMSTRESS_THREADS or
 // all hardware threads); results are identical for every thread count.
+//
+// --adaptive / --no-adaptive selects LTE-controlled vs fixed time stepping
+// (default: adaptive); --lte-tol X sets the relative LTE tolerance of the
+// adaptive engine (default 5e-4; tighter tracks the fixed-step reference
+// closer at the cost of more steps).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,17 +37,47 @@ int usage() {
   std::fprintf(stderr,
                "usage: dramstress <analyze|optimize|report|table1|ffm> "
                "[defect] [side] [R] [--threads N]\n"
+               "                  [--adaptive|--no-adaptive] [--lte-tol X]\n"
                "  defect: o1 o2 o3 sg sv b1 b2 b3   side: true|comp\n");
   return 2;
 }
 
-/// Strip --threads[=| ]N from argv, applying it to the sweep pool.
-/// Returns the remaining positional arguments; false on a malformed flag.
-bool extract_thread_flag(int argc, char** argv, std::vector<char*>* args) {
+/// Transient-engine knobs stripped from the command line.
+struct EngineFlags {
+  bool adaptive = true;     // LTE-controlled stepping (the default engine)
+  double lte_tol = 5e-4;    // relative LTE tolerance
+
+  void apply(dram::SimSettings* s) const {
+    s->adaptive = adaptive;
+    s->lte_tol = lte_tol;
+  }
+};
+
+/// Strip --threads[=| ]N, --adaptive/--no-adaptive and --lte-tol[=| ]X from
+/// argv, applying them to the sweep pool / `flags`.  Returns the remaining
+/// positional arguments; false on a malformed flag.
+bool extract_flags(int argc, char** argv, std::vector<char*>* args,
+                   EngineFlags* flags) {
   for (int i = 0; i < argc; ++i) {
     const char* a = argv[i];
     const char* value = nullptr;
-    if (std::strncmp(a, "--threads=", 10) == 0) {
+    bool is_tol = false;
+    if (std::strcmp(a, "--adaptive") == 0) {
+      flags->adaptive = true;
+      continue;
+    }
+    if (std::strcmp(a, "--no-adaptive") == 0) {
+      flags->adaptive = false;
+      continue;
+    }
+    if (std::strncmp(a, "--lte-tol=", 10) == 0) {
+      value = a + 10;
+      is_tol = true;
+    } else if (std::strcmp(a, "--lte-tol") == 0) {
+      if (i + 1 >= argc) return false;
+      value = argv[++i];
+      is_tol = true;
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
       value = a + 10;
     } else if (std::strcmp(a, "--threads") == 0) {
       if (i + 1 >= argc) return false;
@@ -52,9 +87,15 @@ bool extract_thread_flag(int argc, char** argv, std::vector<char*>* args) {
       continue;
     }
     char* end = nullptr;
-    const long n = std::strtol(value, &end, 10);
-    if (end == value || *end != '\0' || n < 1) return false;
-    util::set_default_threads(static_cast<int>(n));
+    if (is_tol) {
+      const double tol = std::strtod(value, &end);
+      if (end == value || *end != '\0' || tol <= 0.0) return false;
+      flags->lte_tol = tol;
+    } else {
+      const long n = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || n < 1) return false;
+      util::set_default_threads(static_cast<int>(n));
+    }
   }
   return true;
 }
@@ -91,7 +132,8 @@ void show_border(const analysis::BorderResult& br,
 
 int main(int raw_argc, char** raw_argv) {
   std::vector<char*> args;
-  if (!extract_thread_flag(raw_argc, raw_argv, &args)) return usage();
+  EngineFlags eng;
+  if (!extract_flags(raw_argc, raw_argv, &args, &eng)) return usage();
   const int argc = static_cast<int>(args.size());
   char** argv = args.data();
   if (argc < 2) return usage();
@@ -104,7 +146,10 @@ int main(int raw_argc, char** raw_argv) {
     d.side = dram::Side::Comp;
 
   try {
-    core::StressFlow flow;
+    stress::OptimizerOptions options;
+    eng.apply(&options.settings);
+    core::StressFlow flow(dram::default_technology(),
+                          stress::nominal_condition(), options);
     if (cmd == "analyze") {
       show_border(flow.analyze(d), d);
       return 0;
@@ -132,7 +177,8 @@ int main(int raw_argc, char** raw_argv) {
       if (argc < 5) return usage();
       const double r = circuit::parse_spice_number(argv[4]);
       defect::Injection inj(flow.column(), d, r);
-      dram::ColumnSimulator sim(flow.column(), flow.nominal());
+      dram::ColumnSimulator sim(flow.column(), flow.nominal(),
+                                flow.options().settings);
       std::printf("%s at %s: %s\n", d.name().c_str(),
                   util::eng(r, "Ohm").c_str(),
                   analysis::classify_ffm(sim, d.side).str().c_str());

@@ -15,6 +15,13 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
+echo "=== tier-1: adaptive-engine accuracy gate ==="
+# The adaptive (LTE) engine must reproduce the fixed-step border
+# resistance within the tolerance documented in docs/ENGINE.md.  Run the
+# gate by name so an accuracy regression is called out as such even when
+# someone filters the main suite.
+ctest --test-dir build --output-on-failure -R 'AdaptiveAccuracy'
+
 if [[ "$skip_tsan" == 1 ]]; then
   echo "=== tier-1: TSan stage skipped ==="
   exit 0
