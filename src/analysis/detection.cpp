@@ -11,6 +11,8 @@ using dram::Operation;
 using dram::OpKind;
 using dram::OpSequence;
 
+std::vector<double> default_retention_times() { return {100e-6, 3e-6}; }
+
 std::string DetectionCondition::str() const {
   std::vector<std::string> parts;
   for (size_t i = 0; i < ops.size(); ++i) {

@@ -30,6 +30,13 @@ struct DetectionCondition {
   std::string str() const;
 };
 
+/// Default delays for retention-style candidates (longest first).  An
+/// out-of-line factory (cf. stress::default_axes) rather than a braced
+/// member initializer: GCC 12 -O3 emits spurious -Wmaybe-uninitialized
+/// when the inline vector construction of a defaulted options temporary
+/// is folded into the caller.
+std::vector<double> default_retention_times();
+
 struct DetectionOptions {
   int max_charge_ops = 6;
   /// A charging write that moves Vc by less than this is "saturated".
@@ -38,7 +45,7 @@ struct DetectionOptions {
   /// durations are offered because a long pause is not *valid* at every
   /// corner: at +87 C the healthy junction leakage alone empties a cell
   /// over 100 us, so only a shorter pause separates defective from healthy.
-  std::vector<double> retention_times = {100e-6, 3e-6};
+  std::vector<double> retention_times = default_retention_times();
   /// Also offer coupling-style candidates that write the *neighbouring*
   /// cell between the victim's write and read (needed for inter-cell
   /// bridges such as B3).  Off by default: the paper's Table 1 set does

@@ -19,6 +19,9 @@ public:
 
   void stamp(const StampContext& ctx, Stamper& s) const override;
   int num_branches() const override { return 1; }
+  DeviceKind kind() const override { return DeviceKind::Vcvs; }
+  std::vector<NodeId> terminals() const override { return {p_, n_}; }
+  std::vector<NodeId> sense_terminals() const override { return {cp_, cn_}; }
 
   double gain() const { return gain_; }
 
@@ -37,6 +40,9 @@ public:
        NodeId ctrl_minus, double gm);
 
   void stamp(const StampContext& ctx, Stamper& s) const override;
+  DeviceKind kind() const override { return DeviceKind::Vccs; }
+  std::vector<NodeId> terminals() const override { return {p_, n_}; }
+  std::vector<NodeId> sense_terminals() const override { return {cp_, cn_}; }
 
   double gm() const { return gm_; }
 
@@ -59,6 +65,8 @@ public:
   int num_branches() const override { return 1; }
   void init_state(const StampContext& ctx) override;
   void commit_step(const StampContext& ctx) override;
+  DeviceKind kind() const override { return DeviceKind::Inductor; }
+  std::vector<NodeId> terminals() const override { return {a_, b_}; }
 
   double inductance() const { return henries_; }
 

@@ -93,6 +93,35 @@ private:
   int num_nodes_;
 };
 
+/// Element classification for static analysis (verify::NetlistLinter);
+/// checks select conduction/source subgraphs by kind instead of RTTI.
+enum class DeviceKind {
+  Resistor,
+  Capacitor,
+  Inductor,
+  VoltageSource,
+  CurrentSource,
+  Vcvs,
+  Vccs,
+  Diode,
+  Mosfet,
+};
+
+inline const char* to_string(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::Resistor: return "resistor";
+    case DeviceKind::Capacitor: return "capacitor";
+    case DeviceKind::Inductor: return "inductor";
+    case DeviceKind::VoltageSource: return "vsource";
+    case DeviceKind::CurrentSource: return "isource";
+    case DeviceKind::Vcvs: return "vcvs";
+    case DeviceKind::Vccs: return "vccs";
+    case DeviceKind::Diode: return "diode";
+    case DeviceKind::Mosfet: return "mosfet";
+  }
+  return "?";
+}
+
 /// Base class for all circuit elements.
 class Device {
 public:
@@ -104,6 +133,16 @@ public:
 
   /// Add this device's contribution to the residual and Jacobian.
   virtual void stamp(const StampContext& ctx, Stamper& s) const = 0;
+
+  /// Element classification (drives the static-verification checks).
+  virtual DeviceKind kind() const = 0;
+
+  /// Terminals through which device current flows (KCL contributions).
+  virtual std::vector<NodeId> terminals() const = 0;
+
+  /// High-impedance sensing terminals: nodes the device reads but never
+  /// drives current into (MOSFET gate/bulk, E/G control pins).
+  virtual std::vector<NodeId> sense_terminals() const { return {}; }
 
   /// Number of branch-current unknowns this device introduces.
   virtual int num_branches() const { return 0; }

@@ -26,6 +26,10 @@ public:
   Diode(std::string name, NodeId anode, NodeId cathode, DiodeParams params);
 
   void stamp(const StampContext& ctx, Stamper& s) const override;
+  DeviceKind kind() const override { return DeviceKind::Diode; }
+  std::vector<NodeId> terminals() const override { return {anode_, cathode_}; }
+
+  const DiodeParams& params() const { return p_; }
 
   /// Saturation current at absolute temperature T (exposed for tests).
   double saturation_current(double kelvin) const;

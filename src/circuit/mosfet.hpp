@@ -52,6 +52,9 @@ public:
          NodeId source, NodeId bulk, MosfetParams params);
 
   void stamp(const StampContext& ctx, Stamper& s) const override;
+  DeviceKind kind() const override { return DeviceKind::Mosfet; }
+  std::vector<NodeId> terminals() const override { return {d_, s_}; }
+  std::vector<NodeId> sense_terminals() const override { return {g_, b_}; }
 
   /// Large-signal evaluation at explicit terminal voltages (exposed for
   /// characterization tests and the fast behavioural model calibration).

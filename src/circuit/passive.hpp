@@ -13,6 +13,8 @@ public:
   Resistor(std::string name, NodeId a, NodeId b, double ohms);
 
   void stamp(const StampContext& ctx, Stamper& s) const override;
+  DeviceKind kind() const override { return DeviceKind::Resistor; }
+  std::vector<NodeId> terminals() const override { return {a_, b_}; }
 
   void set_resistance(double ohms);
   double resistance() const { return ohms_; }
@@ -35,6 +37,8 @@ public:
   void stamp(const StampContext& ctx, Stamper& s) const override;
   void init_state(const StampContext& ctx) override;
   void commit_step(const StampContext& ctx) override;
+  DeviceKind kind() const override { return DeviceKind::Capacitor; }
+  std::vector<NodeId> terminals() const override { return {a_, b_}; }
 
   double capacitance() const { return farads_; }
   NodeId a() const { return a_; }
@@ -62,6 +66,8 @@ public:
   void append_breakpoints(std::vector<double>& out) const override {
     amps_.append_breakpoints(out);
   }
+  DeviceKind kind() const override { return DeviceKind::CurrentSource; }
+  std::vector<NodeId> terminals() const override { return {a_, b_}; }
 
   void set_waveform(Waveform w) { amps_ = std::move(w); }
 

@@ -19,6 +19,8 @@ public:
   void append_breakpoints(std::vector<double>& out) const override {
     volts_.append_breakpoints(out);
   }
+  DeviceKind kind() const override { return DeviceKind::VoltageSource; }
+  std::vector<NodeId> terminals() const override { return {plus_, minus_}; }
 
   /// Replace the stimulus (used per operation sequence by the DRAM engine).
   void set_waveform(Waveform w) { volts_ = std::move(w); }

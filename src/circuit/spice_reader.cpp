@@ -40,7 +40,8 @@ std::vector<std::pair<int, std::string>> logical_lines(const std::string& text) 
     if (line[0] == '+') {
       require(!out.empty(), util::format(
           "spice line %d: continuation '+' with no previous card", line_no));
-      out.back().second += " " + line.substr(1);
+      out.back().second += ' ';
+      out.back().second.append(line, 1, std::string::npos);
     } else {
       out.emplace_back(line_no, line);
     }
@@ -190,6 +191,12 @@ private:
 
   void parse_element(int no, const std::vector<std::string>& t) {
     const std::string name = lower(t[0]);
+    const auto prev = deck_.device_lines.find(name);
+    if (prev != deck_.device_lines.end())
+      fail(no, util::format("duplicate device name '%s' (first defined at "
+                            "line %d)",
+                            name.c_str(), prev->second));
+    deck_.device_lines.emplace(name, no);
     const char kind = name[0];
     switch (kind) {
       case 'r': {

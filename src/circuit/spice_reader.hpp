@@ -44,6 +44,9 @@ struct SpiceDeck {
   std::unique_ptr<Netlist> netlist;
   /// .ic entries: node name -> initial voltage.
   std::map<std::string, double> initial_conditions;
+  /// Element name -> 1-based source line of its card, for diagnostics
+  /// (verify::LintOptions::source_lines).
+  std::map<std::string, int> device_lines;
   /// .probe entries, in order.
   std::vector<std::string> probes;
   /// .tran card (0/0 if absent).

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "util/strings.hpp"
+#include "verify/netlist_lint.hpp"
 
 namespace dramstress::core {
 
@@ -52,10 +53,26 @@ std::string Table1::render() const {
   return out.str();
 }
 
-StressFlow::StressFlow(dram::TechnologyParams tech,
-                       stress::StressCondition nominal,
-                       stress::OptimizerOptions options)
+StressFlow::StressFlow()
+    : tech_(dram::default_technology()),
+      column_(tech_),
+      nominal_(stress::nominal_condition()),
+      options_() {}
+
+StressFlow::StressFlow(const dram::TechnologyParams& tech,
+                       const stress::StressCondition& nominal,
+                       const stress::OptimizerOptions& options)
     : tech_(tech), column_(tech), nominal_(nominal), options_(options) {}
+
+verify::VerifyReport StressFlow::verify() {
+  verify::VerifyReport report = column_.verify();
+  for (const Defect& d : defect::extended_defect_set()) {
+    const auto [seg_a, seg_b] = defect::expected_terminals(column_, d);
+    report.merge(verify::lint_injection(column_.netlist(), d.device_name(),
+                                        seg_a, seg_b));
+  }
+  return report;
+}
 
 BorderResult StressFlow::analyze(const Defect& d) {
   dram::ColumnSimulator sim(column_, nominal_, options_.settings);

@@ -19,6 +19,7 @@
 #include "memtest/coverage.hpp"
 #include "stress/optimizer.hpp"
 #include "stress/shmoo.hpp"
+#include "verify/diagnostic.hpp"
 
 namespace dramstress::core {
 
@@ -45,14 +46,25 @@ struct Table1 {
 
 class StressFlow {
 public:
-  explicit StressFlow(dram::TechnologyParams tech = dram::default_technology(),
-                      stress::StressCondition nominal =
-                          stress::nominal_condition(),
-                      stress::OptimizerOptions options = {});
+  /// Calibrated default DRAM column at the nominal corner with default
+  /// optimizer options.  A dedicated constructor instead of defaulted
+  /// arguments: GCC 12 -O3 raises spurious -Wmaybe-uninitialized on the
+  /// vector members of default-argument temporaries inlined into callers.
+  StressFlow();
+
+  explicit StressFlow(const dram::TechnologyParams& tech,
+                      const stress::StressCondition& nominal,
+                      const stress::OptimizerOptions& options);
 
   dram::DramColumn& column() { return column_; }
   const stress::StressCondition& nominal() const { return nominal_; }
   const stress::OptimizerOptions& options() const { return options_; }
+
+  /// Static verification of the flow's column netlist plus the injection
+  /// sanity of every defect in the extended set (each placeholder must
+  /// span the path its taxonomy entry advertises).  `dramstress
+  /// --verify[=strict]` is a thin wrapper around this.
+  verify::VerifyReport verify();
 
   /// Section-3 fault analysis at the nominal corner.
   analysis::BorderResult analyze(const defect::Defect& d);

@@ -42,6 +42,34 @@ const char* Defect::segment_key() const {
   return "";
 }
 
+std::string Defect::device_name() const {
+  return std::string(side == dram::Side::True ? "t_" : "c_") + segment_key();
+}
+
+std::pair<circuit::NodeId, circuit::NodeId> expected_terminals(
+    const dram::DramColumn& column, const Defect& defect) {
+  const dram::Side side = defect.side;
+  switch (defect.kind) {
+    case DefectKind::O1:
+      return {column.bitline(side), column.seg_node_nd(side)};
+    case DefectKind::O2:
+      return {column.seg_node_ns(side), column.seg_node_nm(side)};
+    case DefectKind::O3:
+      return {column.seg_node_nm(side), column.cell_node(side)};
+    case DefectKind::Sg:
+      return {column.cell_node(side), circuit::kGround};
+    case DefectKind::Sv:
+      return {column.cell_node(side), column.vdd_node()};
+    case DefectKind::B1:
+      return {column.cell_node(side), column.bitline(side)};
+    case DefectKind::B2:
+      return {column.cell_node(side), column.wordline_node(side)};
+    case DefectKind::B3:
+      return {column.cell_node(side), column.idle_cell_node(side)};
+  }
+  throw ModelError("expected_terminals: unknown defect kind");
+}
+
 std::vector<Defect> extended_defect_set() {
   std::vector<Defect> out = paper_defect_set();
   out.push_back({DefectKind::B3, dram::Side::True});

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dram/column.hpp"
@@ -44,7 +45,18 @@ struct Defect {
 
   /// The placeholder key in DramColumn::segment().
   const char* segment_key() const;
+
+  /// Full netlist name of the placeholder resistor, e.g. "t_o3".
+  std::string device_name() const;
 };
+
+/// The terminal pair the placeholder of `defect` must span, derived from
+/// the column's advertised topology accessors (bitline, segment nodes,
+/// storage node, rails).  Feeds verify::lint_injection: a placeholder
+/// that drifts off this path means the builder and the defect taxonomy
+/// disagree, which would corrupt every Vc(R) curve silently.
+std::pair<circuit::NodeId, circuit::NodeId> expected_terminals(
+    const dram::DramColumn& column, const Defect& defect);
 
 /// All 7 x 2 defects of the paper's Table 1, in table order.
 std::vector<Defect> paper_defect_set();

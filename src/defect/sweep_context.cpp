@@ -1,5 +1,8 @@
 #include "defect/sweep_context.hpp"
 
+#include "util/error.hpp"
+#include "verify/netlist_lint.hpp"
+
 namespace dramstress::defect {
 
 SweepContext::SweepContext(const dram::TechnologyParams& tech,
@@ -8,6 +11,18 @@ SweepContext::SweepContext(const dram::TechnologyParams& tech,
                            dram::SimSettings settings)
     : column_(std::make_unique<dram::DramColumn>(tech)),
       injection_(std::make_unique<Injection>(*column_, defect, r_init)),
-      sim_(std::make_unique<dram::ColumnSimulator>(*column_, cond, settings)) {}
+      sim_(std::make_unique<dram::ColumnSimulator>(*column_, cond, settings)) {
+  // Static verification, once per sweep context (the injection then only
+  // rewrites this resistor's value, never the structure): the full column
+  // lint plus the injection sanity check -- the placeholder must sit on
+  // the exact bitline/cell path the defect taxonomy advertises.
+  verify::VerifyReport report = column_->verify();
+  const auto [seg_a, seg_b] = expected_terminals(*column_, defect);
+  report.merge(verify::lint_injection(column_->netlist(),
+                                      defect.device_name(), seg_a, seg_b));
+  if (!report.ok())
+    throw ModelError("SweepContext: netlist verification failed for " +
+                     defect.name() + ":\n" + report.str());
+}
 
 }  // namespace dramstress::defect

@@ -1,6 +1,9 @@
 #include "dram/column.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
+#include "verify/netlist_lint.hpp"
 
 namespace dramstress::dram {
 
@@ -36,6 +39,32 @@ NodeId DramColumn::idle_cell_node(Side side) const {
 NodeId DramColumn::ref_cell_node(Side side) const {
   // The reference cell fires on the bitline *opposite* the addressed cell.
   return netlist_.find_node(side == Side::True ? "rc_cn" : "rt_cn");
+}
+
+NodeId DramColumn::wordline_node(Side side) const {
+  return netlist_.find_node(side == Side::True ? "wl0" : "wl0c");
+}
+
+verify::VerifyReport DramColumn::verify() {
+  verify::LintOptions opt;
+  // Narrow the MOSFET geometry bounds around this technology's device
+  // set: a 10x envelope catches unit typos (nm vs um) without flagging
+  // legitimate mismatch scaling (sa_n2's width surplus).
+  double w_lo = tech_.access.w, w_hi = tech_.access.w;
+  double l_lo = tech_.access.l, l_hi = tech_.access.l;
+  for (const circuit::MosfetParams* p :
+       {&tech_.sense_n, &tech_.sense_p, &tech_.precharge, &tech_.wdriver,
+        &tech_.outbuf_n, &tech_.outbuf_p}) {
+    w_lo = std::min(w_lo, p->w);
+    w_hi = std::max(w_hi, p->w);
+    l_lo = std::min(l_lo, p->l);
+    l_hi = std::max(l_hi, p->l);
+  }
+  opt.mos_w_min = w_lo / 10.0;
+  opt.mos_w_max = w_hi * 10.0;
+  opt.mos_l_min = l_lo / 10.0;
+  opt.mos_l_max = l_hi * 10.0;
+  return verify::NetlistLinter(opt).lint(netlist_);
 }
 
 NodeId DramColumn::seg_node_nd(Side side) const {

@@ -22,6 +22,7 @@
 
 #include "circuit/netlist.hpp"
 #include "dram/technology.hpp"
+#include "verify/diagnostic.hpp"
 
 namespace dramstress::dram {
 
@@ -54,10 +55,21 @@ public:
   const circuit::Netlist& netlist() const { return netlist_; }
   const TechnologyParams& tech() const { return tech_; }
 
+  /// Static verification of this column's netlist: the full
+  /// verify::NetlistLinter battery with MOSFET geometry bounds narrowed
+  /// around this technology's device set.  A healthy column reports zero
+  /// diagnostics.  (Non-const: linting assigns MNA branch indices, the
+  /// same ones MnaSystem would.)
+  verify::VerifyReport verify();
+
   // --- probe nodes --------------------------------------------------------
   circuit::NodeId bt() const { return bt_; }
   circuit::NodeId bc() const { return bc_; }
   circuit::NodeId dout() const { return dout_; }
+  /// Supply rail node (the Vdd source's positive terminal).
+  circuit::NodeId vdd_node() const { return vddn_; }
+  /// Wordline node of the addressed cell on `side`.
+  circuit::NodeId wordline_node(Side side) const;
   /// Storage node of the addressed (defect-bearing) cell on `side`.
   circuit::NodeId cell_node(Side side) const;
   /// Bitline the addressed cell on `side` hangs on.

@@ -73,6 +73,13 @@ double failing_decades_at(dram::DramColumn& column, const defect::Defect& d,
 
 OptimizationResult optimize_stresses(dram::DramColumn& column,
                                      const defect::Defect& d,
+                                     const StressCondition& nominal) {
+  const OptimizerOptions defaults;
+  return optimize_stresses(column, d, nominal, defaults);
+}
+
+OptimizationResult optimize_stresses(dram::DramColumn& column,
+                                     const defect::Defect& d,
                                      const StressCondition& nominal,
                                      const OptimizerOptions& opt) {
   OptimizationResult result;

@@ -65,7 +65,14 @@ struct OptimizationResult {
 OptimizationResult optimize_stresses(dram::DramColumn& column,
                                      const defect::Defect& d,
                                      const StressCondition& nominal,
-                                     const OptimizerOptions& opt = {});
+                                     const OptimizerOptions& opt);
+
+/// Same with default options.  An overload instead of `opt = {}`: GCC 12
+/// -O3 raises spurious -Wmaybe-uninitialized on the default-argument
+/// temporary's vector members when its cleanup is inlined into the caller.
+OptimizationResult optimize_stresses(dram::DramColumn& column,
+                                     const defect::Defect& d,
+                                     const StressCondition& nominal);
 
 /// Mirror a detection condition to the other bitline side (w0 <-> w1,
 /// r0 <-> r1): the paper notes true/comp behaviour is identical with data

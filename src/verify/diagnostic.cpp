@@ -1,0 +1,91 @@
+#include "verify/diagnostic.hpp"
+
+#include "util/strings.hpp"
+
+namespace dramstress::verify {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+const char* code_id(Code code) {
+  switch (code) {
+    case Code::FloatingIsland: return "E101";
+    case Code::NoDcPath: return "W102";
+    case Code::VsourceLoop: return "E103";
+    case Code::IsourceCutset: return "E104";
+    case Code::SingularPattern: return "E105";
+    case Code::DanglingNode: return "W106";
+    case Code::DuplicateParallel: return "W107";
+    case Code::NonPhysicalParam: return "E108";
+    case Code::SuspiciousParam: return "W109";
+    case Code::SelfLoop: return "E110";
+    case Code::DefectUnknownDevice: return "E201";
+    case Code::DefectNotResistor: return "E202";
+    case Code::DefectWrongNodes: return "E203";
+    case Code::DefectBadValue: return "E204";
+  }
+  return "?";
+}
+
+Severity default_severity(Code code) {
+  switch (code) {
+    case Code::NoDcPath:
+    case Code::DanglingNode:
+    case Code::DuplicateParallel:
+    case Code::SuspiciousParam:
+      return Severity::Warning;
+    default:
+      return Severity::Error;
+  }
+}
+
+std::string Diagnostic::str() const {
+  std::string out = to_string(severity);
+  out += '[';
+  out += code_id(code);
+  out += ']';
+  if (spice_line > 0) out += util::format(" line %d", spice_line);
+  out += ": ";
+  out += message;
+  if (!device.empty()) out += " [device " + device + "]";
+  if (!node.empty()) out += " [node " + node + "]";
+  return out;
+}
+
+void VerifyReport::add(Diagnostic d) { diags_.push_back(std::move(d)); }
+
+void VerifyReport::merge(const VerifyReport& other) {
+  diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
+int VerifyReport::count(Severity severity) const {
+  int n = 0;
+  for (const Diagnostic& d : diags_)
+    if (d.severity == severity) ++n;
+  return n;
+}
+
+const Diagnostic* VerifyReport::find(Code code) const {
+  for (const Diagnostic& d : diags_)
+    if (d.code == code) return &d;
+  return nullptr;
+}
+
+std::string VerifyReport::str() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += d.str();
+    out += '\n';
+  }
+  out += util::format("verify: %d error(s), %d warning(s), %d note(s)\n",
+                      errors(), warnings(), count(Severity::Info));
+  return out;
+}
+
+}  // namespace dramstress::verify

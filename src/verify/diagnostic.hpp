@@ -1,0 +1,87 @@
+// Diagnostics engine for static circuit verification.
+//
+// Every check in the verify layer reports through the same currency: a
+// Diagnostic carries a stable machine-readable code (catalogued in
+// docs/LINT.md), a severity, a human-readable message and, when known,
+// the offending device/node and the SPICE source line the device came
+// from.  A VerifyReport is an ordered collection with severity counters
+// and a renderer -- callers decide whether warnings are fatal (the CLIs'
+// --verify=strict mode) or advisory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dramstress::verify {
+
+enum class Severity { Info, Warning, Error };
+
+const char* to_string(Severity severity);
+
+/// Stable diagnostic codes.  The numeric id (rendered as E1xx/W1xx for
+/// netlist checks, E2xx for defect-injection checks) never changes once
+/// shipped; docs/LINT.md is the catalogue.
+enum class Code {
+  FloatingIsland,     // E101: nodes with no connection to ground at all
+  NoDcPath,           // W102: node only reaches ground through C / I / G
+  VsourceLoop,        // E103: loop of ideal voltage sources (V/E)
+  IsourceCutset,      // E104: current sources form a cutset around a node
+  SingularPattern,    // E105: structurally singular MNA pattern
+  DanglingNode,       // W106: node referenced by a single device terminal
+  DuplicateParallel,  // W107: same-kind device duplicated across one node set
+  NonPhysicalParam,   // E108: parameter value that cannot be simulated
+  SuspiciousParam,    // W109: parameter outside the plausible range
+  SelfLoop,           // E110/W110: both terminals on one node
+  DefectUnknownDevice,  // E201: injected device name not in the netlist
+  DefectNotResistor,    // E202: injected device is not a resistor
+  DefectWrongNodes,     // E203: defect resistor spans the wrong node pair
+  DefectBadValue,       // E204: injected resistance non-finite or <= 0
+};
+
+/// Catalogue id, e.g. Code::VsourceLoop -> "E103".  SelfLoop renders as
+/// E110 -- the voltage-source case is an error, the passive case is
+/// reported with Severity::Warning under the same id.
+const char* code_id(Code code);
+
+/// The severity a check assigns by default (SelfLoop: per-case).
+Severity default_severity(Code code);
+
+struct Diagnostic {
+  Code code = Code::FloatingIsland;
+  Severity severity = Severity::Error;
+  std::string message;
+  std::string device;  // offending device name; empty for node-level findings
+  std::string node;    // offending/representative node name; may be empty
+  int spice_line = 0;  // 1-based deck line of the device; 0 when not parsed
+
+  /// One-line render: "error[E103] line 4: ... [device Vdup]".
+  std::string str() const;
+};
+
+/// Ordered diagnostic collection produced by one verification pass.
+class VerifyReport {
+public:
+  void add(Diagnostic d);
+  void merge(const VerifyReport& other);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  int count(Severity severity) const;
+  int errors() const { return count(Severity::Error); }
+  int warnings() const { return count(Severity::Warning); }
+
+  /// No errors (warnings allowed).
+  bool ok() const { return errors() == 0; }
+  /// Not a single diagnostic of any severity.
+  bool clean() const { return diags_.empty(); }
+
+  bool has(Code code) const { return find(code) != nullptr; }
+  const Diagnostic* find(Code code) const;
+
+  /// Multi-line render: one line per diagnostic plus a summary line.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace dramstress::verify

@@ -1,0 +1,489 @@
+#include "verify/netlist_lint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "numeric/sparse.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::verify {
+
+namespace {
+
+using circuit::Device;
+using circuit::DeviceKind;
+using circuit::kGround;
+using circuit::Netlist;
+using circuit::NodeId;
+
+/// Union-find over node ids 0..n (0 = ground).
+class NodeSets {
+public:
+  explicit NodeSets(int num_nodes) : parent_(static_cast<size_t>(num_nodes) + 1) {
+    for (size_t i = 0; i < parent_.size(); ++i) parent_[i] = static_cast<NodeId>(i);
+  }
+  NodeId find(NodeId a) {
+    while (parent_[static_cast<size_t>(a)] != a) {
+      parent_[static_cast<size_t>(a)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(a)])];
+      a = parent_[static_cast<size_t>(a)];
+    }
+    return a;
+  }
+  /// Returns false if a and b were already connected (i.e. this edge
+  /// closes a cycle).
+  bool unite(NodeId a, NodeId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[static_cast<size_t>(std::max(a, b))] = std::min(a, b);
+    return true;
+  }
+
+private:
+  std::vector<NodeId> parent_;
+};
+
+/// True for elements whose branch provides a DC conduction path between
+/// its terminals (capacitors are open at DC; I/G fix a current, not a
+/// path).
+bool conducts_dc(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::Resistor:
+    case DeviceKind::Inductor:
+    case DeviceKind::VoltageSource:
+    case DeviceKind::Vcvs:
+    case DeviceKind::Diode:
+    case DeviceKind::Mosfet:
+      return true;
+    case DeviceKind::Capacitor:
+    case DeviceKind::CurrentSource:
+    case DeviceKind::Vccs:
+      return false;
+  }
+  return false;
+}
+
+bool is_current_source(DeviceKind kind) {
+  return kind == DeviceKind::CurrentSource || kind == DeviceKind::Vccs;
+}
+
+/// All node references of a device (conduction + sensing terminals).
+std::vector<NodeId> all_nodes(const Device& dev) {
+  std::vector<NodeId> nodes = dev.terminals();
+  const std::vector<NodeId> sense = dev.sense_terminals();
+  nodes.insert(nodes.end(), sense.begin(), sense.end());
+  return nodes;
+}
+
+/// Up to `cap` comma-joined node names (with an ellipsis beyond).
+std::string name_list(const Netlist& nl, const std::vector<NodeId>& nodes,
+                      size_t cap = 6) {
+  std::string out;
+  for (size_t i = 0; i < nodes.size() && i < cap; ++i) {
+    if (i != 0) out += ", ";
+    out += nl.node_name(nodes[i]);
+  }
+  if (nodes.size() > cap)
+    out += util::format(", ... (%zu total)", nodes.size());
+  return out;
+}
+
+class LintPass {
+public:
+  LintPass(Netlist& nl, const LintOptions& opt) : nl_(nl), opt_(opt) {}
+
+  VerifyReport run() {
+    check_parameters();
+    check_self_loops();
+    check_duplicates();
+    check_connectivity();  // E101 + W102/E104 + W106
+    check_vsource_loops();
+    if (opt_.check_singular_pattern) check_singular_pattern();
+    return std::move(report_);
+  }
+
+private:
+  int line_of(const std::string& device) const {
+    if (opt_.source_lines == nullptr) return 0;
+    const auto it = opt_.source_lines->find(device);
+    return it == opt_.source_lines->end() ? 0 : it->second;
+  }
+
+  void add(Code code, Severity severity, std::string message,
+           const std::string& device = {}, const std::string& node = {}) {
+    report_.add({code, severity, std::move(message), device, node,
+                 line_of(device)});
+  }
+
+  void add(Code code, std::string message, const std::string& device = {},
+           const std::string& node = {}) {
+    add(code, default_severity(code), std::move(message), device, node);
+  }
+
+  void bad_param(const Device& dev, const std::string& what, double value) {
+    add(Code::NonPhysicalParam,
+        util::format("%s '%s' has non-physical %s = %g",
+                     to_string(dev.kind()), dev.name().c_str(), what.c_str(),
+                     value),
+        dev.name());
+  }
+
+  void odd_param(const Device& dev, const std::string& what, double value,
+                 const std::string& range) {
+    add(Code::SuspiciousParam,
+        util::format("%s '%s' has %s = %g outside the plausible range %s",
+                     to_string(dev.kind()), dev.name().c_str(), what.c_str(),
+                     value, range.c_str()),
+        dev.name());
+  }
+
+  void check_parameters() {
+    for (const auto& dev : nl_.devices()) {
+      switch (dev->kind()) {
+        case DeviceKind::Resistor: {
+          const double r = static_cast<const circuit::Resistor&>(*dev).resistance();
+          if (!std::isfinite(r) || r <= 0.0)
+            bad_param(*dev, "resistance", r);
+          else if (r > opt_.r_max)
+            odd_param(*dev, "resistance", r,
+                      util::format("(0, %g] Ohm", opt_.r_max));
+          break;
+        }
+        case DeviceKind::Capacitor: {
+          const double c = static_cast<const circuit::Capacitor&>(*dev).capacitance();
+          if (!std::isfinite(c) || c <= 0.0)
+            bad_param(*dev, "capacitance", c);
+          else if (c > opt_.c_max)
+            odd_param(*dev, "capacitance", c,
+                      util::format("(0, %g] F", opt_.c_max));
+          break;
+        }
+        case DeviceKind::Inductor: {
+          const double l = static_cast<const circuit::Inductor&>(*dev).inductance();
+          if (!std::isfinite(l) || l <= 0.0)
+            bad_param(*dev, "inductance", l);
+          else if (l > opt_.l_max)
+            odd_param(*dev, "inductance", l,
+                      util::format("(0, %g] H", opt_.l_max));
+          break;
+        }
+        case DeviceKind::Diode: {
+          const auto& p = static_cast<const circuit::Diode&>(*dev).params();
+          if (!std::isfinite(p.is_tnom) || p.is_tnom <= 0.0)
+            bad_param(*dev, "saturation current", p.is_tnom);
+          if (p.n <= 0.0) bad_param(*dev, "emission coefficient", p.n);
+          break;
+        }
+        case DeviceKind::Mosfet: {
+          const auto& p = static_cast<const circuit::Mosfet&>(*dev).params();
+          if (!std::isfinite(p.w) || p.w <= 0.0)
+            bad_param(*dev, "width", p.w);
+          else if (p.w < opt_.mos_w_min || p.w > opt_.mos_w_max)
+            odd_param(*dev, "width", p.w,
+                      util::format("[%g, %g] m", opt_.mos_w_min, opt_.mos_w_max));
+          if (!std::isfinite(p.l) || p.l <= 0.0)
+            bad_param(*dev, "length", p.l);
+          else if (p.l < opt_.mos_l_min || p.l > opt_.mos_l_max)
+            odd_param(*dev, "length", p.l,
+                      util::format("[%g, %g] m", opt_.mos_l_min, opt_.mos_l_max));
+          if (p.kp_tnom <= 0.0) bad_param(*dev, "transconductance kp", p.kp_tnom);
+          if (p.n <= 0.0) bad_param(*dev, "slope factor n", p.n);
+          break;
+        }
+        case DeviceKind::VoltageSource:
+        case DeviceKind::CurrentSource:
+        case DeviceKind::Vcvs:
+        case DeviceKind::Vccs:
+          break;
+      }
+    }
+  }
+
+  void check_self_loops() {
+    for (const auto& dev : nl_.devices()) {
+      const std::vector<NodeId> terms = dev->terminals();
+      if (terms.size() < 2) continue;
+      const bool all_same =
+          std::all_of(terms.begin(), terms.end(),
+                      [&](NodeId n) { return n == terms.front(); });
+      if (!all_same) continue;
+      const DeviceKind kind = dev->kind();
+      const bool hard = kind == DeviceKind::VoltageSource || kind == DeviceKind::Vcvs;
+      add(Code::SelfLoop, hard ? Severity::Error : Severity::Warning,
+          hard ? util::format("%s '%s' shorts its own terminals: the branch "
+                              "equation v(n) - v(n) = V(t) is unsatisfiable",
+                              to_string(kind), dev->name().c_str())
+               : util::format("%s '%s' connects a node to itself and carries "
+                              "no current",
+                              to_string(kind), dev->name().c_str()),
+          dev->name(), nl_.node_name(terms.front()));
+    }
+  }
+
+  void check_duplicates() {
+    std::map<std::string, const Device*> seen;
+    for (const auto& dev : nl_.devices()) {
+      // Conduction and sensing terminals are keyed separately: a
+      // cross-coupled pair (drain/gate swapped, e.g. a latch) shares the
+      // node *union* but is anything but a duplicate.
+      std::vector<NodeId> terms = dev->terminals();
+      std::vector<NodeId> sense = dev->sense_terminals();
+      std::sort(terms.begin(), terms.end());
+      std::sort(sense.begin(), sense.end());
+      std::string key = to_string(dev->kind());
+      for (const NodeId n : terms) key += util::format(":%d", n);
+      key += '/';
+      for (const NodeId n : sense) key += util::format(":%d", n);
+      const auto [it, inserted] = seen.emplace(key, dev.get());
+      if (inserted) continue;
+      add(Code::DuplicateParallel,
+          util::format("%s '%s' duplicates '%s' across the same nodes (%s)",
+                       to_string(dev->kind()), dev->name().c_str(),
+                       it->second->name().c_str(),
+                       name_list(nl_, dev->terminals()).c_str()),
+          dev->name());
+    }
+  }
+
+  void check_connectivity() {
+    const int n = nl_.num_nodes();
+    NodeSets full(n);
+    NodeSets dc(n);
+    std::vector<int> term_refs(static_cast<size_t>(n) + 1, 0);
+    // incident current source (by node), for the E104 attribution
+    std::vector<const Device*> isrc_at(static_cast<size_t>(n) + 1, nullptr);
+
+    for (const auto& dev : nl_.devices()) {
+      const std::vector<NodeId> nodes = all_nodes(*dev);
+      for (size_t i = 1; i < nodes.size(); ++i) full.unite(nodes[0], nodes[i]);
+      for (const NodeId node : nodes) ++term_refs[static_cast<size_t>(node)];
+      const std::vector<NodeId> terms = dev->terminals();
+      if (conducts_dc(dev->kind()))
+        for (size_t i = 1; i < terms.size(); ++i) dc.unite(terms[0], terms[i]);
+      if (is_current_source(dev->kind()))
+        for (const NodeId node : terms)
+          isrc_at[static_cast<size_t>(node)] = dev.get();
+    }
+
+    // E101: islands with no connection to ground at all.
+    std::map<NodeId, std::vector<NodeId>> islands;
+    std::vector<char> floating(static_cast<size_t>(n) + 1, 0);
+    for (NodeId node = 1; node <= n; ++node) {
+      if (full.find(node) == full.find(kGround)) continue;
+      islands[full.find(node)].push_back(node);
+      floating[static_cast<size_t>(node)] = 1;
+    }
+    for (const auto& [root, nodes] : islands) {
+      add(Code::FloatingIsland,
+          util::format("nodes {%s} form an island with no connection to "
+                       "ground",
+                       name_list(nl_, nodes).c_str()),
+          {}, nl_.node_name(nodes.front()));
+    }
+
+    // W102 / E104: connected to ground overall, but not through any DC
+    // conduction path.  If a current source hangs on the orphan group the
+    // group's KCL is overdetermined (cutset of current sources): error.
+    std::map<NodeId, std::vector<NodeId>> orphans;
+    for (NodeId node = 1; node <= n; ++node) {
+      if (floating[static_cast<size_t>(node)]) continue;
+      if (dc.find(node) == dc.find(kGround)) continue;
+      orphans[dc.find(node)].push_back(node);
+    }
+    for (const auto& [root, nodes] : orphans) {
+      const Device* isrc = nullptr;
+      for (const NodeId node : nodes)
+        if (isrc_at[static_cast<size_t>(node)] != nullptr)
+          isrc = isrc_at[static_cast<size_t>(node)];
+      if (isrc != nullptr) {
+        add(Code::IsourceCutset,
+            util::format("current source '%s' feeds nodes {%s} that have no "
+                         "DC path to ground: KCL fixes their charge, not "
+                         "their voltage",
+                         isrc->name().c_str(), name_list(nl_, nodes).c_str()),
+            isrc->name(), nl_.node_name(nodes.front()));
+      } else {
+        add(Code::NoDcPath,
+            util::format("nodes {%s} reach ground only through capacitors "
+                         "or controlled current sources; the DC operating "
+                         "point is pinned by gmin alone",
+                         name_list(nl_, nodes).c_str()),
+            {}, nl_.node_name(nodes.front()));
+      }
+    }
+
+    // W106: a node referenced by exactly one device terminal dead-ends.
+    for (NodeId node = 1; node <= n; ++node) {
+      if (term_refs[static_cast<size_t>(node)] != 1) continue;
+      if (floating[static_cast<size_t>(node)]) continue;  // already E101
+      add(Code::DanglingNode,
+          util::format("node '%s' is referenced by a single device terminal "
+                       "(dead end: no current can flow)",
+                       nl_.node_name(node).c_str()),
+          {}, nl_.node_name(node));
+    }
+  }
+
+  void check_vsource_loops() {
+    NodeSets vsets(nl_.num_nodes());
+    for (const auto& dev : nl_.devices()) {
+      const DeviceKind kind = dev->kind();
+      if (kind != DeviceKind::VoltageSource && kind != DeviceKind::Vcvs)
+        continue;
+      const std::vector<NodeId> terms = dev->terminals();
+      if (terms.size() != 2 || terms[0] == terms[1]) continue;  // E110 case
+      if (!vsets.unite(terms[0], terms[1])) {
+        add(Code::VsourceLoop,
+            util::format("voltage source '%s' closes a loop of ideal "
+                         "voltage sources between '%s' and '%s': KVL around "
+                         "the loop is overdetermined",
+                         dev->name().c_str(),
+                         nl_.node_name(terms[0]).c_str(),
+                         nl_.node_name(terms[1]).c_str()),
+            dev->name());
+      }
+    }
+  }
+
+  /// E105: capture the union-of-modes MNA pattern exactly as MnaSystem
+  /// does (minus the gmin diagonal, which would mask missing KCL rows) and
+  /// test its structural rank with an augmenting-path bipartite matching.
+  /// Pattern rank < unknown count means some permutation-free zero pivot
+  /// is unavoidable: the deck cannot be solved as written.
+  void check_singular_pattern() {
+    const int num_nodes = nl_.num_nodes();
+    int branches = 0;
+    for (const auto& dev : nl_.devices()) {
+      dev->set_branch_base(branches);
+      branches += dev->num_branches();
+    }
+    const size_t n = static_cast<size_t>(num_nodes + branches);
+    if (n == 0) return;
+
+    numeric::SparseMatrix pattern(n);
+    numeric::Vector x0(n, 0.0);
+    numeric::Vector res_scratch(n, 0.0);
+    for (const circuit::AnalysisMode mode :
+         {circuit::AnalysisMode::DcOp, circuit::AnalysisMode::TransientBe,
+          circuit::AnalysisMode::TransientTrap}) {
+      circuit::StampContext ctx;
+      ctx.mode = mode;
+      ctx.dt = 1e-9;  // any positive dt: only the structure matters
+      ctx.x = &x0;
+      ctx.num_nodes = num_nodes;
+      circuit::Stamper stamper(pattern, res_scratch, num_nodes);
+      for (const auto& dev : nl_.devices()) dev->stamp(ctx, stamper);
+    }
+    pattern.finalize();
+
+    const std::vector<size_t>& row_ptr = pattern.row_ptr();
+    const std::vector<size_t>& col_idx = pattern.col_idx();
+    std::vector<int> match_col(n, -1);  // column -> matched row
+    std::vector<char> visited(n, 0);
+    const std::function<bool(size_t)> augment = [&](size_t row) {
+      for (size_t k = row_ptr[row]; k < row_ptr[row + 1]; ++k) {
+        const size_t col = col_idx[k];
+        if (visited[col]) continue;
+        visited[col] = 1;
+        if (match_col[col] < 0 || augment(static_cast<size_t>(match_col[col]))) {
+          match_col[col] = static_cast<int>(row);
+          return true;
+        }
+      }
+      return false;
+    };
+
+    std::vector<size_t> unmatched;
+    for (size_t row = 0; row < n; ++row) {
+      std::fill(visited.begin(), visited.end(), 0);
+      if (!augment(row)) unmatched.push_back(row);
+    }
+    if (unmatched.empty()) return;
+
+    constexpr size_t kMaxReported = 8;
+    for (size_t i = 0; i < unmatched.size() && i < kMaxReported; ++i) {
+      const size_t row = unmatched[i];
+      std::string device;
+      std::string node;
+      std::string what;
+      if (row < static_cast<size_t>(num_nodes)) {
+        node = nl_.node_name(static_cast<NodeId>(row) + 1);
+        what = "the KCL row of node '" + node + "'";
+      } else {
+        const int b = static_cast<int>(row) - num_nodes;
+        for (const auto& dev : nl_.devices()) {
+          if (dev->branch_base() <= b &&
+              b < dev->branch_base() + dev->num_branches())
+            device = dev->name();
+        }
+        what = "the branch row of device '" + device + "'";
+      }
+      add(Code::SingularPattern,
+          util::format("MNA pattern is structurally singular (rank %zu of "
+                       "%zu): %s has no assignable pivot",
+                       n - unmatched.size(), n, what.c_str()),
+          device, node);
+    }
+  }
+
+  Netlist& nl_;
+  const LintOptions& opt_;
+  VerifyReport report_;
+};
+
+}  // namespace
+
+VerifyReport NetlistLinter::lint(circuit::Netlist& netlist) const {
+  return LintPass(netlist, opt_).run();
+}
+
+VerifyReport lint_injection(const circuit::Netlist& netlist,
+                            const std::string& resistor_name,
+                            circuit::NodeId expect_a,
+                            circuit::NodeId expect_b) {
+  VerifyReport report;
+  const Device* dev = netlist.find_device(resistor_name);
+  if (dev == nullptr) {
+    report.add({Code::DefectUnknownDevice, Severity::Error,
+                "defect placeholder '" + resistor_name +
+                    "' does not exist in the netlist",
+                resistor_name, {}, 0});
+    return report;
+  }
+  if (dev->kind() != DeviceKind::Resistor) {
+    report.add({Code::DefectNotResistor, Severity::Error,
+                util::format("defect placeholder '%s' is a %s, not a resistor",
+                             resistor_name.c_str(), to_string(dev->kind())),
+                resistor_name, {}, 0});
+    return report;
+  }
+  const auto& res = static_cast<const circuit::Resistor&>(*dev);
+  const NodeId lo = std::min(res.a(), res.b());
+  const NodeId hi = std::max(res.a(), res.b());
+  if (lo != std::min(expect_a, expect_b) || hi != std::max(expect_a, expect_b)) {
+    report.add({Code::DefectWrongNodes, Severity::Error,
+                util::format("defect '%s' spans (%s, %s) but the intended "
+                             "path is (%s, %s)",
+                             resistor_name.c_str(),
+                             netlist.node_name(res.a()).c_str(),
+                             netlist.node_name(res.b()).c_str(),
+                             netlist.node_name(expect_a).c_str(),
+                             netlist.node_name(expect_b).c_str()),
+                resistor_name, netlist.node_name(res.a()), 0});
+  }
+  const double ohms = res.resistance();
+  if (!std::isfinite(ohms) || ohms <= 0.0) {
+    report.add({Code::DefectBadValue, Severity::Error,
+                util::format("defect '%s' carries a non-physical resistance "
+                             "%g Ohm",
+                             resistor_name.c_str(), ohms),
+                resistor_name, {}, 0});
+  }
+  return report;
+}
+
+}  // namespace dramstress::verify

@@ -1,0 +1,76 @@
+// Static netlist verification (the "circuit linter").
+//
+// Every result downstream -- result planes, border resistances, Table 1 --
+// is only as trustworthy as the netlist fed to the solver.  A floating
+// node, a voltage-source loop or a defect injected between the wrong nodes
+// corrupts Vc(R) curves silently instead of failing loudly.  The linter
+// runs a fixed battery of structural checks *before* any transient:
+//
+//   E101 floating-node islands       (no connection to ground at all)
+//   W102 no DC path to ground        (only C / I / G paths; gmin pins it)
+//   E103 voltage-source loops        (V/E cycle overdetermines KCL)
+//   E104 current-source cutsets      (I/G cut isolates a node's KCL)
+//   E105 structurally singular MNA   (pattern rank < unknowns; reuses the
+//        SparseMatrix pattern-capture phase plus a bipartite matching)
+//   W106 dangling nodes              (single-terminal nodes)
+//   W107 duplicate parallel devices  (same kind across one node set)
+//   E108/W109 parameter ranges       (non-physical vs merely implausible)
+//   E110 self-loops                  (error for sources, warning for RCL)
+//
+// plus the defect-injection sanity check (E201..E204) used by the sweep
+// layer after every Injection.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "circuit/netlist.hpp"
+#include "verify/diagnostic.hpp"
+
+namespace dramstress::verify {
+
+/// Tunable bounds and toggles.  Defaults are deliberately loose; the DRAM
+/// layer narrows the MOSFET geometry bounds from its TechnologyParams
+/// (see DramColumn::verify).
+struct LintOptions {
+  // Resistance above this is suspicious even for an "open" model; the
+  // column's pristine shunt stubs sit at 1e15 Ohm, so the bound clears
+  // them with margin.
+  double r_max = 1e16;        // Ohm
+  double c_max = 1.0;         // F: a farad-scale cap is a typo'd suffix
+  double l_max = 1.0;         // H
+  double mos_w_min = 1e-9;    // m
+  double mos_w_max = 1e-2;    // m
+  double mos_l_min = 1e-9;    // m
+  double mos_l_max = 1e-3;    // m
+
+  /// Device name -> 1-based source line (SpiceDeck::device_lines); linted
+  /// devices pick their `spice_line` from here when present.
+  const std::map<std::string, int>* source_lines = nullptr;
+
+  /// The E105 structural-rank check stamps every device once; turn it off
+  /// for pathological netlists where even pattern capture is unwanted.
+  bool check_singular_pattern = true;
+};
+
+/// Static checks over one netlist.  Linting assigns branch indices to the
+/// devices (same assignment MnaSystem makes), hence the non-const Netlist.
+class NetlistLinter {
+public:
+  explicit NetlistLinter(LintOptions options = {}) : opt_(options) {}
+
+  VerifyReport lint(circuit::Netlist& netlist) const;
+
+private:
+  LintOptions opt_;
+};
+
+/// Defect-injection sanity: `resistor_name` must exist, be a resistor,
+/// span exactly {expect_a, expect_b} and carry a finite positive value.
+/// Callers (defect::SweepContext) supply the expected terminals from the
+/// column's advertised topology.
+VerifyReport lint_injection(const circuit::Netlist& netlist,
+                            const std::string& resistor_name,
+                            circuit::NodeId expect_a, circuit::NodeId expect_b);
+
+}  // namespace dramstress::verify

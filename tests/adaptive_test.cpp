@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "analysis/border.hpp"
 #include "analysis/result_plane.hpp"
@@ -17,6 +18,14 @@ using namespace dramstress;
 using namespace dramstress::circuit;
 
 namespace {
+
+// Append-style concatenation: GCC 12 -O3 flags the inlined
+// operator+(const char*, string&&) with a spurious -Wrestrict.
+std::string seq_name(const char* prefix, int i) {
+  std::string s(prefix);
+  s += std::to_string(i);
+  return s;
+}
 
 /// RC discharge fixture: C charged to v0 through nothing, bleeding into R.
 struct RcRun {
@@ -133,12 +142,12 @@ TEST(Adaptive, ModifiedNewtonReusesFactorizations) {
   Netlist nl;
   std::vector<NodeId> nodes;
   for (int i = 0; i < 20; ++i)
-    nodes.push_back(nl.node("n" + std::to_string(i)));
+    nodes.push_back(nl.node(seq_name("n", i)));
   nl.add_voltage_source("V1", nodes[0], kGround, Waveform::dc(1.0));
   for (int i = 0; i + 1 < 20; ++i) {
-    nl.add_resistor("R" + std::to_string(i), nodes[static_cast<size_t>(i)],
+    nl.add_resistor(seq_name("R", i), nodes[static_cast<size_t>(i)],
                     nodes[static_cast<size_t>(i) + 1], 1e3);
-    nl.add_capacitor("C" + std::to_string(i),
+    nl.add_capacitor(seq_name("C", i),
                      nodes[static_cast<size_t>(i) + 1], kGround, 1e-12);
   }
   MnaSystem sys(nl);

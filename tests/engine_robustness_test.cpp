@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "circuit/dcop.hpp"
 #include "circuit/netlist.hpp"
@@ -23,6 +24,14 @@ MosfetParams inv_mos() {
   return p;
 }
 
+// Append-style concatenation: GCC 12 -O3 flags the inlined
+// operator+(const char*, string&&) with a spurious -Wrestrict.
+std::string seq_name(const char* prefix, int i) {
+  std::string s(prefix);
+  s += std::to_string(i);
+  return s;
+}
+
 }  // namespace
 
 TEST(DcOpRobust, RingOfInvertersConverges) {
@@ -34,10 +43,10 @@ TEST(DcOpRobust, RingOfInvertersConverges) {
   nl.add_voltage_source("Vdd", vdd, kGround, Waveform::dc(2.4));
   NodeId prev = nl.node("n2");  // feedback from the last stage
   for (int i = 0; i < 3; ++i) {
-    const NodeId out = nl.node("n" + std::to_string(i));
-    nl.add_mosfet("MP" + std::to_string(i), MosType::Pmos, out, prev, vdd,
+    const NodeId out = nl.node(seq_name("n", i));
+    nl.add_mosfet(seq_name("MP", i), MosType::Pmos, out, prev, vdd,
                   vdd, inv_mos());
-    nl.add_mosfet("MN" + std::to_string(i), MosType::Nmos, out, prev, kGround,
+    nl.add_mosfet(seq_name("MN", i), MosType::Nmos, out, prev, kGround,
                   kGround, inv_mos());
     prev = out;
   }
@@ -45,7 +54,7 @@ TEST(DcOpRobust, RingOfInvertersConverges) {
   const auto x = dc_operating_point(sys);
   // All stages sit near the switching threshold.
   for (int i = 0; i < 3; ++i) {
-    const double v = MnaSystem::voltage(x, nl.find_node("n" + std::to_string(i)));
+    const double v = MnaSystem::voltage(x, nl.find_node(seq_name("n", i)));
     EXPECT_GT(v, 0.4);
     EXPECT_LT(v, 2.0);
   }

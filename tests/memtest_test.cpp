@@ -174,6 +174,8 @@ TEST(Memory, MarchSsCatchesWhatMatsPlusCatches) {
     BehavioralMemory ss(16, 5, make_model(DefectKind::O3, r), 60e-9);
     const bool mats_found = mats.run(mats_plus()).has_value();
     const bool ss_found = ss.run(march_ss()).has_value();
-    if (mats_found) EXPECT_TRUE(ss_found) << r;
+    if (mats_found) {
+      EXPECT_TRUE(ss_found) << r;
+    }
   }
 }

@@ -136,7 +136,6 @@ TEST(Stress, OptimizerThrowsOnUndetectableDefect) {
   // column by optimizing a defect whose sweep never produces faults.
   // Easiest stand-in: defect kind O3 but restricted via options to an
   // unreachable corner is not expressible, so instead verify analyze path:
-  const Defect d{DefectKind::O3, Side::True};
   dram::ColumnSimulator sim(col, nominal_condition());
   // Healthy column: no candidate fails anywhere only when the defect is
   // never injected. analyze_defect always injects, so instead check that a

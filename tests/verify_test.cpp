@@ -1,0 +1,302 @@
+// Static verification (src/verify): the diagnostics engine, the netlist
+// linter's defect-class detectors with SPICE line attribution, the
+// defect-injection sanity checks, and the clean-pass guarantees on every
+// netlist the repo ships.
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "circuit/spice_reader.hpp"
+#include "defect/defect.hpp"
+#include "defect/sweep_context.hpp"
+#include "dram/column.hpp"
+#include "util/error.hpp"
+#include "verify/netlist_lint.hpp"
+
+namespace dramstress {
+namespace {
+
+using circuit::Netlist;
+using verify::Code;
+using verify::LintOptions;
+using verify::NetlistLinter;
+using verify::Severity;
+using verify::VerifyReport;
+
+/// Parse a deck and lint it with line attribution, like minispice --lint.
+VerifyReport lint_deck(const std::string& text) {
+  circuit::SpiceDeck deck = circuit::parse_spice(text);
+  LintOptions opt;
+  opt.source_lines = &deck.device_lines;
+  return NetlistLinter(opt).lint(*deck.netlist);
+}
+
+// --- diagnostics engine ----------------------------------------------
+
+TEST(Diagnostic, RendersCodeLineAndRefs) {
+  verify::Diagnostic d;
+  d.code = Code::VsourceLoop;
+  d.severity = Severity::Error;
+  d.message = "loop closed";
+  d.device = "V3";
+  d.spice_line = 4;
+  const std::string s = d.str();
+  EXPECT_NE(s.find("error[E103]"), std::string::npos) << s;
+  EXPECT_NE(s.find("line 4"), std::string::npos) << s;
+  EXPECT_NE(s.find("V3"), std::string::npos) << s;
+}
+
+TEST(Diagnostic, ReportCountersAndLookup) {
+  VerifyReport r;
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.clean());
+  r.add({Code::DanglingNode, Severity::Warning, "w", {}, "x", 0});
+  EXPECT_TRUE(r.ok());       // warnings alone do not fail
+  EXPECT_FALSE(r.clean());
+  r.add({Code::FloatingIsland, Severity::Error, "e", {}, "y", 0});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.errors(), 1);
+  EXPECT_EQ(r.warnings(), 1);
+  ASSERT_TRUE(r.has(Code::FloatingIsland));
+  EXPECT_EQ(r.find(Code::FloatingIsland)->node, "y");
+  EXPECT_FALSE(r.has(Code::VsourceLoop));
+  EXPECT_NE(r.str().find("1 error(s)"), std::string::npos) << r.str();
+}
+
+// --- seeded defect classes -------------------------------------------
+
+TEST(NetlistLint, FlagsFloatingIsland) {
+  const VerifyReport r = lint_deck(
+      "island deck\n"
+      "V1 in 0 DC 1\n"
+      "R1 in out 1k\n"
+      "R2 a b 1k\n"
+      ".end\n");
+  EXPECT_FALSE(r.ok());
+  ASSERT_TRUE(r.has(Code::FloatingIsland));
+  const verify::Diagnostic* d = r.find(Code::FloatingIsland);
+  // Which island member is reported first depends on node-creation order.
+  EXPECT_TRUE(d->node == "a" || d->node == "b") << d->node;
+  EXPECT_NE(d->message.find("a"), std::string::npos) << d->message;
+  EXPECT_NE(d->message.find("b"), std::string::npos) << d->message;
+}
+
+TEST(NetlistLint, FlagsVsourceLoopWithLineNumber) {
+  const VerifyReport r = lint_deck(
+      "vloop deck\n"
+      "V1 a 0 DC 1\n"
+      "V2 a b DC 1\n"
+      "V3 b 0 DC 1\n"
+      "R1 a 0 1k\n"
+      ".end\n");
+  EXPECT_FALSE(r.ok());
+  ASSERT_TRUE(r.has(Code::VsourceLoop));
+  const verify::Diagnostic* d = r.find(Code::VsourceLoop);
+  // The third source closes the loop; its card sits on deck line 4.  The
+  // reader lower-cases element names (SPICE is case-insensitive).
+  EXPECT_EQ(d->device, "v3");
+  EXPECT_EQ(d->spice_line, 4);
+}
+
+TEST(NetlistLint, FlagsIsourceCutset) {
+  const VerifyReport r = lint_deck(
+      "cutset deck\n"
+      "I1 0 n DC 1u\n"
+      "C1 n 0 1p\n"
+      "V1 x 0 DC 1\n"
+      "R1 x 0 1k\n"
+      ".end\n");
+  EXPECT_FALSE(r.ok());
+  ASSERT_TRUE(r.has(Code::IsourceCutset));
+  EXPECT_EQ(r.find(Code::IsourceCutset)->device, "i1");
+  EXPECT_EQ(r.find(Code::IsourceCutset)->spice_line, 2);
+}
+
+TEST(NetlistLint, FlagsStructurallySingularPattern) {
+  // The gate node only ever appears in Jacobian *columns* (gm entries);
+  // its KCL row stays empty without the gmin the linter deliberately
+  // omits, so the pattern is rank-deficient exactly at 'g'.
+  const VerifyReport r = lint_deck(
+      "floating gate deck\n"
+      "Vd d 0 DC 1\n"
+      "M1 d g 0 0 mod\n"
+      ".model mod NMOS (vto=0.5)\n"
+      ".end\n");
+  EXPECT_FALSE(r.ok());
+  ASSERT_TRUE(r.has(Code::SingularPattern));
+  EXPECT_EQ(r.find(Code::SingularPattern)->node, "g");
+}
+
+TEST(NetlistLint, DuplicateDeviceNameFailsParseWithBothLines) {
+  try {
+    circuit::parse_spice(
+        "dup deck\n"
+        "R1 a 0 1k\n"
+        "R1 a 0 2k\n"
+        ".end\n");
+    FAIL() << "duplicate device name must not parse";
+  } catch (const ModelError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("spice line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("duplicate device name 'r1'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  }
+}
+
+// --- the rest of the battery -----------------------------------------
+
+TEST(NetlistLint, WarnsOnNoDcPath) {
+  const VerifyReport r = lint_deck(
+      "cap coupled deck\n"
+      "V1 in 0 DC 1\n"
+      "R1 in 0 1k\n"
+      "C1 in x 1p\n"
+      "C2 x 0 1p\n"
+      ".end\n");
+  EXPECT_TRUE(r.ok());  // warning, not error: gmin still pins the node
+  ASSERT_TRUE(r.has(Code::NoDcPath));
+  EXPECT_EQ(r.find(Code::NoDcPath)->node, "x");
+}
+
+TEST(NetlistLint, WarnsOnDanglingNode) {
+  const VerifyReport r = lint_deck(
+      "dangling deck\n"
+      "V1 in 0 DC 1\n"
+      "R1 in out 1k\n"
+      "R2 out 0 1k\n"
+      "C1 out tip 1p\n"
+      ".end\n");
+  EXPECT_TRUE(r.ok());
+  ASSERT_TRUE(r.has(Code::DanglingNode));
+  EXPECT_EQ(r.find(Code::DanglingNode)->node, "tip");
+}
+
+TEST(NetlistLint, WarnsOnDuplicateParallelDevices) {
+  const VerifyReport r = lint_deck(
+      "parallel deck\n"
+      "V1 a 0 DC 1\n"
+      "R1 a 0 1k\n"
+      "R2 0 a 2k\n"
+      ".end\n");
+  EXPECT_TRUE(r.ok());
+  ASSERT_TRUE(r.has(Code::DuplicateParallel));
+  EXPECT_EQ(r.find(Code::DuplicateParallel)->device, "r2");
+  EXPECT_EQ(r.find(Code::DuplicateParallel)->spice_line, 4);
+}
+
+TEST(NetlistLint, WarnsOnSuspiciousResistance) {
+  const VerifyReport r = lint_deck(
+      "odd value deck\n"
+      "V1 a 0 DC 1\n"
+      "R1 a 0 1e17\n"
+      ".end\n");
+  EXPECT_TRUE(r.ok());
+  ASSERT_TRUE(r.has(Code::SuspiciousParam));
+  EXPECT_EQ(r.find(Code::SuspiciousParam)->device, "r1");
+}
+
+TEST(NetlistLint, ErrorsOnNonPhysicalMosfetParam) {
+  Netlist nl;
+  const auto d = nl.node("d");
+  const auto g = nl.node("g");
+  circuit::MosfetParams p;
+  p.kp_tnom = -1.0;
+  nl.add_mosfet("M1", circuit::MosType::Nmos, d, g, circuit::kGround,
+                circuit::kGround, p);
+  nl.add_voltage_source("V1", d, circuit::kGround, circuit::Waveform::dc(1.0));
+  nl.add_voltage_source("V2", g, circuit::kGround, circuit::Waveform::dc(1.0));
+  const VerifyReport r = NetlistLinter().lint(nl);
+  EXPECT_FALSE(r.ok());
+  ASSERT_TRUE(r.has(Code::NonPhysicalParam));
+  EXPECT_EQ(r.find(Code::NonPhysicalParam)->device, "M1");
+}
+
+TEST(NetlistLint, SelfLoopSeverityDependsOnKind) {
+  Netlist nl;
+  const auto a = nl.node("a");
+  nl.add_voltage_source("V1", a, a, circuit::Waveform::dc(1.0));
+  nl.add_resistor("R1", a, a, 1e3);
+  nl.add_resistor("R2", a, circuit::kGround, 1e3);
+  LintOptions opt;
+  opt.check_singular_pattern = false;  // the V1 branch row is empty by design
+  const VerifyReport r = NetlistLinter(opt).lint(nl);
+  ASSERT_TRUE(r.has(Code::SelfLoop));
+  int errors = 0;
+  int warnings = 0;
+  for (const auto& d : r.diagnostics()) {
+    if (d.code != Code::SelfLoop) continue;
+    (d.severity == Severity::Error ? errors : warnings)++;
+    EXPECT_EQ(d.node, "a");
+  }
+  EXPECT_EQ(errors, 1);    // the voltage source: unsatisfiable branch
+  EXPECT_EQ(warnings, 1);  // the resistor: harmless but surely a typo
+}
+
+// --- defect-injection sanity (E201..E204) ----------------------------
+
+TEST(InjectionLint, FlagsUnknownWrongKindAndWrongNodes) {
+  Netlist nl;
+  const auto a = nl.node("a");
+  const auto b = nl.node("b");
+  nl.add_resistor("rx", a, b, 1.0);
+  nl.add_capacitor("cx", a, b, 1e-12);
+
+  EXPECT_TRUE(verify::lint_injection(nl, "rx", a, b).clean());
+  // Terminal order must not matter.
+  EXPECT_TRUE(verify::lint_injection(nl, "rx", b, a).clean());
+
+  const VerifyReport unknown = verify::lint_injection(nl, "nope", a, b);
+  EXPECT_TRUE(unknown.has(Code::DefectUnknownDevice));
+  EXPECT_FALSE(unknown.ok());
+
+  const VerifyReport kind = verify::lint_injection(nl, "cx", a, b);
+  EXPECT_TRUE(kind.has(Code::DefectNotResistor));
+
+  const VerifyReport nodes = verify::lint_injection(nl, "rx", a, circuit::kGround);
+  ASSERT_TRUE(nodes.has(Code::DefectWrongNodes));
+  EXPECT_NE(nodes.find(Code::DefectWrongNodes)->message.find("intended"),
+            std::string::npos);
+}
+
+// --- clean passes over everything the repo ships ---------------------
+
+TEST(CleanPass, ShippedColumnVerifiesClean) {
+  dram::DramColumn col;
+  const VerifyReport r = col.verify();
+  EXPECT_TRUE(r.clean()) << r.str();
+}
+
+TEST(CleanPass, AllDefectPlaceholdersLintClean) {
+  dram::DramColumn col;
+  for (const defect::Defect& d : defect::extended_defect_set()) {
+    const auto [ea, eb] = defect::expected_terminals(col, d);
+    const VerifyReport r =
+        verify::lint_injection(col.netlist(), d.device_name(), ea, eb);
+    EXPECT_TRUE(r.clean()) << d.name() << ":\n" << r.str();
+  }
+}
+
+TEST(CleanPass, ExampleDeckLintsClean) {
+  std::ifstream in(DS_SOURCE_DIR "/examples/decks/dram_cell.sp");
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const VerifyReport r = lint_deck(buffer.str());
+  EXPECT_TRUE(r.clean()) << r.str();
+}
+
+TEST(CleanPass, SweepContextRunsVerificationWithoutThrowing) {
+  // The constructor lints the freshly built column and the injected
+  // placeholder; a throw here means the builder and the taxonomy disagree
+  // (see SweepContext).
+  EXPECT_NO_THROW({
+    defect::SweepContext ctx(dram::default_technology(),
+                             {defect::DefectKind::O3, dram::Side::True}, 2e6);
+    (void)ctx;
+  });
+}
+
+}  // namespace
+}  // namespace dramstress

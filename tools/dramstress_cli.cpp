@@ -16,6 +16,11 @@
 // (default: adaptive); --lte-tol X sets the relative LTE tolerance of the
 // adaptive engine (default 5e-4; tighter tracks the fixed-step reference
 // closer at the cost of more steps).
+//
+// --verify runs the static netlist verification (docs/LINT.md) over the
+// column and every defect placeholder before the command, failing on
+// errors; --verify=strict also fails on warnings.  With no command,
+// "dramstress --verify" verifies and exits.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,8 +42,12 @@ int usage() {
   std::fprintf(stderr,
                "usage: dramstress <analyze|optimize|report|table1|ffm> "
                "[defect] [side] [R] [--threads N]\n"
-               "                  [--adaptive|--no-adaptive] [--lte-tol X]\n"
-               "  defect: o1 o2 o3 sg sv b1 b2 b3   side: true|comp\n");
+               "                  [--adaptive|--no-adaptive] [--lte-tol X] "
+               "[--verify[=strict]]\n"
+               "  defect: o1 o2 o3 sg sv b1 b2 b3   side: true|comp\n"
+               "  --verify runs the static netlist checks (docs/LINT.md) "
+               "first; strict fails on warnings;\n"
+               "  with no command, verify and exit\n");
   return 2;
 }
 
@@ -46,6 +55,8 @@ int usage() {
 struct EngineFlags {
   bool adaptive = true;     // LTE-controlled stepping (the default engine)
   double lte_tol = 5e-4;    // relative LTE tolerance
+  bool verify = false;      // run static verification before the command
+  bool verify_strict = false;  // ... and fail on warnings too
 
   void apply(dram::SimSettings* s) const {
     s->adaptive = adaptive;
@@ -68,6 +79,14 @@ bool extract_flags(int argc, char** argv, std::vector<char*>* args,
     }
     if (std::strcmp(a, "--no-adaptive") == 0) {
       flags->adaptive = false;
+      continue;
+    }
+    if (std::strcmp(a, "--verify") == 0) {
+      flags->verify = true;
+      continue;
+    }
+    if (std::strcmp(a, "--verify=strict") == 0) {
+      flags->verify = flags->verify_strict = true;
       continue;
     }
     if (std::strncmp(a, "--lte-tol=", 10) == 0) {
@@ -136,8 +155,9 @@ int main(int raw_argc, char** raw_argv) {
   if (!extract_flags(raw_argc, raw_argv, &args, &eng)) return usage();
   const int argc = static_cast<int>(args.size());
   char** argv = args.data();
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
+  const bool verify_only = eng.verify && argc < 2;
+  if (argc < 2 && !verify_only) return usage();
+  const std::string cmd = verify_only ? "" : argv[1];
 
   defect::Defect d{defect::DefectKind::O3, dram::Side::True};
   if (argc > 2 && !parse_defect(argv[2], &d.kind) && cmd != "table1")
@@ -150,6 +170,16 @@ int main(int raw_argc, char** raw_argv) {
     eng.apply(&options.settings);
     core::StressFlow flow(dram::default_technology(),
                           stress::nominal_condition(), options);
+    if (eng.verify) {
+      const verify::VerifyReport report = flow.verify();
+      std::fputs(report.str().c_str(), stderr);
+      if (!report.ok() || (eng.verify_strict && report.warnings() > 0)) {
+        std::fprintf(stderr, "error: netlist verification failed%s\n",
+                     eng.verify_strict ? " (strict: warnings are fatal)" : "");
+        return 1;
+      }
+      if (verify_only) return 0;
+    }
     if (cmd == "analyze") {
       show_border(flow.analyze(d), d);
       return 0;

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Run clang-tidy (profile: .clang-tidy) over the library and tool sources
+# using the compilation database that CMake exports.
+#
+#   tools/lint.sh [build-dir]      default build dir: build
+#
+# Exits 0 with a notice when no clang-tidy binary is installed, so the
+# script is safe to call unconditionally from CI images that lack the
+# clang tooling; everything else propagates clang-tidy's exit status.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+
+tidy=""
+for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                 clang-tidy-15 clang-tidy-14; do
+  if command -v "$candidate" > /dev/null 2>&1; then
+    tidy="$candidate"
+    break
+  fi
+done
+if [[ -z "$tidy" ]]; then
+  echo "lint.sh: no clang-tidy binary found; skipping static analysis" >&2
+  exit 0
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "lint.sh: $build_dir/compile_commands.json missing;" \
+       "configure first: cmake -B $build_dir -S ." >&2
+  exit 2
+fi
+
+# Library + tool translation units; tests are covered by the compiler's
+# -Wall -Wextra (-Werror in tier-1) and gtest's own checks.
+mapfile -t sources < <(find src tools -name '*.cpp' | sort)
+
+echo "lint.sh: $tidy over ${#sources[@]} files (db: $build_dir)"
+"$tidy" -p "$build_dir" --quiet "${sources[@]}"

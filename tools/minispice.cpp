@@ -2,6 +2,9 @@
 //
 //   minispice deck.sp            # run .tran, print probes as CSV to stdout
 //   minispice deck.sp --plot     # ASCII-plot the probes instead
+//   minispice deck.sp --lint     # static verification only: report
+//                                # diagnostics with deck line numbers and
+//                                # exit 1 on errors (docs/LINT.md)
 //
 // Supported dialect: see circuit/spice_reader.hpp.
 #include <cstdio>
@@ -15,16 +18,19 @@
 #include "util/ascii_plot.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
+#include "verify/netlist_lint.hpp"
 
 using namespace dramstress;
 using namespace dramstress::circuit;
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <deck.sp> [--plot]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s <deck.sp> [--plot|--lint]\n", argv[0]);
     return 2;
   }
-  const bool plot = argc > 2 && std::string(argv[2]) == "--plot";
+  const std::string mode = argc > 2 ? argv[2] : "";
+  const bool plot = mode == "--plot";
+  const bool lint = mode == "--lint";
 
   std::ifstream in(argv[1]);
   if (!in) {
@@ -38,6 +44,14 @@ int main(int argc, char** argv) {
     SpiceDeck deck = parse_spice(buffer.str());
     if (!deck.title.empty())
       std::fprintf(stderr, "* %s\n", deck.title.c_str());
+    if (lint) {
+      verify::LintOptions opt;
+      opt.source_lines = &deck.device_lines;
+      const verify::VerifyReport report =
+          verify::NetlistLinter(opt).lint(*deck.netlist);
+      std::fputs(report.str().c_str(), stdout);
+      return report.ok() ? 0 : 1;
+    }
     if (deck.tran_stop <= 0.0) {
       std::fprintf(stderr, "deck has no .tran card\n");
       return 2;

@@ -11,9 +11,15 @@ skip_tsan=0
 [[ "${1:-}" == "--skip-tsan" ]] && skip_tsan=1
 
 echo "=== tier-1: standard build + full ctest ==="
-cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DDRAMSTRESS_WERROR=ON
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+echo "=== tier-1: static netlist verification gate ==="
+# The shipped column and every defect placeholder must lint clean, with
+# warnings fatal (docs/LINT.md): a diagnostic here means the netlist
+# builder and the defect taxonomy disagree.
+./build/tools/dramstress --verify=strict
 
 echo "=== tier-1: adaptive-engine accuracy gate ==="
 # The adaptive (LTE) engine must reproduce the fixed-step border
