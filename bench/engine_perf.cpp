@@ -7,11 +7,15 @@
 //  * generate_plane_set end to end: the seed serial path (1 thread, no Vsa
 //    memoization) vs. the parallel engine (pool + VsaCache),
 //  * the transient-engine ladder on the Fig. 2 plane workload (1 thread):
-//    seed fixed-dt dense vs fixed-dt sparse vs adaptive (LTE) + sparse.
+//    seed fixed-dt dense vs fixed-dt sparse vs adaptive (LTE) + sparse,
+//  * observability overhead: the adaptive+sparse plane workload with metric
+//    and span collection on vs. suspended (obs::set_collecting); the
+//    acceptance ceiling is <2% overhead.
 //
-// Both comparisons are written to BENCH_engine.json (wall time and
-// points/sec per variant plus the speedups) so the perf trajectory is
-// tracked across PRs.  The acceptance floor for this PR's engine work is
+// All comparisons are written to BENCH_engine.json (wall time and
+// points/sec per variant plus the speedups), together with the full metric
+// dump of the instrumented adaptive run, so the perf trajectory is
+// self-describing across PRs.  The engine acceptance floor is
 // adaptive_sparse_speedup >= 3 over the seed fixed-dense configuration.
 // Flags: --r-points=N shrinks the sweep grid, --threads=N caps the pool,
 // --skip-micro skips the google-benchmark microbenches.
@@ -30,6 +34,10 @@
 #include "numeric/lu.hpp"
 #include "stress/stress.hpp"
 #include "numeric/sparse.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/version.hpp"
+#include "util/json.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
 
@@ -177,51 +185,71 @@ SweepTiming time_plane_engine(const analysis::PlaneOptions& opt,
   return t;
 }
 
+void append_timing(util::json::Writer& w, const SweepTiming& t) {
+  w.begin_object();
+  w.key("wall_s").value(t.wall_s);
+  w.key("points_per_s").value(t.points_per_s());
+  w.end_object();
+}
+
 void write_json(const std::string& path, const analysis::PlaneOptions& opt,
                 int threads, const SweepTiming& serial,
                 const SweepTiming& parallel, const SweepTiming& fixed_dense,
                 const SweepTiming& fixed_sparse,
-                const SweepTiming& adaptive_sparse) {
+                const SweepTiming& adaptive_sparse, const SweepTiming& obs_on,
+                const SweepTiming& obs_off,
+                const obs::MetricsSnapshot& metrics) {
+  util::json::Writer w;
+  w.begin_object();
+  w.key("bench").value("generate_plane_set");
+  w.key("defect").value("O3 (true)");
+  w.key("git").value(obs::git_describe());
+  w.key("r_points").value(opt.num_r_points);
+  w.key("ops_per_point").value(opt.ops_per_point);
+  w.key("planes").value(3);
+  w.key("points").value(serial.points);
+  w.key("hardware_threads").value(util::hardware_threads());
+  w.key("threads").value(threads);
+  w.key("serial_seed_path");
+  append_timing(w, serial);
+  w.key("parallel_engine");
+  append_timing(w, parallel);
+  w.key("speedup").value(serial.wall_s / parallel.wall_s);
+  w.key("transient_engine").begin_object();
+  w.key("fixed_dense");
+  append_timing(w, fixed_dense);
+  w.key("fixed_sparse");
+  append_timing(w, fixed_sparse);
+  w.key("adaptive_sparse");
+  append_timing(w, adaptive_sparse);
+  w.key("sparse_speedup").value(fixed_dense.wall_s / fixed_sparse.wall_s);
+  w.key("adaptive_sparse_speedup")
+      .value(fixed_dense.wall_s / adaptive_sparse.wall_s);
+  w.end_object();
+  w.key("observability").begin_object();
+  w.key("compiled_in").value(obs::compiled_in());
+  w.key("on");
+  append_timing(w, obs_on);
+  w.key("off");
+  append_timing(w, obs_off);
+  w.key("overhead_pct")
+      .value(obs_off.wall_s > 0.0
+                 ? 100.0 * (obs_on.wall_s - obs_off.wall_s) / obs_off.wall_s
+                 : 0.0);
+  w.end_object();
+  // Full metric dump of the instrumented adaptive run: the same shape as a
+  // run manifest's `metrics` object (docs/OBSERVABILITY.md).
+  w.key("metrics");
+  obs::append_metrics(w, metrics);
+  w.end_object();
+
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f,
-               "{\n"
-               "  \"bench\": \"generate_plane_set\",\n"
-               "  \"defect\": \"O3 (true)\",\n"
-               "  \"r_points\": %d,\n"
-               "  \"ops_per_point\": %d,\n"
-               "  \"planes\": 3,\n"
-               "  \"points\": %ld,\n"
-               "  \"hardware_threads\": %d,\n"
-               "  \"threads\": %d,\n"
-               "  \"serial_seed_path\": {\"wall_s\": %.6f, "
-               "\"points_per_s\": %.3f},\n"
-               "  \"parallel_engine\": {\"wall_s\": %.6f, "
-               "\"points_per_s\": %.3f},\n"
-               "  \"speedup\": %.3f,\n"
-               "  \"transient_engine\": {\n"
-               "    \"fixed_dense\": {\"wall_s\": %.6f, "
-               "\"points_per_s\": %.3f},\n"
-               "    \"fixed_sparse\": {\"wall_s\": %.6f, "
-               "\"points_per_s\": %.3f},\n"
-               "    \"adaptive_sparse\": {\"wall_s\": %.6f, "
-               "\"points_per_s\": %.3f},\n"
-               "    \"sparse_speedup\": %.3f,\n"
-               "    \"adaptive_sparse_speedup\": %.3f\n"
-               "  }\n"
-               "}\n",
-               opt.num_r_points, opt.ops_per_point, serial.points,
-               util::hardware_threads(), threads, serial.wall_s,
-               serial.points_per_s(), parallel.wall_s,
-               parallel.points_per_s(), serial.wall_s / parallel.wall_s,
-               fixed_dense.wall_s, fixed_dense.points_per_s(),
-               fixed_sparse.wall_s, fixed_sparse.points_per_s(),
-               adaptive_sparse.wall_s, adaptive_sparse.points_per_s(),
-               fixed_dense.wall_s / fixed_sparse.wall_s,
-               fixed_dense.wall_s / adaptive_sparse.wall_s);
+  std::fputs(w.str().c_str(), f);
+  std::fputc('\n', f);
   std::fclose(f);
   std::printf("[json] wrote %s\n", path.c_str());
 }
@@ -277,8 +305,38 @@ int main(int argc, char** argv) {
                 adaptive_sparse.wall_s, adaptive_sparse.points_per_s(),
                 fixed_dense.wall_s / adaptive_sparse.wall_s);
 
+    // Observability overhead: the same adaptive workload with collection
+    // enabled (fresh registries) vs. suspended at runtime.  Alternating
+    // best-of-N pairs: scheduler noise on a loaded host easily exceeds the
+    // effect being measured, and the minimum of each arm is the cleanest
+    // estimate of its true cost.
+    std::printf("observability overhead (adaptive + sparse, 1 thread):\n");
+    constexpr int kObsReps = 3;
+    SweepTiming obs_on, obs_off;
+    obs::MetricsSnapshot metrics;
+    for (int rep = 0; rep < kObsReps; ++rep) {
+      obs::reset_metrics();
+      obs::reset_spans();
+      obs::set_collecting(true);
+      const SweepTiming on = time_plane_engine(opt, dram::SimSettings{});
+      if (rep == 0 || on.wall_s < obs_on.wall_s) {
+        obs_on = on;
+        metrics = obs::metrics_snapshot();
+      }
+      obs::set_collecting(false);
+      const SweepTiming off = time_plane_engine(opt, dram::SimSettings{});
+      obs::set_collecting(true);
+      if (rep == 0 || off.wall_s < obs_off.wall_s) obs_off = off;
+    }
+    const double overhead_pct =
+        100.0 * (obs_on.wall_s - obs_off.wall_s) / obs_off.wall_s;
+    std::printf("  collection on        : %8.3f s  (best of %d)\n",
+                obs_on.wall_s, kObsReps);
+    std::printf("  collection off       : %8.3f s  (overhead %+.2f%%)\n",
+                obs_off.wall_s, overhead_pct);
+
     write_json("BENCH_engine.json", opt, pool, serial, parallel, fixed_dense,
-               fixed_sparse, adaptive_sparse);
+               fixed_sparse, adaptive_sparse, obs_on, obs_off, metrics);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

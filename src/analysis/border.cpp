@@ -4,6 +4,7 @@
 
 #include "numeric/interp.hpp"
 #include "numeric/rootfind.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -24,6 +25,7 @@ BorderResult find_border_resistance(dram::DramColumn& column,
                                     const DetectionCondition& cond,
                                     const defect::SweepRange& range,
                                     const BorderOptions& opt) {
+  OBS_SPAN("border.find");
   require(opt.scan_points >= 3, "find_border_resistance: need >= 3 scan points");
   BorderResult result;
   result.condition = cond;
@@ -75,6 +77,7 @@ BorderResult find_border_resistance(dram::DramColumn& column,
 BorderResult analyze_defect(dram::DramColumn& column, const defect::Defect& d,
                             const dram::ColumnSimulator& sim,
                             const BorderOptions& opt) {
+  OBS_SPAN("border.analyze");
   const defect::SweepRange range = defect::default_sweep_range(d.kind);
   // Construct the candidate conditions at a mid-range reference (their
   // charging counts need a representative, not extreme, resistance), then

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "numeric/interp.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
@@ -52,6 +53,7 @@ OpSequence writes(int value, int count) {
 
 FfmReport classify_ffm(const dram::ColumnSimulator& sim, Side side,
                        const FfmProbeOptions& opt) {
+  OBS_SPAN("ffm.classify");
   FfmReport report;
   const double vdd = sim.conditions().vdd;
   auto add = [&report](FaultModel m) {

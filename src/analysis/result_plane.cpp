@@ -1,6 +1,8 @@
 #include "analysis/result_plane.hpp"
 
 #include "defect/sweep_context.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -36,6 +38,7 @@ Operation op_of(OpKind kind) {
 ResultPlane generate_plane(dram::DramColumn& column, const defect::Defect& d,
                            const dram::ColumnSimulator& sim, OpKind op,
                            const PlaneOptions& opt) {
+  OBS_SPAN("plane.generate");
   require(opt.num_r_points >= 2, "result plane: need >= 2 R points");
   require(opt.ops_per_point >= 1, "result plane: need >= 1 op");
   const double vdd = sim.conditions().vdd;
@@ -71,6 +74,8 @@ ResultPlane generate_plane(dram::DramColumn& column, const defect::Defect& d,
       n_points,
       [&] { return defect::SweepContext(tech, d, r_init, cond, settings); },
       [&](defect::SweepContext& ctx, size_t i) {
+        OBS_SPAN("plane.point");
+        obs::count("plane.points");
         const double r = plane.r_values[i];
         ctx.injection().set_value(r);
         const VsaResult vsa =
@@ -115,6 +120,7 @@ ResultPlane generate_plane(dram::DramColumn& column, const defect::Defect& d,
 PlaneSet generate_plane_set(dram::DramColumn& column, const defect::Defect& d,
                             const dram::ColumnSimulator& sim,
                             const PlaneOptions& opt) {
+  OBS_SPAN("plane.generate_set");
   // All three planes share one Vsa(R) curve: memoize it so each point is
   // extracted once instead of once per plane.
   VsaCache local_cache;

@@ -1,11 +1,13 @@
 #include "analysis/vsa.hpp"
 
 #include "numeric/rootfind.hpp"
+#include "obs/span.hpp"
 
 namespace dramstress::analysis {
 
 VsaResult extract_vsa(const dram::ColumnSimulator& sim, dram::Side side,
                       const VsaOptions& opt) {
+  OBS_SPAN("vsa.extract");
   const double vdd = sim.conditions().vdd;
   const int at_zero = sim.read_of_initial(0.0, side);
   const int at_vdd = sim.read_of_initial(vdd, side);

@@ -2,6 +2,8 @@
 
 #include <tuple>
 
+#include "obs/metrics.hpp"
+
 namespace dramstress::analysis {
 
 bool VsaCacheKey::operator<(const VsaCacheKey& o) const {
@@ -21,6 +23,7 @@ VsaResult VsaCache::get_or_extract(const dram::ColumnSimulator& sim,
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
+      obs::count("vsa_cache.hit");
       return it->second;
     }
   }
@@ -30,6 +33,7 @@ VsaResult VsaCache::get_or_extract(const dram::ColumnSimulator& sim,
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++misses_;
+    obs::count("vsa_cache.miss");
     entries_.emplace(key, result);
   }
   return result;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -101,12 +103,20 @@ NewtonResult MnaSystem::solve(StampContext ctx, numeric::Vector& x,
           "MnaSystem::solve: unknown vector has wrong size");
   ctx.x = &x;
   ctx.num_nodes = num_nodes_;
+  OBS_SPAN("newton.solve");
 
   // Modified Newton: reuse the previous factorization only while the
   // companion-model coefficients it was built from are unchanged.
   bool reuse = use_sparse_ && opt.reuse_jacobian &&
                factor_key_matches(ctx, opt.gmin);
   double prev_residual = 0.0;
+  long chord_reuses = 0;  // counted locally, one obs emit per solve
+  const auto emit = [&](const NewtonResult& r) {
+    obs::count("newton.solves");
+    obs::count("newton.iterations", r.iterations);
+    if (chord_reuses != 0) obs::count("newton.chord_reuse", chord_reuses);
+    if (!r.converged) obs::count("newton.nonconverged");
+  };
 
   NewtonResult result;
   for (int iter = 0; iter < opt.max_iter; ++iter) {
@@ -114,6 +124,7 @@ NewtonResult MnaSystem::solve(StampContext ctx, numeric::Vector& x,
       assemble_sparse(ctx, opt.gmin, sjac_, res_);
       if (reuse) {
         ++reuse_count_;
+        ++chord_reuses;
       } else {
         if (slu_.analyzed())
           slu_.refactor(sjac_);
@@ -147,12 +158,15 @@ NewtonResult MnaSystem::solve(StampContext ctx, numeric::Vector& x,
     const double step = scale * max_dv;
     if (step < opt.v_tol && result.residual < opt.res_tol) {
       result.converged = true;
+      emit(result);
       return result;
     }
     // A stale factorization that stops shrinking the residual is not worth
     // keeping: refactor from the next assembly on.
-    if (reuse && iter > 0 && result.residual > 0.5 * prev_residual)
+    if (reuse && iter > 0 && result.residual > 0.5 * prev_residual) {
       reuse = false;
+      obs::count("newton.chord_fallback");
+    }
     prev_residual = result.residual;
   }
   // Final residual check: accept if the residual alone is tiny (can happen
@@ -168,6 +182,7 @@ NewtonResult MnaSystem::solve(StampContext ctx, numeric::Vector& x,
         "Newton: no convergence after %d iterations (residual %.3e) at t=%.4g",
         result.iterations, result.residual, ctx.time));
   }
+  emit(result);
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -115,9 +117,12 @@ void TransientSim::record() {
 void TransientSim::commit(numeric::Vector&& x_new, double t_new,
                           const StampContext& ctx0) {
   x_ = std::move(x_new);
+  const double dt = t_new - time_;
   time_ = t_new;
   first_step_done_ = true;
   ++accepted_steps_;
+  obs::count("step.accepted");
+  obs::observe("step.dt", dt);
   StampContext ctx = ctx0;
   ctx.x = &x_;
   for (const auto& dev : sys_->netlist().devices()) dev->commit_step(ctx);
@@ -144,6 +149,7 @@ void TransientSim::step(double dt, int depth) {
           "(residual %.3e)",
           ctx.time * 1e9, dt * 1e12, r.residual));
     }
+    obs::count("step.rejected_newton");
     step(0.5 * dt, depth + 1);
     step(0.5 * dt, depth + 1);
     return;
@@ -210,6 +216,7 @@ void TransientSim::run_adaptive(double t_end) {
       }
       ctrl.halve();
       ++rejected_steps_;
+      obs::count("step.rejected_newton");
       continue;
     }
 
@@ -218,6 +225,7 @@ void TransientSim::run_adaptive(double t_end) {
     if (err > 1.0 && !h_at_floor) {
       ctrl.reject(err);
       ++rejected_steps_;
+      obs::count("step.rejected_lte");
       continue;
     }
 
@@ -232,6 +240,7 @@ void TransientSim::run_adaptive(double t_end) {
 }
 
 void TransientSim::run(double t_end) {
+  OBS_SPAN("transient.run");
   ensure_started();
   require(t_end > time_, "TransientSim::run: t_end must exceed current time");
   if (opt_.adaptive)

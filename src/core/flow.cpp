@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/span.hpp"
+
 #include "util/strings.hpp"
 #include "verify/netlist_lint.hpp"
 
@@ -75,11 +77,13 @@ verify::VerifyReport StressFlow::verify() {
 }
 
 BorderResult StressFlow::analyze(const Defect& d) {
+  OBS_SPAN("flow.analyze");
   dram::ColumnSimulator sim(column_, nominal_, options_.settings);
   return analysis::analyze_defect(column_, d, sim, options_.border);
 }
 
 OptimizationResult StressFlow::optimize(const Defect& d) {
+  OBS_SPAN("flow.optimize");
   return stress::optimize_stresses(column_, d, nominal_, options_);
 }
 
@@ -95,6 +99,7 @@ BorderResult StressFlow::mirrored_border(
 }
 
 Table1 StressFlow::table1(const std::vector<defect::DefectKind>& kinds) {
+  OBS_SPAN("flow.table1");
   Table1 table;
   table.nominal = nominal_;
   for (defect::DefectKind kind : kinds) {

@@ -1,8 +1,11 @@
 #include "dram/column_sim.hpp"
 
+#include <chrono>
 #include <cmath>
 
 #include "circuit/mna.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -34,8 +37,26 @@ ColumnSimulator::ColumnSimulator(DramColumn& column, OperatingConditions cond,
                                  SimSettings settings)
     : column_(&column), cond_(cond), settings_(settings) {}
 
+namespace {
+
+/// Histogram name for the wall time of one scheduled interval.  Literals:
+/// obs metric names must outlive the process.
+const char* op_wall_metric(const CompiledSchedule& sched, int op_index) {
+  if (op_index < 0) return "op.wall.precharge";
+  switch (sched.ops[static_cast<size_t>(op_index)].kind) {
+    case OpKind::W0: return "op.wall.w0";
+    case OpKind::W1: return "op.wall.w1";
+    case OpKind::R: return "op.wall.r";
+    case OpKind::Del: return "op.wall.del";
+  }
+  return "op.wall.precharge";
+}
+
+}  // namespace
+
 RunResult ColumnSimulator::run(const OpSequence& seq, double vc_init,
                                Side side) const {
+  OBS_SPAN("column.run");
   DramColumn& col = *column_;
   const CompiledSchedule sched =
       compile_sequence(col, cond_, side, seq, settings_.timing);
@@ -113,6 +134,7 @@ RunResult ColumnSimulator::run(const OpSequence& seq, double vc_init,
   size_t next_sample = 0;
   const double eps = 1e-15;
   for (const auto& iv : sched.intervals) {
+    const auto iv_start = std::chrono::steady_clock::now();
     const double span = iv.t1 - iv.t0;
     sim.set_dt(iv.is_del ? std::max(settings_.dt, span / settings_.del_steps)
                          : settings_.dt);
@@ -129,6 +151,11 @@ RunResult ColumnSimulator::run(const OpSequence& seq, double vc_init,
       ++next_sample;
     }
     if (iv.t1 > sim.time() + eps) sim.run(iv.t1);
+    if (obs::collecting()) {
+      const std::chrono::duration<double> wall =
+          std::chrono::steady_clock::now() - iv_start;
+      obs::observe(op_wall_metric(sched, iv.op_index), wall.count());
+    }
   }
   result.final_vc = sim.voltage(col.cell_node(side));
   result.trace = sim.trace();

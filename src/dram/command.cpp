@@ -107,7 +107,7 @@ CompiledSchedule compile_sequence(DramColumn& col, const OperatingConditions& co
     if (op.kind == OpKind::Del) {
       require(op.del_seconds > 0.0, "compile_sequence: del needs a duration");
       // Quiet retention phase: column stays precharged (EQ high).
-      sched.intervals.push_back({t, t + op.del_seconds, true});
+      sched.intervals.push_back({t, t + op.del_seconds, true, idx});
       t += op.del_seconds;
       continue;
     }
@@ -146,7 +146,7 @@ CompiledSchedule compile_sequence(DramColumn& col, const OperatingConditions& co
                              CompiledSchedule::Sample::Kind::CellVoltage});
     eq.to(t_act_end + 2.0e-9, vpp);  // stays high until the next activation
     const double t_cycle_end = t0 + cond.tcyc;
-    sched.intervals.push_back({t0, t_cycle_end, false});
+    sched.intervals.push_back({t0, t_cycle_end, false, idx});
     t = t_cycle_end;
   }
 

@@ -74,7 +74,8 @@ struct CompiledSchedule {
   struct Interval {
     double t0 = 0.0;
     double t1 = 0.0;
-    bool is_del = false;  // retention phase: integrate with a coarse step
+    bool is_del = false;   // retention phase: integrate with a coarse step
+    int op_index = -1;     // index into ops; -1 for the initial precharge
   };
 
   double t_end = 0.0;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -81,6 +82,7 @@ void SparseLuSolver::factor(const SparseMatrix& a, double pivot_tol) {
   require(a.finalized(), "SparseLuSolver: matrix not finalized");
   n_ = a.size();
   ++factor_count_;
+  obs::count("sparse.factor");
 
   // Dense partial-pivot LU chooses the row permutation and provides the
   // numeric values of this factorization in one pass.
@@ -222,6 +224,7 @@ void SparseLuSolver::refactor(const SparseMatrix& a, double pivot_tol) {
       // The recorded pivot order degraded for these values: pick a fresh
       // order.  factor() throws if the matrix is genuinely singular.
       ++fallback_count_;
+      obs::count("sparse.pivot_fallback");
       factor(a, pivot_tol);
       return;
     }
@@ -231,6 +234,7 @@ void SparseLuSolver::refactor(const SparseMatrix& a, double pivot_tol) {
       lval_[s] = x[lrow_[s]] * dinv;
   }
   ++refactor_count_;
+  obs::count("sparse.refactor");
 }
 
 void SparseLuSolver::solve_into(const Vector& b, Vector& x) const {

@@ -1,0 +1,251 @@
+#include "obs/manifest.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/version.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace dramstress::obs {
+
+namespace {
+
+using util::json::Value;
+using util::json::Writer;
+
+void emit_settings(Writer& w, const ManifestInfo& info) {
+  // Merge the typed maps into one sorted key order so output is stable.
+  std::map<std::string, char> kinds;
+  for (const auto& [k, v] : info.settings_text) kinds[k] = 's';
+  for (const auto& [k, v] : info.settings_number) {
+    require(kinds.find(k) == kinds.end(),
+            "manifest: duplicate setting key " + k);
+    kinds[k] = 'n';
+  }
+  for (const auto& [k, v] : info.settings_flag) {
+    require(kinds.find(k) == kinds.end(),
+            "manifest: duplicate setting key " + k);
+    kinds[k] = 'b';
+  }
+  w.begin_object();
+  for (const auto& [k, kind] : kinds) {
+    w.key(k);
+    if (kind == 's')
+      w.value(info.settings_text.at(k));
+    else if (kind == 'n')
+      w.value(info.settings_number.at(k));
+    else
+      w.value(info.settings_flag.at(k));
+  }
+  w.end_object();
+}
+
+void emit_histogram(Writer& w, const HistogramSnapshot& h) {
+  w.begin_object();
+  w.key("count").value(h.count);
+  w.key("sum").value(h.sum);
+  w.key("min").value(h.min);
+  w.key("max").value(h.max);
+  w.key("mean").value(h.mean());
+  w.key("decades").begin_object();
+  for (const auto& [decade, n] : h.decades)
+    w.key(std::to_string(decade)).value(n);
+  w.end_object();
+  w.end_object();
+}
+
+void emit_span(Writer& w, const SpanSnapshot& s) {
+  w.begin_object();
+  w.key("name").value(s.name);
+  w.key("count").value(s.count);
+  w.key("total_s").value(s.total_s);
+  w.key("children").begin_array();
+  for (const auto& c : s.children) emit_span(w, c);
+  w.end_array();
+  w.end_object();
+}
+
+void emit_header(Writer& w, const char* version_field, int version,
+                 const ManifestInfo& info) {
+  w.key(version_field).value(version);
+  w.key("tool").value(info.tool);
+  w.key("command").value(info.command);
+  w.key("git").value(git_describe());
+  w.key("build_type").value(build_type());
+  w.key("obs_compiled_in").value(compiled_in());
+  w.key("duration_s").value(info.duration_s);
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream f(path);
+  require(f.good(), "manifest: cannot open " + path + " for writing");
+  f << text << '\n';
+  f.flush();
+  require(f.good(), "manifest: write failed for " + path);
+}
+
+}  // namespace
+
+void append_metrics(util::json::Writer& w, const MetricsSnapshot& metrics) {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : metrics.counters) w.key(name).value(v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : metrics.gauges) w.key(name).value(v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : metrics.histograms) {
+    w.key(name);
+    emit_histogram(w, h);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string manifest_json(const ManifestInfo& info,
+                          const MetricsSnapshot& metrics) {
+  Writer w;
+  w.begin_object();
+  emit_header(w, "dramstress_manifest_version", kManifestVersion, info);
+  w.key("settings");
+  emit_settings(w, info);
+  w.key("metrics");
+  append_metrics(w, metrics);
+  w.end_object();
+  return w.str();
+}
+
+std::string trace_json(const ManifestInfo& info,
+                       const std::vector<SpanSnapshot>& spans) {
+  Writer w;
+  w.begin_object();
+  emit_header(w, "dramstress_trace_version", kTraceVersion, info);
+  w.key("spans").begin_array();
+  for (const auto& s : spans) emit_span(w, s);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void write_manifest(const std::string& path, const ManifestInfo& info) {
+  write_text(path, manifest_json(info, metrics_snapshot()));
+}
+
+void write_trace(const std::string& path, const ManifestInfo& info) {
+  write_text(path, trace_json(info, spans_snapshot()));
+}
+
+namespace {
+
+bool is_integer(const Value& v) {
+  return v.is_number() && v.number == static_cast<double>(
+                              static_cast<long long>(v.number));
+}
+
+void check_histogram(const std::string& name, const Value& h,
+                     std::vector<std::string>& errs) {
+  if (!h.is_object()) {
+    errs.push_back("histograms." + name + ": not an object");
+    return;
+  }
+  for (const char* field : {"count", "sum", "min", "max", "mean"}) {
+    const Value* f = h.find(field);
+    if (!f || !f->is_number())
+      errs.push_back("histograms." + name + "." + field +
+                     ": missing or not a number");
+  }
+  const Value* d = h.find("decades");
+  if (!d || !d->is_object()) {
+    errs.push_back("histograms." + name + ".decades: missing or not an object");
+    return;
+  }
+  for (const auto& [key, v] : d->object) {
+    char* end = nullptr;
+    (void)std::strtol(key.c_str(), &end, 10);
+    if (end != key.c_str() + key.size())
+      errs.push_back("histograms." + name + ".decades: non-integer key '" +
+                     key + "'");
+    if (!is_integer(v))
+      errs.push_back("histograms." + name + ".decades[" + key +
+                     "]: not an integer count");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate_manifest_json(const std::string& text) {
+  std::vector<std::string> errs;
+  Value root;
+  try {
+    root = util::json::parse(text);
+  } catch (const ModelError& e) {
+    errs.push_back(e.what());
+    return errs;
+  }
+  if (!root.is_object()) {
+    errs.push_back("root: not an object");
+    return errs;
+  }
+
+  const Value* ver = root.find("dramstress_manifest_version");
+  if (!ver || !is_integer(*ver))
+    errs.push_back("dramstress_manifest_version: missing or not an integer");
+  else if (static_cast<int>(ver->number) != kManifestVersion)
+    errs.push_back("dramstress_manifest_version: expected " +
+                   std::to_string(kManifestVersion) + ", got " +
+                   std::to_string(static_cast<long>(ver->number)));
+
+  for (const char* field : {"tool", "command", "git", "build_type"}) {
+    const Value* f = root.find(field);
+    if (!f || !f->is_string())
+      errs.push_back(std::string(field) + ": missing or not a string");
+  }
+  const Value* compiled = root.find("obs_compiled_in");
+  if (!compiled || !compiled->is_bool())
+    errs.push_back("obs_compiled_in: missing or not a boolean");
+  const Value* dur = root.find("duration_s");
+  if (!dur || !dur->is_number() || dur->number < 0.0)
+    errs.push_back("duration_s: missing or not a non-negative number");
+
+  const Value* settings = root.find("settings");
+  if (!settings || !settings->is_object()) {
+    errs.push_back("settings: missing or not an object");
+  } else {
+    for (const auto& [key, v] : settings->object)
+      if (!v.is_string() && !v.is_number() && !v.is_bool())
+        errs.push_back("settings." + key + ": not a scalar");
+  }
+
+  const Value* metrics = root.find("metrics");
+  if (!metrics || !metrics->is_object()) {
+    errs.push_back("metrics: missing or not an object");
+    return errs;
+  }
+  const Value* counters = metrics->find("counters");
+  if (!counters || !counters->is_object()) {
+    errs.push_back("metrics.counters: missing or not an object");
+  } else {
+    for (const auto& [key, v] : counters->object)
+      if (!is_integer(v))
+        errs.push_back("metrics.counters." + key + ": not an integer");
+  }
+  const Value* gauges = metrics->find("gauges");
+  if (!gauges || !gauges->is_object()) {
+    errs.push_back("metrics.gauges: missing or not an object");
+  } else {
+    for (const auto& [key, v] : gauges->object)
+      if (!v.is_number())
+        errs.push_back("metrics.gauges." + key + ": not a number");
+  }
+  const Value* hists = metrics->find("histograms");
+  if (!hists || !hists->is_object()) {
+    errs.push_back("metrics.histograms: missing or not an object");
+  } else {
+    for (const auto& [key, v] : hists->object) check_histogram(key, v, errs);
+  }
+  return errs;
+}
+
+}  // namespace dramstress::obs

@@ -1,0 +1,65 @@
+// Run manifests: a versioned JSON record of one engine run -- what was
+// run (tool, command, settings), on which code (git describe, build
+// type), how long it took, and the full metric dump.  The schema is
+// documented in docs/OBSERVABILITY.md; `validate_manifest_json` checks a
+// document against it so CI can gate on manifest shape without python.
+//
+// Manifests are emitted by `dramstress --metrics out.json`,
+// `minispice ... --metrics out.json` and bench/engine_perf; span traces
+// (`--trace out.trace.json`) use the sibling trace schema.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "util/json.hpp"
+
+namespace dramstress::obs {
+
+/// Everything a manifest records besides the metrics themselves.
+struct ManifestInfo {
+  std::string tool;     // "dramstress" / "minispice" / "engine_perf"
+  std::string command;  // subcommand + positional args as invoked
+
+  // Effective settings of the run (threads, adaptive, lte_tol, solver
+  // backend, ...), split by JSON type.  Keys must be unique across maps.
+  std::map<std::string, std::string> settings_text;
+  std::map<std::string, double> settings_number;
+  std::map<std::string, bool> settings_flag;
+
+  double duration_s = 0.0;  // wall time of the run being described
+};
+
+/// Current manifest schema version (the `dramstress_manifest_version`
+/// field).  Bump when a field changes meaning; see docs/OBSERVABILITY.md.
+inline constexpr int kManifestVersion = 1;
+/// Current trace schema version (`dramstress_trace_version`).
+inline constexpr int kTraceVersion = 1;
+
+/// Serialize a manifest (schema v1) from an explicit metrics snapshot.
+std::string manifest_json(const ManifestInfo& info,
+                          const MetricsSnapshot& metrics);
+
+/// Append the manifest's `metrics` object ({counters, gauges, histograms})
+/// as the next value of `w` -- for embedding a metric dump in other JSON
+/// documents (bench/engine_perf folds one into BENCH_engine.json).
+void append_metrics(util::json::Writer& w, const MetricsSnapshot& metrics);
+
+/// Serialize a span trace (schema v1) from an explicit span forest.
+std::string trace_json(const ManifestInfo& info,
+                       const std::vector<SpanSnapshot>& spans);
+
+/// Snapshot the global registries and write the manifest / trace to
+/// `path`; throws ModelError when the file cannot be written.
+void write_manifest(const std::string& path, const ManifestInfo& info);
+void write_trace(const std::string& path, const ManifestInfo& info);
+
+/// Validate a JSON document against the manifest schema.  Returns an
+/// empty vector when valid, otherwise one message per violation; a parse
+/// failure yields a single message.
+std::vector<std::string> validate_manifest_json(const std::string& text);
+
+}  // namespace dramstress::obs

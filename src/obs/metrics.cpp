@@ -1,0 +1,274 @@
+#include "obs/metrics.hpp"
+
+#ifndef DRAMSTRESS_OBS_DISABLED
+
+#include <atomic>
+#include <cmath>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace dramstress::obs {
+
+namespace {
+
+std::atomic<bool> g_collecting{true};
+
+// Decade buckets cover 1e-15 s (dt_min) .. 1e6; everything outside clamps.
+constexpr int kDecadeLo = -15;
+constexpr int kDecadeHi = 6;
+constexpr int kNumDecades = kDecadeHi - kDecadeLo + 1;
+
+int decade_of(double v) {
+  if (!(v > 0.0)) return 0;  // <= 0 and NaN clamp to the lowest bucket
+  const int d = static_cast<int>(std::floor(std::log10(v))) - kDecadeLo;
+  return d < 0 ? 0 : (d >= kNumDecades ? kNumDecades - 1 : d);
+}
+
+// Cells are written only by their owning thread; the atomics exist so a
+// concurrent snapshot reads a torn-free (if slightly stale) value.
+struct CounterCell {
+  const char* name = nullptr;
+  std::atomic<long> value{0};
+};
+
+struct GaugeCell {
+  const char* name = nullptr;
+  std::atomic<double> value{0.0};
+  std::atomic<long> seq{0};  // merge: the most recent write wins
+};
+
+struct HistCell {
+  const char* name;
+  std::atomic<long> count{0};
+  std::atomic<double> sum{0.0};
+  std::atomic<double> min{0.0};
+  std::atomic<double> max{0.0};
+  std::atomic<long> decades[kNumDecades];
+
+  explicit HistCell(const char* n) : name(n) {
+    for (auto& d : decades) d.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Per-thread metric storage.  Only the owning thread inserts; `mu` is
+/// held for inserts and by the registry while it walks the maps, so the
+/// owner's lock-free find never races a rehash it can observe.
+struct Shard {
+  std::mutex mu;
+  std::unordered_map<const void*, CounterCell*> counters;
+  std::unordered_map<const void*, GaugeCell*> gauges;
+  std::unordered_map<const void*, HistCell*> hists;
+  // Deques give the cells stable addresses across inserts.
+  std::deque<CounterCell> counter_cells;
+  std::deque<GaugeCell> gauge_cells;
+  std::deque<HistCell> hist_cells;
+
+  CounterCell& counter(const char* name) {
+    if (auto it = counters.find(name); it != counters.end())
+      return *it->second;
+    std::lock_guard<std::mutex> lock(mu);
+    counter_cells.emplace_back();
+    counter_cells.back().name = name;
+    counters.emplace(name, &counter_cells.back());
+    return counter_cells.back();
+  }
+
+  GaugeCell& gauge(const char* name) {
+    if (auto it = gauges.find(name); it != gauges.end()) return *it->second;
+    std::lock_guard<std::mutex> lock(mu);
+    gauge_cells.emplace_back();
+    gauge_cells.back().name = name;
+    gauges.emplace(name, &gauge_cells.back());
+    return gauge_cells.back();
+  }
+
+  HistCell& hist(const char* name) {
+    if (auto it = hists.find(name); it != hists.end()) return *it->second;
+    std::lock_guard<std::mutex> lock(mu);
+    hist_cells.emplace_back(name);
+    hists.emplace(name, &hist_cells.back());
+    return hist_cells.back();
+  }
+};
+
+void merge_hist(HistogramSnapshot& into, long count, double sum, double mn,
+                double mx, const long* decades) {
+  if (count == 0) return;
+  if (into.count == 0) {
+    into.min = mn;
+    into.max = mx;
+  } else {
+    into.min = std::min(into.min, mn);
+    into.max = std::max(into.max, mx);
+  }
+  into.count += count;
+  into.sum += sum;
+  for (int i = 0; i < kNumDecades; ++i)
+    if (decades[i] != 0) into.decades[kDecadeLo + i] += decades[i];
+}
+
+class Registry {
+public:
+  static Registry& instance() {
+    // Leaked singleton: thread shards deregister during thread_local
+    // destruction, which may run after static destructors.
+    static Registry* r = new Registry;
+    return *r;
+  }
+
+  void attach(Shard* s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(s);
+  }
+
+  /// Fold a dying thread's totals into the retained snapshot.
+  void detach(Shard* s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    merge_shard_locked(*s, retired_, retired_gauge_seq_);
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (shards_[i] == s) {
+        shards_[i] = shards_.back();
+        shards_.pop_back();
+        break;
+      }
+    }
+  }
+
+  MetricsSnapshot snapshot() {
+    std::lock_guard<std::mutex> lock(mu_);
+    MetricsSnapshot snap = retired_;
+    std::map<std::string, long> gauge_seq = retired_gauge_seq_;
+    for (Shard* s : shards_) {
+      std::lock_guard<std::mutex> shard_lock(s->mu);
+      merge_shard_locked(*s, snap, gauge_seq);
+    }
+    return snap;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired_ = {};
+    retired_gauge_seq_.clear();
+    for (Shard* s : shards_) {
+      std::lock_guard<std::mutex> shard_lock(s->mu);
+      for (auto& c : s->counter_cells)
+        c.value.store(0, std::memory_order_relaxed);
+      for (auto& g : s->gauge_cells) {
+        g.value.store(0.0, std::memory_order_relaxed);
+        g.seq.store(0, std::memory_order_relaxed);
+      }
+      for (auto& h : s->hist_cells) {
+        h.count.store(0, std::memory_order_relaxed);
+        h.sum.store(0.0, std::memory_order_relaxed);
+        h.min.store(0.0, std::memory_order_relaxed);
+        h.max.store(0.0, std::memory_order_relaxed);
+        for (auto& d : h.decades) d.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  long next_gauge_seq() {
+    return gauge_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+private:
+  // Caller holds mu_ (and the shard's mu when the shard is live).
+  void merge_shard_locked(Shard& s, MetricsSnapshot& snap,
+                          std::map<std::string, long>& gauge_seq) {
+    for (const auto& c : s.counter_cells) {
+      const long v = c.value.load(std::memory_order_relaxed);
+      if (v != 0) snap.counters[c.name] += v;
+    }
+    for (const auto& g : s.gauge_cells) {
+      const long seq = g.seq.load(std::memory_order_relaxed);
+      if (seq == 0) continue;  // never written since reset
+      auto it = gauge_seq.find(g.name);
+      if (it == gauge_seq.end() || seq > it->second) {
+        gauge_seq[g.name] = seq;
+        snap.gauges[g.name] = g.value.load(std::memory_order_relaxed);
+      }
+    }
+    for (const auto& h : s.hist_cells) {
+      const long count = h.count.load(std::memory_order_relaxed);
+      if (count == 0) continue;  // never observed (or reset since)
+      long decades[kNumDecades];
+      for (int i = 0; i < kNumDecades; ++i)
+        decades[i] = h.decades[i].load(std::memory_order_relaxed);
+      merge_hist(snap.histograms[h.name], count,
+                 h.sum.load(std::memory_order_relaxed),
+                 h.min.load(std::memory_order_relaxed),
+                 h.max.load(std::memory_order_relaxed), decades);
+    }
+  }
+
+  std::mutex mu_;
+  std::vector<Shard*> shards_;
+  MetricsSnapshot retired_;
+  std::map<std::string, long> retired_gauge_seq_;
+  std::atomic<long> gauge_clock_{0};
+};
+
+/// RAII registration of the thread-local shard.
+struct ShardHandle {
+  Shard shard;
+  ShardHandle() { Registry::instance().attach(&shard); }
+  ~ShardHandle() { Registry::instance().detach(&shard); }
+};
+
+Shard& local_shard() {
+  thread_local ShardHandle handle;
+  return handle.shard;
+}
+
+}  // namespace
+
+bool collecting() { return g_collecting.load(std::memory_order_relaxed); }
+
+void set_collecting(bool on) {
+  g_collecting.store(on, std::memory_order_relaxed);
+}
+
+void count(const char* name, long delta) {
+  if (!collecting()) return;
+  local_shard().counter(name).value.fetch_add(delta,
+                                              std::memory_order_relaxed);
+}
+
+void gauge(const char* name, double value) {
+  if (!collecting()) return;
+  GaugeCell& g = local_shard().gauge(name);
+  g.value.store(value, std::memory_order_relaxed);
+  g.seq.store(Registry::instance().next_gauge_seq(),
+              std::memory_order_relaxed);
+}
+
+void observe(const char* name, double value) {
+  if (!collecting()) return;
+  // Single-writer cell (thread-local shard): plain read-modify-write on
+  // the atomics is race-free; relaxed stores keep snapshots torn-free.
+  HistCell& h = local_shard().hist(name);
+  const long prev = h.count.load(std::memory_order_relaxed);
+  if (prev == 0) {
+    h.min.store(value, std::memory_order_relaxed);
+    h.max.store(value, std::memory_order_relaxed);
+  } else {
+    if (value < h.min.load(std::memory_order_relaxed))
+      h.min.store(value, std::memory_order_relaxed);
+    if (value > h.max.load(std::memory_order_relaxed))
+      h.max.store(value, std::memory_order_relaxed);
+  }
+  h.sum.store(h.sum.load(std::memory_order_relaxed) + value,
+              std::memory_order_relaxed);
+  h.decades[decade_of(value)].fetch_add(1, std::memory_order_relaxed);
+  h.count.store(prev + 1, std::memory_order_relaxed);
+}
+
+MetricsSnapshot metrics_snapshot() { return Registry::instance().snapshot(); }
+
+void reset_metrics() { Registry::instance().reset(); }
+
+}  // namespace dramstress::obs
+
+#endif  // DRAMSTRESS_OBS_DISABLED

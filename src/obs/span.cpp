@@ -1,0 +1,179 @@
+#include "obs/span.hpp"
+
+#ifndef DRAMSTRESS_OBS_DISABLED
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+namespace dramstress::obs {
+
+namespace {
+
+long long now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Nodes are created by the owning thread (children appends guarded by the
+// shard mutex against concurrent snapshot walks); count/total are atomic
+// so a snapshot taken mid-run reads torn-free values.
+struct SpanNode {
+  const char* name = nullptr;
+  SpanNode* parent = nullptr;
+  std::atomic<long> count{0};
+  std::atomic<long long> total_ns{0};
+  std::vector<std::unique_ptr<SpanNode>> children;
+};
+
+struct SpanShard {
+  std::mutex mu;
+  SpanNode root;
+  SpanNode* current = &root;
+};
+
+SpanSnapshot* find_child(std::vector<SpanSnapshot>& v, const char* name) {
+  for (auto& c : v)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+void merge_node(const SpanNode& n, std::vector<SpanSnapshot>& siblings) {
+  SpanSnapshot* s = find_child(siblings, n.name);
+  if (!s) {
+    siblings.push_back({});
+    s = &siblings.back();
+    s->name = n.name;
+  }
+  s->count += n.count.load(std::memory_order_relaxed);
+  s->total_s += 1e-9 * static_cast<double>(
+                           n.total_ns.load(std::memory_order_relaxed));
+  for (const auto& c : n.children) merge_node(*c, s->children);
+}
+
+void zero_node(SpanNode& n) {
+  n.count.store(0, std::memory_order_relaxed);
+  n.total_ns.store(0, std::memory_order_relaxed);
+  for (auto& c : n.children) zero_node(*c);
+}
+
+/// Drop aggregated entries that were never entered (after a reset, the
+/// kept structure of live shards would otherwise report empty nodes).
+void prune(std::vector<SpanSnapshot>& v) {
+  for (auto& s : v) prune(s.children);
+  std::erase_if(v, [](const SpanSnapshot& s) {
+    return s.count == 0 && s.children.empty();
+  });
+}
+
+class SpanRegistry {
+public:
+  static SpanRegistry& instance() {
+    static SpanRegistry* r = new SpanRegistry;  // leaked: see obs/metrics.cpp
+    return *r;
+  }
+
+  void attach(SpanShard* s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(s);
+  }
+
+  void detach(SpanShard* s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    {
+      std::lock_guard<std::mutex> shard_lock(s->mu);
+      for (const auto& c : s->root.children) merge_node(*c, retired_);
+    }
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (shards_[i] == s) {
+        shards_[i] = shards_.back();
+        shards_.pop_back();
+        break;
+      }
+    }
+  }
+
+  std::vector<SpanSnapshot> snapshot() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SpanSnapshot> out = retired_;
+    for (SpanShard* s : shards_) {
+      std::lock_guard<std::mutex> shard_lock(s->mu);
+      for (const auto& c : s->root.children) merge_node(*c, out);
+    }
+    prune(out);
+    return out;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired_.clear();
+    for (SpanShard* s : shards_) {
+      std::lock_guard<std::mutex> shard_lock(s->mu);
+      zero_node(s->root);
+    }
+  }
+
+private:
+  std::mutex mu_;
+  std::vector<SpanShard*> shards_;
+  std::vector<SpanSnapshot> retired_;  // merged forest of exited threads
+};
+
+struct SpanShardHandle {
+  SpanShard shard;
+  SpanShardHandle() { SpanRegistry::instance().attach(&shard); }
+  ~SpanShardHandle() { SpanRegistry::instance().detach(&shard); }
+};
+
+SpanShard& local_span_shard() {
+  thread_local SpanShardHandle handle;
+  return handle.shard;
+}
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(const char* name) {
+  if (!collecting()) return;
+  SpanShard& sh = local_span_shard();
+  SpanNode* cur = sh.current;
+  SpanNode* child = nullptr;
+  for (const auto& c : cur->children) {
+    // Pointer identity first (same literal), content as the fallback (the
+    // same name used from two translation units).
+    if (c->name == name || std::strcmp(c->name, name) == 0) {
+      child = c.get();
+      break;
+    }
+  }
+  if (!child) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    cur->children.push_back(std::make_unique<SpanNode>());
+    child = cur->children.back().get();
+    child->name = name;
+    child->parent = cur;
+  }
+  sh.current = child;
+  node_ = child;
+  t0_ns_ = now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!node_) return;
+  SpanNode* n = static_cast<SpanNode*>(node_);
+  n->count.fetch_add(1, std::memory_order_relaxed);
+  n->total_ns.fetch_add(now_ns() - t0_ns_, std::memory_order_relaxed);
+  local_span_shard().current = n->parent;
+}
+
+std::vector<SpanSnapshot> spans_snapshot() {
+  return SpanRegistry::instance().snapshot();
+}
+
+void reset_spans() { SpanRegistry::instance().reset(); }
+
+}  // namespace dramstress::obs
+
+#endif  // DRAMSTRESS_OBS_DISABLED

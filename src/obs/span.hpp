@@ -1,0 +1,86 @@
+// Scoped spans: a hierarchical wall-time profile of the engine.
+//
+//   void StressFlow::optimize(...) {
+//     OBS_SPAN("flow.optimize");
+//     ...
+//   }
+//
+// Each thread keeps its own span stack (a tree of nodes keyed by name);
+// nesting follows the call stack, so the aggregate tree reads
+// flow.optimize -> border.analyze -> column.run -> transient.run ->
+// newton.solve.  Worker threads of a sweep start at their own root: their
+// activity appears as top-level subtrees in the merged snapshot (a worker
+// has no way to know which caller's span spawned it), merged by name
+// across all threads.  Identical paths aggregate: every node carries an
+// entry count and total inclusive seconds.
+//
+// Span names must be string literals (node identity compares pointers
+// first, content at merge time).  Overhead per span is two steady_clock
+// reads plus a child lookup; with DRAMSTRESS_OBS_DISABLED the macro
+// compiles to nothing, and set_collecting(false) skips collection at
+// runtime (spans share the switch with obs/metrics.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"  // set_collecting / collecting shared switch
+
+namespace dramstress::obs {
+
+/// One aggregated node of the merged span tree.
+struct SpanSnapshot {
+  std::string name;
+  long count = 0;        // times the span was entered
+  double total_s = 0.0;  // inclusive wall seconds
+  std::vector<SpanSnapshot> children;
+
+  /// Child by name; nullptr if absent.
+  const SpanSnapshot* child(const std::string& n) const {
+    for (const auto& c : children)
+      if (c.name == n) return &c;
+    return nullptr;
+  }
+};
+
+#ifndef DRAMSTRESS_OBS_DISABLED
+
+class ScopedSpan {
+public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+private:
+  void* node_ = nullptr;  // SpanNode*; null when collection is off
+  long long t0_ns_ = 0;
+};
+
+/// Merged roots of every thread's span tree (live and exited threads).
+std::vector<SpanSnapshot> spans_snapshot();
+
+/// Drop all recorded spans (live stacks keep their open spans: an open
+/// span re-registers its path when it closes).
+void reset_spans();
+
+#define OBS_SPAN_CONCAT2(a, b) a##b
+#define OBS_SPAN_CONCAT(a, b) OBS_SPAN_CONCAT2(a, b)
+#define OBS_SPAN(name) \
+  ::dramstress::obs::ScopedSpan OBS_SPAN_CONCAT(obs_span_, __LINE__)(name)
+
+#else
+
+class ScopedSpan {
+public:
+  explicit ScopedSpan(const char*) {}
+};
+
+inline std::vector<SpanSnapshot> spans_snapshot() { return {}; }
+inline void reset_spans() {}
+
+#define OBS_SPAN(name) ((void)0)
+
+#endif
+
+}  // namespace dramstress::obs

@@ -1,0 +1,17 @@
+#include "obs/version.hpp"
+
+#ifndef DRAMSTRESS_GIT_DESCRIBE
+#define DRAMSTRESS_GIT_DESCRIBE "unknown"
+#endif
+
+#ifndef DRAMSTRESS_BUILD_TYPE
+#define DRAMSTRESS_BUILD_TYPE ""
+#endif
+
+namespace dramstress::obs {
+
+std::string git_describe() { return DRAMSTRESS_GIT_DESCRIBE; }
+
+std::string build_type() { return DRAMSTRESS_BUILD_TYPE; }
+
+}  // namespace dramstress::obs

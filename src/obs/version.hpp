@@ -1,0 +1,18 @@
+// Build identity captured into run manifests: the git revision the binary
+// was configured from and the CMake build type.  Both are baked in as
+// compile definitions by src/obs/CMakeLists.txt at configure time, so
+// they are available without shelling out at runtime.
+#pragma once
+
+#include <string>
+
+namespace dramstress::obs {
+
+/// `git describe --always --dirty` at configure time ("unknown" when the
+/// source tree was not a git checkout).
+std::string git_describe();
+
+/// CMAKE_BUILD_TYPE at configure time ("" for multi-config generators).
+std::string build_type();
+
+}  // namespace dramstress::obs

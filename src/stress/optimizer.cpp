@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/span.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -82,6 +83,7 @@ OptimizationResult optimize_stresses(dram::DramColumn& column,
                                      const defect::Defect& d,
                                      const StressCondition& nominal,
                                      const OptimizerOptions& opt) {
+  OBS_SPAN("optimizer.run");
   OptimizationResult result;
   result.defect = d;
   result.nominal_sc = nominal;

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "defect/sweep_context.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
@@ -42,6 +43,7 @@ double ShmooPlot::fail_fraction() const {
 ShmooPlot shmoo_plot(dram::DramColumn& column, const defect::Defect& d,
                      double r_defect, const analysis::DetectionCondition& cond,
                      const StressCondition& base, const ShmooOptions& opt) {
+  OBS_SPAN("shmoo.plot");
   require(!opt.x_values.empty() && !opt.y_values.empty(),
           "shmoo_plot: empty axis grid");
   ShmooPlot plot;

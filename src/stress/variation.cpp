@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "obs/span.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -62,6 +63,7 @@ BorderDistribution border_distribution(const defect::Defect& d,
                                        const analysis::DetectionCondition& cond,
                                        const dram::TechnologyParams& base,
                                        const VariationOptions& opt) {
+  OBS_SPAN("variation.distribution");
   require(opt.samples >= 1, "border_distribution: need >= 1 sample");
   BorderDistribution dist;
   const auto range = defect::default_sweep_range(d.kind);

@@ -1,0 +1,372 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::util::json {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += format("\\u%04x", c);
+        else
+          out += c;
+    }
+  }
+  return out;
+}
+
+// --- Writer ----------------------------------------------------------------
+
+void Writer::indent() {
+  out_ += '\n';
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void Writer::begin_value() {
+  require(!done_, "json::Writer: document already complete");
+  if (stack_.empty()) return;  // root value
+  if (expect_value_) {
+    expect_value_ = false;  // value follows its key on the same line
+    return;
+  }
+  require(stack_.back() == Frame::Array,
+          "json::Writer: value inside an object requires a key");
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  indent();
+}
+
+Writer& Writer::begin_object() {
+  begin_value();
+  out_ += '{';
+  stack_.push_back(Frame::Object);
+  has_items_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  require(!stack_.empty() && stack_.back() == Frame::Object && !expect_value_,
+          "json::Writer: end_object without matching begin_object");
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had) indent();
+  out_ += '}';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  begin_value();
+  out_ += '[';
+  stack_.push_back(Frame::Array);
+  has_items_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  require(!stack_.empty() && stack_.back() == Frame::Array,
+          "json::Writer: end_array without matching begin_array");
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had) indent();
+  out_ += ']';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::key(const std::string& k) {
+  require(!stack_.empty() && stack_.back() == Frame::Object && !expect_value_,
+          "json::Writer: key is only valid directly inside an object");
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  indent();
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\": ";
+  expect_value_ = true;
+  return *this;
+}
+
+Writer& Writer::value(const std::string& v) {
+  begin_value();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::value(const char* v) { return value(std::string(v)); }
+
+Writer& Writer::value(double v) {
+  begin_value();
+  if (std::isfinite(v)) {
+    // %.17g round-trips every double; trim to %g when it is exact enough.
+    std::string s = format("%.17g", v);
+    const std::string shorter = format("%g", v);
+    if (std::strtod(shorter.c_str(), nullptr) == v) s = shorter;
+    out_ += s;
+  } else {
+    out_ += "null";  // JSON has no Inf/NaN
+  }
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::value(long v) {
+  begin_value();
+  out_ += format("%ld", v);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::value(bool v) {
+  begin_value();
+  out_ += v ? "true" : "false";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::null() {
+  begin_value();
+  out_ += "null";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+const std::string& Writer::str() const {
+  require(done_ && stack_.empty(),
+          "json::Writer: document incomplete (unbalanced begin/end)");
+  return out_;
+}
+
+// --- Value / parser --------------------------------------------------------
+
+const Value* Value::find(const std::string& k) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [key, val] : object)
+    if (key == k) return &val;
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    require(pos_ == s_.size(),
+            format("json: trailing garbage at offset %zu", pos_));
+    return v;
+  }
+
+private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    require(pos_ < s_.size(), "json: unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    require(pos_ < s_.size() && s_[pos_] == c,
+            format("json: expected '%c' at offset %zu", c, pos_));
+    ++pos_;
+  }
+
+  bool literal(const char* word) {
+    const size_t n = std::strlen(word);
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        Value v;
+        v.kind = Value::Kind::String;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        Value v;
+        v.kind = Value::Kind::Bool;
+        if (literal("true")) {
+          v.boolean = true;
+          return v;
+        }
+        require(literal("false"),
+                format("json: bad literal at offset %zu", pos_));
+        v.boolean = false;
+        return v;
+      }
+      case 'n': {
+        require(literal("null"),
+                format("json: bad literal at offset %zu", pos_));
+        return Value{};
+      }
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      require(v.find(key) == nullptr, "json: duplicate object key " + key);
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      require(pos_ < s_.size(), "json: unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        require(static_cast<unsigned char>(c) >= 0x20,
+                "json: raw control character in string");
+        out += c;
+        continue;
+      }
+      require(pos_ < s_.size(), "json: unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          require(pos_ + 4 <= s_.size(), "json: truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else throw ModelError("json: bad hex digit in \\u escape");
+          }
+          // Encode as UTF-8 (surrogate pairs are not needed for the ASCII
+          // manifests this reader exists for, but BMP points are handled).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: throw ModelError("json: unknown escape sequence");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    require(pos_ > start, format("json: expected a value at offset %zu", start));
+    const std::string tok = s_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    require(end == tok.c_str() + tok.size(),
+            "json: malformed number '" + tok + "'");
+    Value v;
+    v.kind = Value::Kind::Number;
+    v.number = d;
+    return v;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& text) { return Parser(text).parse_document(); }
+
+}  // namespace dramstress::util::json

@@ -1,0 +1,86 @@
+// Minimal JSON writer and reader (no external dependencies).
+//
+// The observability layer emits run manifests and span traces as JSON so
+// perf numbers are self-describing across PRs; the reader exists so the
+// same binary can validate a manifest against the documented schema
+// (docs/OBSERVABILITY.md) without shelling out to python.  The writer is
+// a streaming builder with a state stack (commas and indentation are
+// handled automatically); the reader is a strict recursive-descent parser
+// over the JSON grammar -- no extensions, no comments.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dramstress::util::json {
+
+/// Escape a string body per JSON rules (quotes not included).
+std::string escape(const std::string& s);
+
+/// Streaming JSON builder.  Usage:
+///   Writer w;
+///   w.begin_object().key("a").value(1).key("b").begin_array()
+///    .value("x").end_array().end_object();
+///   w.str();
+/// Structural misuse (a key outside an object, unbalanced end_*) throws
+/// ModelError.  Output is pretty-printed with two-space indentation.
+class Writer {
+public:
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+  Writer& key(const std::string& k);
+  Writer& value(const std::string& v);
+  Writer& value(const char* v);
+  Writer& value(double v);
+  Writer& value(long v);
+  Writer& value(int v) { return value(static_cast<long>(v)); }
+  Writer& value(size_t v) { return value(static_cast<long>(v)); }
+  Writer& value(bool v);
+  Writer& null();
+
+  /// Finished document; throws if objects/arrays are still open.
+  const std::string& str() const;
+
+private:
+  enum class Frame { Object, Array };
+  void begin_value();  // comma/indent bookkeeping before any value/begin
+  void indent();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;  // per frame: already holds an element
+  bool expect_value_ = false;    // a key was just written
+  bool done_ = false;            // a root value has been emitted
+};
+
+/// Parsed JSON value.  Objects preserve insertion order (and the parser
+/// rejects duplicate keys, which the manifest schema forbids).
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_bool() const { return kind == Kind::Bool; }
+  bool is_number() const { return kind == Kind::Number; }
+  bool is_string() const { return kind == Kind::String; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_object() const { return kind == Kind::Object; }
+
+  /// Member of an object by key; nullptr if absent or not an object.
+  const Value* find(const std::string& k) const;
+};
+
+/// Parse a complete JSON document; throws ModelError (with an offset) on
+/// malformed input or trailing garbage.
+Value parse(const std::string& text);
+
+}  // namespace dramstress::util::json

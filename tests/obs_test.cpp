@@ -1,0 +1,329 @@
+// Observability subsystem: metric correctness, deterministic shard
+// merging across thread counts, span aggregation, and the run-manifest
+// schema (emit -> validate -> parse round trip).
+//
+// The whole suite also builds and passes with DRAMSTRESS_OBS=OFF (tier-1
+// builds it both ways): value assertions degrade to checking that the
+// no-op stubs return empty snapshots.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/version.hpp"
+#include "util/json.hpp"
+#include "util/parallel.hpp"
+
+namespace obs = dramstress::obs;
+namespace json = dramstress::util::json;
+
+namespace {
+
+class ObsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    obs::reset_metrics();
+    obs::reset_spans();
+    obs::set_collecting(true);
+  }
+};
+
+TEST_F(ObsTest, CounterAccumulates) {
+  obs::count("test.counter");
+  obs::count("test.counter", 4);
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  if (obs::compiled_in()) {
+    EXPECT_EQ(snap.counter("test.counter"), 5);
+  } else {
+    EXPECT_TRUE(snap.counters.empty());
+  }
+  EXPECT_EQ(snap.counter("test.never_written"), 0);
+}
+
+TEST_F(ObsTest, ResetZerosEverything) {
+  obs::count("test.reset_me", 7);
+  obs::gauge("test.reset_gauge", 1.0);
+  obs::observe("test.reset_hist", 2.0);
+  obs::reset_metrics();
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST_F(ObsTest, GaugeLastWriteWins) {
+  obs::gauge("test.gauge", 1.5);
+  obs::gauge("test.gauge", 2.5);
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  if (obs::compiled_in()) {
+    ASSERT_EQ(snap.gauges.count("test.gauge"), 1u);
+    EXPECT_DOUBLE_EQ(snap.gauges.at("test.gauge"), 2.5);
+  }
+}
+
+TEST_F(ObsTest, RuntimeSwitchSuspendsCollection) {
+  obs::set_collecting(false);
+  obs::count("test.suspended");
+  obs::observe("test.suspended_hist", 1.0);
+  obs::set_collecting(true);
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  EXPECT_EQ(snap.counter("test.suspended"), 0);
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST_F(ObsTest, HistogramStatsAndDecades) {
+  // One observation per decade from 1e-9 to 1e-6, plus a repeat.
+  obs::observe("test.hist", 2e-9);   // decade -9
+  obs::observe("test.hist", 3e-8);   // decade -8
+  obs::observe("test.hist", 4e-7);   // decade -7
+  obs::observe("test.hist", 5e-6);   // decade -6
+  obs::observe("test.hist", 6e-6);   // decade -6 again
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  if (!obs::compiled_in()) {
+    EXPECT_TRUE(snap.histograms.empty());
+    return;
+  }
+  ASSERT_EQ(snap.histograms.count("test.hist"), 1u);
+  const obs::HistogramSnapshot& h = snap.histograms.at("test.hist");
+  EXPECT_EQ(h.count, 5);
+  EXPECT_DOUBLE_EQ(h.min, 2e-9);
+  EXPECT_DOUBLE_EQ(h.max, 6e-6);
+  EXPECT_NEAR(h.sum, 2e-9 + 3e-8 + 4e-7 + 5e-6 + 6e-6, 1e-18);
+  EXPECT_NEAR(h.mean(), h.sum / 5.0, 1e-18);
+  EXPECT_EQ(h.decades.at(-9), 1);
+  EXPECT_EQ(h.decades.at(-8), 1);
+  EXPECT_EQ(h.decades.at(-7), 1);
+  EXPECT_EQ(h.decades.at(-6), 2);
+}
+
+TEST_F(ObsTest, HistogramClampsNonPositive) {
+  obs::observe("test.clamp", 0.0);
+  obs::observe("test.clamp", -3.0);
+  obs::observe("test.clamp", 1e30);  // above the top decade
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  if (!obs::compiled_in()) return;
+  const obs::HistogramSnapshot& h = snap.histograms.at("test.clamp");
+  EXPECT_EQ(h.count, 3);
+  long total = 0;
+  for (const auto& [decade, n] : h.decades) total += n;
+  EXPECT_EQ(total, 3);  // clamped, never dropped
+}
+
+/// The determinism contract of the engine extends to its metrics: totals
+/// merged from per-thread shards must not depend on the thread count.
+TEST_F(ObsTest, ShardMergeDeterministicAcrossThreadCounts) {
+  auto run_with = [](int threads) {
+    obs::reset_metrics();
+    dramstress::util::parallel_for_state(
+        64, [] { return 0; },
+        [](int&, size_t i) {
+          obs::count("test.sharded");
+          obs::observe("test.sharded_hist", static_cast<double>(i + 1));
+        },
+        {.threads = threads});
+    return obs::metrics_snapshot();
+  };
+  const obs::MetricsSnapshot one = run_with(1);
+  const obs::MetricsSnapshot four = run_with(4);
+  if (!obs::compiled_in()) {
+    EXPECT_TRUE(one.counters.empty());
+    return;
+  }
+  EXPECT_EQ(one.counter("test.sharded"), 64);
+  EXPECT_EQ(four.counter("test.sharded"), 64);
+  const obs::HistogramSnapshot& h1 = one.histograms.at("test.sharded_hist");
+  const obs::HistogramSnapshot& h4 = four.histograms.at("test.sharded_hist");
+  EXPECT_EQ(h1.count, h4.count);
+  EXPECT_DOUBLE_EQ(h1.sum, h4.sum);
+  EXPECT_DOUBLE_EQ(h1.min, h4.min);
+  EXPECT_DOUBLE_EQ(h1.max, h4.max);
+  EXPECT_EQ(h1.decades, h4.decades);
+}
+
+/// Counts from threads that exited before the snapshot fold into the
+/// retained totals instead of vanishing with their shard.
+TEST_F(ObsTest, ExitedThreadCountsAreRetained) {
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t)
+    workers.emplace_back([] { obs::count("test.retired", 10); });
+  for (auto& w : workers) w.join();
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  if (obs::compiled_in())
+    EXPECT_EQ(snap.counter("test.retired"), 40);
+  else
+    EXPECT_TRUE(snap.counters.empty());
+}
+
+TEST_F(ObsTest, SpanTreeFollowsNesting) {
+  {
+    OBS_SPAN("outer");
+    { OBS_SPAN("inner"); }
+    { OBS_SPAN("inner"); }
+  }
+  { OBS_SPAN("outer"); }
+  const std::vector<obs::SpanSnapshot> roots = obs::spans_snapshot();
+  if (!obs::compiled_in()) {
+    EXPECT_TRUE(roots.empty());
+    return;
+  }
+  const obs::SpanSnapshot* outer = nullptr;
+  for (const auto& r : roots)
+    if (r.name == "outer") outer = &r;
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 2);
+  EXPECT_GE(outer->total_s, 0.0);
+  const obs::SpanSnapshot* inner = outer->child("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 2);
+  EXPECT_LE(inner->total_s, outer->total_s);
+}
+
+TEST_F(ObsTest, WorkerThreadSpansMergeByName) {
+  auto work = [] {
+    OBS_SPAN("worker.task");
+  };
+  std::thread a(work), b(work);
+  a.join();
+  b.join();
+  const std::vector<obs::SpanSnapshot> roots = obs::spans_snapshot();
+  if (!obs::compiled_in()) return;
+  const obs::SpanSnapshot* task = nullptr;
+  for (const auto& r : roots)
+    if (r.name == "worker.task") task = &r;
+  ASSERT_NE(task, nullptr);
+  EXPECT_EQ(task->count, 2);  // both threads' roots merged into one node
+}
+
+// --- run manifests ---------------------------------------------------------
+
+obs::ManifestInfo example_info() {
+  obs::ManifestInfo info;
+  info.tool = "obs_test";
+  info.command = "planes o3";
+  info.settings_number["threads"] = 4;
+  info.settings_number["lte_tol"] = 5e-4;
+  info.settings_flag["adaptive"] = true;
+  info.settings_text["solver_backend"] = "auto";
+  info.duration_s = 1.25;
+  return info;
+}
+
+TEST_F(ObsTest, ManifestValidatesAgainstSchema) {
+  obs::count("newton.iterations", 123);
+  obs::observe("step.dt", 1e-9);
+  const std::string doc =
+      obs::manifest_json(example_info(), obs::metrics_snapshot());
+  const std::vector<std::string> errs = obs::validate_manifest_json(doc);
+  EXPECT_TRUE(errs.empty()) << errs.front();
+}
+
+TEST_F(ObsTest, ManifestRoundTripsThroughParser) {
+  obs::count("newton.iterations", 123);
+  obs::gauge("test.gauge", 2.5);
+  obs::observe("step.dt", 1e-9);
+  obs::observe("step.dt", 2e-9);
+  const std::string doc =
+      obs::manifest_json(example_info(), obs::metrics_snapshot());
+  const json::Value root = json::parse(doc);
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.find("dramstress_manifest_version")->number,
+            obs::kManifestVersion);
+  EXPECT_EQ(root.find("tool")->string, "obs_test");
+  EXPECT_EQ(root.find("command")->string, "planes o3");
+  EXPECT_FALSE(root.find("git")->string.empty());
+  EXPECT_EQ(root.find("obs_compiled_in")->boolean, obs::compiled_in());
+  EXPECT_DOUBLE_EQ(root.find("duration_s")->number, 1.25);
+
+  const json::Value* settings = root.find("settings");
+  ASSERT_TRUE(settings && settings->is_object());
+  EXPECT_DOUBLE_EQ(settings->find("threads")->number, 4.0);
+  EXPECT_TRUE(settings->find("adaptive")->boolean);
+  EXPECT_EQ(settings->find("solver_backend")->string, "auto");
+
+  const json::Value* metrics = root.find("metrics");
+  ASSERT_TRUE(metrics && metrics->is_object());
+  if (!obs::compiled_in()) {
+    EXPECT_TRUE(metrics->find("counters")->object.empty());
+    return;
+  }
+  EXPECT_EQ(metrics->find("counters")->find("newton.iterations")->number, 123);
+  EXPECT_DOUBLE_EQ(metrics->find("gauges")->find("test.gauge")->number, 2.5);
+  const json::Value* hist = metrics->find("histograms")->find("step.dt");
+  ASSERT_TRUE(hist && hist->is_object());
+  EXPECT_EQ(hist->find("count")->number, 2);
+  EXPECT_DOUBLE_EQ(hist->find("min")->number, 1e-9);
+  EXPECT_DOUBLE_EQ(hist->find("max")->number, 2e-9);
+  EXPECT_EQ(hist->find("decades")->find("-9")->number, 2);
+}
+
+TEST_F(ObsTest, TraceJsonIsWellFormed) {
+  { OBS_SPAN("trace.root"); }
+  const std::string doc = obs::trace_json(example_info(),
+                                          obs::spans_snapshot());
+  const json::Value root = json::parse(doc);
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.find("dramstress_trace_version")->number, obs::kTraceVersion);
+  const json::Value* spans = root.find("spans");
+  ASSERT_TRUE(spans && spans->is_array());
+  if (!obs::compiled_in()) {
+    EXPECT_TRUE(spans->array.empty());
+    return;
+  }
+  bool found = false;
+  for (const json::Value& s : spans->array) {
+    if (s.find("name")->string == "trace.root") {
+      found = true;
+      EXPECT_EQ(s.find("count")->number, 1);
+      EXPECT_TRUE(s.find("children")->is_array());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTest, ValidatorRejectsBadDocuments) {
+  EXPECT_FALSE(obs::validate_manifest_json("not json").empty());
+  EXPECT_FALSE(obs::validate_manifest_json("[1, 2]").empty());
+  // Structurally valid JSON missing every required field.
+  const std::vector<std::string> errs = obs::validate_manifest_json("{}");
+  EXPECT_GE(errs.size(), 5u);
+  // Wrong version is called out specifically.
+  const std::string wrong_version = R"({
+    "dramstress_manifest_version": 999,
+    "tool": "t", "command": "c", "git": "g", "build_type": "b",
+    "obs_compiled_in": true, "duration_s": 0.0,
+    "settings": {},
+    "metrics": {"counters": {}, "gauges": {}, "histograms": {}}
+  })";
+  const std::vector<std::string> verrs =
+      obs::validate_manifest_json(wrong_version);
+  ASSERT_EQ(verrs.size(), 1u);
+  EXPECT_NE(verrs.front().find("dramstress_manifest_version"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, ValidatorRejectsBadMetricValues) {
+  const std::string bad = R"({
+    "dramstress_manifest_version": 1,
+    "tool": "t", "command": "c", "git": "g", "build_type": "b",
+    "obs_compiled_in": true, "duration_s": 0.5,
+    "settings": {"nested": {}},
+    "metrics": {"counters": {"x": 1.5}, "gauges": {"y": "no"},
+                "histograms": {"h": {"count": 1}}}
+  })";
+  const std::vector<std::string> errs = obs::validate_manifest_json(bad);
+  std::set<std::string> fields;
+  for (const std::string& e : errs) fields.insert(e.substr(0, e.find(':')));
+  EXPECT_TRUE(fields.count("settings.nested"));
+  EXPECT_TRUE(fields.count("metrics.counters.x"));
+  EXPECT_TRUE(fields.count("metrics.gauges.y"));
+}
+
+TEST_F(ObsTest, VersionInfoIsNonEmpty) {
+  EXPECT_FALSE(obs::git_describe().empty());
+}
+
+}  // namespace

@@ -2,12 +2,14 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <vector>
 
 #include "util/ascii_plot.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
@@ -191,4 +193,83 @@ TEST(Parallel, RespectsMinChunkAndZeroN) {
       hits.size(), [&](size_t i) { ++hits[i]; },
       {.threads = 4, .min_chunk = 64});
   for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Json, WriterProducesStableDocument) {
+  du::json::Writer w;
+  w.begin_object();
+  w.key("name").value("dram");
+  w.key("n").value(42);
+  w.key("pi").value(3.25);
+  w.key("flag").value(true);
+  w.key("nothing").null();
+  w.key("list").begin_array().value(1).value("two").end_array();
+  w.end_object();
+  const du::json::Value v = du::json::parse(w.str());
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("name")->string, "dram");
+  EXPECT_DOUBLE_EQ(v.find("n")->number, 42.0);
+  EXPECT_DOUBLE_EQ(v.find("pi")->number, 3.25);
+  EXPECT_TRUE(v.find("flag")->boolean);
+  EXPECT_TRUE(v.find("nothing")->is_null());
+  ASSERT_EQ(v.find("list")->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(v.find("list")->array[0].number, 1.0);
+  EXPECT_EQ(v.find("list")->array[1].string, "two");
+}
+
+TEST(Json, DoublesRoundTripExactly) {
+  for (double d : {1e-15, 5e-4, 0.1, 1.0 / 3.0, 6.02214076e23}) {
+    du::json::Writer w;
+    w.value(d);
+    EXPECT_DOUBLE_EQ(du::json::parse(w.str()).number, d);
+  }
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  du::json::Writer w;
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(du::json::parse(w.str()).is_null());
+}
+
+TEST(Json, EscapeHandlesControlAndQuotes) {
+  EXPECT_EQ(du::json::escape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+  const du::json::Value v = du::json::parse("\"a\\\"b\\\\c\\n\\t\"");
+  EXPECT_EQ(v.string, "a\"b\\c\n\t");
+}
+
+TEST(Json, ParserDecodesUnicodeEscapes) {
+  // U+00B5 MICRO SIGN -> two-byte UTF-8.
+  const du::json::Value v = du::json::parse("\"\\u00b5s\"");
+  EXPECT_EQ(v.string, "\xc2\xb5s");
+}
+
+TEST(Json, WriterRejectsStructuralMisuse) {
+  {
+    du::json::Writer w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), dramstress::ModelError);  // key outside object
+  }
+  {
+    du::json::Writer w;
+    w.begin_object();
+    EXPECT_THROW(w.str(), dramstress::ModelError);  // unbalanced document
+  }
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_THROW(du::json::parse(""), dramstress::ModelError);
+  EXPECT_THROW(du::json::parse("{\"a\": 1,}"), dramstress::ModelError);
+  EXPECT_THROW(du::json::parse("[1, 2] trailing"), dramstress::ModelError);
+  EXPECT_THROW(du::json::parse("{'a': 1}"), dramstress::ModelError);
+}
+
+TEST(Json, ParserRejectsDuplicateKeys) {
+  EXPECT_THROW(du::json::parse("{\"a\": 1, \"a\": 2}"), dramstress::ModelError);
+}
+
+TEST(Json, FindOnNonObjectReturnsNull) {
+  const du::json::Value v = du::json::parse("[1]");
+  EXPECT_EQ(v.find("a"), nullptr);
+  ASSERT_TRUE(v.is_array());
+  EXPECT_EQ(v.array[0].find("b"), nullptr);
 }

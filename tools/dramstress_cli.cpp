@@ -5,6 +5,8 @@
 //   dramstress report   <defect> [side]          markdown diagnostic report
 //   dramstress table1                            the paper's Table 1
 //   dramstress ffm      <defect> [side] <R>      fault-model classification
+//   dramstress planes   <defect> [side]          w0/w1/r result planes (Fig. 2)
+//   dramstress check-manifest <file>             validate a run manifest
 //
 // defect in {o1,o2,o3,sg,sv,b1,b2,b3}; side in {true,comp} (default true);
 // R accepts engineering suffixes ("200k").
@@ -21,15 +23,27 @@
 // column and every defect placeholder before the command, failing on
 // errors; --verify=strict also fails on warnings.  With no command,
 // "dramstress --verify" verifies and exits.
+//
+// --metrics FILE writes a versioned run manifest (settings, git revision,
+// duration, full metric dump) on success; --trace FILE writes the span
+// timing tree.  Schemas: docs/OBSERVABILITY.md.  --r-points N sets the
+// resistance grid size of `planes` (default 15).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/result_plane.hpp"
 #include "circuit/spice_reader.hpp"  // parse_spice_number
 #include "core/flow.hpp"
 #include "core/report.hpp"
+#include "obs/manifest.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
@@ -40,14 +54,19 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dramstress <analyze|optimize|report|table1|ffm> "
-               "[defect] [side] [R] [--threads N]\n"
+               "usage: dramstress "
+               "<analyze|optimize|report|table1|ffm|planes|check-manifest>\n"
+               "                  [defect] [side] [R|file] [--threads N]\n"
                "                  [--adaptive|--no-adaptive] [--lte-tol X] "
                "[--verify[=strict]]\n"
+               "                  [--metrics FILE] [--trace FILE] "
+               "[--r-points N]\n"
                "  defect: o1 o2 o3 sg sv b1 b2 b3   side: true|comp\n"
                "  --verify runs the static netlist checks (docs/LINT.md) "
                "first; strict fails on warnings;\n"
-               "  with no command, verify and exit\n");
+               "  with no command, verify and exit\n"
+               "  --metrics/--trace write a run manifest / span trace "
+               "(docs/OBSERVABILITY.md)\n");
   return 2;
 }
 
@@ -57,6 +76,9 @@ struct EngineFlags {
   double lte_tol = 5e-4;    // relative LTE tolerance
   bool verify = false;      // run static verification before the command
   bool verify_strict = false;  // ... and fail on warnings too
+  int r_points = 15;        // resistance grid size of `planes`
+  std::string metrics_path;  // --metrics FILE; empty = no manifest
+  std::string trace_path;    // --trace FILE; empty = no trace
 
   void apply(dram::SimSettings* s) const {
     s->adaptive = adaptive;
@@ -73,6 +95,8 @@ bool extract_flags(int argc, char** argv, std::vector<char*>* args,
     const char* a = argv[i];
     const char* value = nullptr;
     bool is_tol = false;
+    bool is_r_points = false;
+    std::string* path = nullptr;
     if (std::strcmp(a, "--adaptive") == 0) {
       flags->adaptive = true;
       continue;
@@ -89,7 +113,32 @@ bool extract_flags(int argc, char** argv, std::vector<char*>* args,
       flags->verify = flags->verify_strict = true;
       continue;
     }
-    if (std::strncmp(a, "--lte-tol=", 10) == 0) {
+    if (std::strncmp(a, "--metrics=", 10) == 0) {
+      flags->metrics_path = a + 10;
+      continue;
+    }
+    if (std::strcmp(a, "--metrics") == 0) {
+      path = &flags->metrics_path;
+    } else if (std::strncmp(a, "--trace=", 8) == 0) {
+      flags->trace_path = a + 8;
+      continue;
+    } else if (std::strcmp(a, "--trace") == 0) {
+      path = &flags->trace_path;
+    }
+    if (path) {
+      if (i + 1 >= argc) return false;
+      *path = argv[++i];
+      if (path->empty()) return false;
+      continue;
+    }
+    if (std::strncmp(a, "--r-points=", 11) == 0) {
+      value = a + 11;
+      is_r_points = true;
+    } else if (std::strcmp(a, "--r-points") == 0) {
+      if (i + 1 >= argc) return false;
+      value = argv[++i];
+      is_r_points = true;
+    } else if (std::strncmp(a, "--lte-tol=", 10) == 0) {
       value = a + 10;
       is_tol = true;
     } else if (std::strcmp(a, "--lte-tol") == 0) {
@@ -110,6 +159,10 @@ bool extract_flags(int argc, char** argv, std::vector<char*>* args,
       const double tol = std::strtod(value, &end);
       if (end == value || *end != '\0' || tol <= 0.0) return false;
       flags->lte_tol = tol;
+    } else if (is_r_points) {
+      const long n = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || n < 2) return false;
+      flags->r_points = static_cast<int>(n);
     } else {
       const long n = std::strtol(value, &end, 10);
       if (end == value || *end != '\0' || n < 1) return false;
@@ -147,9 +200,123 @@ void show_border(const analysis::BorderResult& br,
               br.condition.str().c_str());
 }
 
+/// Manifest header/settings for this invocation.
+obs::ManifestInfo make_manifest_info(const EngineFlags& eng,
+                                     const std::string& cmdline,
+                                     double duration_s) {
+  obs::ManifestInfo info;
+  info.tool = "dramstress";
+  info.command = cmdline;
+  info.settings_number["threads"] = util::resolve_threads(0);
+  info.settings_flag["adaptive"] = eng.adaptive;
+  info.settings_number["lte_tol"] = eng.lte_tol;
+  info.settings_text["solver_backend"] = "auto";
+  info.settings_number["r_points"] = eng.r_points;
+  info.duration_s = duration_s;
+  return info;
+}
+
+/// `check-manifest <file>`: validate against the documented schema.
+int check_manifest(const char* path) {
+  std::ifstream f(path);
+  if (!f.good()) {
+    std::fprintf(stderr, "error: cannot read %s\n", path);
+    return 1;
+  }
+  std::ostringstream text;
+  text << f.rdbuf();
+  const std::vector<std::string> errs =
+      obs::validate_manifest_json(text.str());
+  for (const std::string& e : errs)
+    std::fprintf(stderr, "%s: %s\n", path, e.c_str());
+  if (!errs.empty()) return 1;
+  std::printf("%s: valid (manifest schema v%d)\n", path,
+              obs::kManifestVersion);
+  return 0;
+}
+
+int run_command(const std::string& cmd, int argc, char** argv,
+                defect::Defect d, const EngineFlags& eng) {
+  const bool verify_only = eng.verify && cmd.empty();
+  stress::OptimizerOptions options;
+  eng.apply(&options.settings);
+  core::StressFlow flow(dram::default_technology(),
+                        stress::nominal_condition(), options);
+  if (eng.verify) {
+    const verify::VerifyReport report = flow.verify();
+    std::fputs(report.str().c_str(), stderr);
+    if (!report.ok() || (eng.verify_strict && report.warnings() > 0)) {
+      std::fprintf(stderr, "error: netlist verification failed%s\n",
+                   eng.verify_strict ? " (strict: warnings are fatal)" : "");
+      return 1;
+    }
+    if (verify_only) return 0;
+  }
+  if (cmd == "analyze") {
+    show_border(flow.analyze(d), d);
+    return 0;
+  }
+  if (cmd == "optimize") {
+    const auto r = flow.optimize(d);
+    show_border(r.nominal_border, d);
+    for (const auto& dec : r.decisions)
+      std::printf("  %-5s -> %s (%s)\n", stress::to_string(dec.axis),
+                  dec.direction().c_str(), stress::to_string(dec.method));
+    std::printf("stressed: %s\n", stress::describe(r.stressed_sc).c_str());
+    show_border(r.stressed_border, d);
+    return 0;
+  }
+  if (cmd == "report") {
+    const auto r = flow.optimize(d);
+    std::fputs(core::optimization_report(flow.column(), r).c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "table1") {
+    std::fputs(flow.table1().render().c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "ffm") {
+    if (argc < 5) return usage();
+    const double r = circuit::parse_spice_number(argv[4]);
+    defect::Injection inj(flow.column(), d, r);
+    dram::ColumnSimulator sim(flow.column(), flow.nominal(),
+                              flow.options().settings);
+    std::printf("%s at %s: %s\n", d.name().c_str(),
+                util::eng(r, "Ohm").c_str(),
+                analysis::classify_ffm(sim, d.side).str().c_str());
+    return 0;
+  }
+  if (cmd == "planes") {
+    // The three Fig. 2 planes of one defect at the nominal corner; the
+    // planes share one Vsa(R) memo, which also exercises the VsaCache
+    // counters the metrics smoke test asserts on.
+    analysis::PlaneOptions popt;
+    popt.num_r_points = eng.r_points;
+    dram::ColumnSimulator sim(flow.column(), flow.nominal(),
+                              flow.options().settings);
+    const analysis::PlaneSet set =
+        analysis::generate_plane_set(flow.column(), d, sim, popt);
+    auto summarize = [](const char* name, const analysis::ResultPlane& p) {
+      double vsa_lo = p.vsa.front(), vsa_hi = p.vsa.front();
+      for (const double v : p.vsa) {
+        vsa_lo = std::min(vsa_lo, v);
+        vsa_hi = std::max(vsa_hi, v);
+      }
+      std::printf("%s plane: %zu R points x %zu curves, Vsa in [%.3f, %.3f] V\n",
+                  name, p.r_values.size(), p.curves.size(), vsa_lo, vsa_hi);
+    };
+    summarize("w0", set.w0);
+    summarize("w1", set.w1);
+    summarize("r", set.r);
+    return 0;
+  }
+  return usage();
+}
+
 }  // namespace
 
 int main(int raw_argc, char** raw_argv) {
+  const auto t0 = std::chrono::steady_clock::now();
   std::vector<char*> args;
   EngineFlags eng;
   if (!extract_flags(raw_argc, raw_argv, &args, &eng)) return usage();
@@ -159,64 +326,41 @@ int main(int raw_argc, char** raw_argv) {
   if (argc < 2 && !verify_only) return usage();
   const std::string cmd = verify_only ? "" : argv[1];
 
+  if (cmd == "check-manifest") {
+    if (argc < 3) return usage();
+    return check_manifest(argv[2]);
+  }
+
   defect::Defect d{defect::DefectKind::O3, dram::Side::True};
   if (argc > 2 && !parse_defect(argv[2], &d.kind) && cmd != "table1")
     return usage();
   if (argc > 3 && std::strcmp(argv[3], "comp") == 0)
     d.side = dram::Side::Comp;
 
+  int rc = 1;
   try {
-    stress::OptimizerOptions options;
-    eng.apply(&options.settings);
-    core::StressFlow flow(dram::default_technology(),
-                          stress::nominal_condition(), options);
-    if (eng.verify) {
-      const verify::VerifyReport report = flow.verify();
-      std::fputs(report.str().c_str(), stderr);
-      if (!report.ok() || (eng.verify_strict && report.warnings() > 0)) {
-        std::fprintf(stderr, "error: netlist verification failed%s\n",
-                     eng.verify_strict ? " (strict: warnings are fatal)" : "");
-        return 1;
-      }
-      if (verify_only) return 0;
-    }
-    if (cmd == "analyze") {
-      show_border(flow.analyze(d), d);
-      return 0;
-    }
-    if (cmd == "optimize") {
-      const auto r = flow.optimize(d);
-      show_border(r.nominal_border, d);
-      for (const auto& dec : r.decisions)
-        std::printf("  %-5s -> %s (%s)\n", stress::to_string(dec.axis),
-                    dec.direction().c_str(), stress::to_string(dec.method));
-      std::printf("stressed: %s\n", stress::describe(r.stressed_sc).c_str());
-      show_border(r.stressed_border, d);
-      return 0;
-    }
-    if (cmd == "report") {
-      const auto r = flow.optimize(d);
-      std::fputs(core::optimization_report(flow.column(), r).c_str(), stdout);
-      return 0;
-    }
-    if (cmd == "table1") {
-      std::fputs(flow.table1().render().c_str(), stdout);
-      return 0;
-    }
-    if (cmd == "ffm") {
-      if (argc < 5) return usage();
-      const double r = circuit::parse_spice_number(argv[4]);
-      defect::Injection inj(flow.column(), d, r);
-      dram::ColumnSimulator sim(flow.column(), flow.nominal(),
-                                flow.options().settings);
-      std::printf("%s at %s: %s\n", d.name().c_str(),
-                  util::eng(r, "Ohm").c_str(),
-                  analysis::classify_ffm(sim, d.side).str().c_str());
-      return 0;
-    }
+    rc = run_command(cmd, argc, argv, d, eng);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return usage();
+  if (rc == 0 && (!eng.metrics_path.empty() || !eng.trace_path.empty())) {
+    std::string cmdline;
+    for (int i = 1; i < argc; ++i) {
+      if (i > 1) cmdline += ' ';
+      cmdline += argv[i];
+    }
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - t0;
+    try {
+      const obs::ManifestInfo info =
+          make_manifest_info(eng, cmdline, wall.count());
+      if (!eng.metrics_path.empty()) obs::write_manifest(eng.metrics_path, info);
+      if (!eng.trace_path.empty()) obs::write_trace(eng.trace_path, info);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  return rc;
 }

@@ -6,15 +6,22 @@
 //                                # diagnostics with deck line numbers and
 //                                # exit 1 on errors (docs/LINT.md)
 //
+// --metrics FILE / --trace FILE write a run manifest / span trace after a
+// successful .tran run (schemas: docs/OBSERVABILITY.md).
+//
 // Supported dialect: see circuit/spice_reader.hpp.
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "circuit/mna.hpp"
 #include "circuit/spice_reader.hpp"
 #include "circuit/transient.hpp"
+#include "obs/manifest.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
@@ -23,9 +30,41 @@
 using namespace dramstress;
 using namespace dramstress::circuit;
 
-int main(int argc, char** argv) {
+int main(int raw_argc, char** raw_argv) {
+  const auto t0 = std::chrono::steady_clock::now();
+  // Strip --metrics/--trace before the positional parse.
+  std::string metrics_path;
+  std::string trace_path;
+  std::vector<char*> args;
+  for (int i = 0; i < raw_argc; ++i) {
+    std::string* path = nullptr;
+    if (std::strncmp(raw_argv[i], "--metrics=", 10) == 0) {
+      metrics_path = raw_argv[i] + 10;
+    } else if (std::strcmp(raw_argv[i], "--metrics") == 0) {
+      path = &metrics_path;
+    } else if (std::strncmp(raw_argv[i], "--trace=", 8) == 0) {
+      trace_path = raw_argv[i] + 8;
+    } else if (std::strcmp(raw_argv[i], "--trace") == 0) {
+      path = &trace_path;
+    } else {
+      args.push_back(raw_argv[i]);
+      continue;
+    }
+    if (path) {
+      if (i + 1 >= raw_argc) {
+        std::fprintf(stderr, "%s needs a file argument\n", raw_argv[i]);
+        return 2;
+      }
+      *path = raw_argv[++i];
+    }
+  }
+  const int argc = static_cast<int>(args.size());
+  char** argv = args.data();
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <deck.sp> [--plot|--lint]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <deck.sp> [--plot|--lint] [--metrics FILE] "
+                 "[--trace FILE]\n",
+                 argv[0]);
     return 2;
   }
   const std::string mode = argc > 2 ? argv[2] : "";
@@ -88,6 +127,20 @@ int main(int argc, char** argv) {
           std::printf(",%.6g", samples[i]);
         std::printf("\n");
       }
+    }
+    if (!metrics_path.empty() || !trace_path.empty()) {
+      obs::ManifestInfo info;
+      info.tool = "minispice";
+      info.command = std::string(argv[1]) + (mode.empty() ? "" : " " + mode);
+      info.settings_number["dt"] = deck.tran_step;
+      info.settings_number["t_stop"] = deck.tran_stop;
+      info.settings_number["temp_c"] = deck.temp_c;
+      info.settings_flag["adaptive"] = opt.adaptive;
+      const std::chrono::duration<double> wall =
+          std::chrono::steady_clock::now() - t0;
+      info.duration_s = wall.count();
+      if (!metrics_path.empty()) obs::write_manifest(metrics_path, info);
+      if (!trace_path.empty()) obs::write_trace(trace_path, info);
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

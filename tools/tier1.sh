@@ -28,6 +28,26 @@ echo "=== tier-1: adaptive-engine accuracy gate ==="
 # someone filters the main suite.
 ctest --test-dir build --output-on-failure -R 'AdaptiveAccuracy'
 
+echo "=== tier-1: observability smoke (manifest emission + schema) ==="
+# A real (small) sweep must emit a schema-valid manifest, and the binary's
+# own validator is the schema oracle (docs/OBSERVABILITY.md).
+manifest_dir=$(mktemp -d)
+./build/tools/dramstress planes o3 --r-points 5 --threads 4 \
+    --metrics "$manifest_dir/tier1.json" --trace "$manifest_dir/tier1.trace.json"
+./build/tools/dramstress check-manifest "$manifest_dir/tier1.json"
+
+echo "=== tier-1: DRAMSTRESS_OBS=OFF build compiles and passes ==="
+# The kill switch must keep every instrumented call site compiling (inline
+# no-op stubs) and the obs tests passing against the empty snapshots.
+cmake -B build-obsoff -S . -DCMAKE_BUILD_TYPE=Release -DDRAMSTRESS_WERROR=ON \
+      -DDRAMSTRESS_OBS=OFF
+cmake --build build-obsoff -j --target obs_test dramstress_cli
+ctest --test-dir build-obsoff --output-on-failure -R 'ObsTest'
+./build-obsoff/tools/dramstress planes o3 --r-points 3 \
+    --metrics "$manifest_dir/off.json"
+./build-obsoff/tools/dramstress check-manifest "$manifest_dir/off.json"
+rm -rf "$manifest_dir"
+
 if [[ "$skip_tsan" == 1 ]]; then
   echo "=== tier-1: TSan stage skipped ==="
   exit 0
