@@ -6,6 +6,7 @@
 #include "numeric/rootfind.hpp"
 #include "obs/span.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -137,6 +138,21 @@ BorderResult analyze_defect(dram::DramColumn& column, const defect::Defect& d,
     result = again;
   }
   return result;
+}
+
+void append_json(util::json::Writer& w, const BorderResult& r,
+                 const defect::SweepRange& range) {
+  w.begin_object();
+  w.key("br");
+  if (r.br.has_value())
+    w.value(*r.br);
+  else
+    w.null();
+  w.key("fault_at_high_r").value(r.fault_at_high_r);
+  w.key("fails_everywhere").value(r.fails_everywhere);
+  w.key("condition").value(r.condition.str());
+  w.key("failing_decades").value(r.failing_decades(range));
+  w.end_object();
 }
 
 }  // namespace dramstress::analysis

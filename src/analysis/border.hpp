@@ -14,6 +14,10 @@
 #include "analysis/detection.hpp"
 #include "defect/defect.hpp"
 
+namespace dramstress::util::json {
+class Writer;
+}
+
 namespace dramstress::analysis {
 
 struct BorderOptions {
@@ -56,5 +60,10 @@ BorderResult find_border_resistance(dram::DramColumn& column,
 BorderResult analyze_defect(dram::DramColumn& column, const defect::Defect& d,
                             const dram::ColumnSimulator& sim,
                             const BorderOptions& opt = {});
+
+/// Emit `r` as a JSON object (br, fault_at_high_r, fails_everywhere,
+/// condition, failing_decades over `range`) -- the campaign cache payload.
+void append_json(util::json::Writer& w, const BorderResult& r,
+                 const defect::SweepRange& range);
 
 }  // namespace dramstress::analysis

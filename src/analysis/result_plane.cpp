@@ -4,6 +4,7 @@
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/parallel.hpp"
 
 namespace dramstress::analysis {
@@ -140,6 +141,49 @@ std::optional<double> plane_border_resistance(const ResultPlane& write_plane,
   const auto vsa = write_plane.vsa_interp();
   return numeric::first_crossing(curve, vsa, write_plane.r_values.front(),
                                  write_plane.r_values.back(), 1024);
+}
+
+namespace {
+
+void append_doubles(util::json::Writer& w, const std::vector<double>& xs) {
+  w.begin_array();
+  for (const double x : xs) w.value(x);
+  w.end_array();
+}
+
+}  // namespace
+
+void append_json(util::json::Writer& w, const ResultPlane& p) {
+  w.begin_object();
+  w.key("op").value(dram::to_string(p.op));
+  w.key("vmp").value(p.vmp);
+  w.key("r_values");
+  append_doubles(w, p.r_values);
+  w.key("vsa");
+  append_doubles(w, p.vsa);
+  w.key("curves");
+  w.begin_array();
+  for (const PlaneCurve& c : p.curves) {
+    w.begin_object();
+    w.key("op_number").value(c.op_number);
+    w.key("from_above").value(c.from_above);
+    w.key("vc");
+    append_doubles(w, c.vc);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void append_json(util::json::Writer& w, const PlaneSet& s) {
+  w.begin_object();
+  w.key("w0");
+  append_json(w, s.w0);
+  w.key("w1");
+  append_json(w, s.w1);
+  w.key("r");
+  append_json(w, s.r);
+  w.end_object();
 }
 
 }  // namespace dramstress::analysis

@@ -18,6 +18,10 @@
 #include "dram/column_sim.hpp"
 #include "numeric/interp.hpp"
 
+namespace dramstress::util::json {
+class Writer;
+}
+
 namespace dramstress::analysis {
 
 struct PlaneOptions {
@@ -76,5 +80,9 @@ PlaneSet generate_plane_set(dram::DramColumn& column, const defect::Defect& d,
 /// curves do not cross inside the grid.
 std::optional<double> plane_border_resistance(const ResultPlane& write_plane,
                                               size_t curve_index);
+
+/// Emit a plane / plane set as a JSON object -- the campaign cache payload.
+void append_json(util::json::Writer& w, const ResultPlane& p);
+void append_json(util::json::Writer& w, const PlaneSet& s);
 
 }  // namespace dramstress::analysis

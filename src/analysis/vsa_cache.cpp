@@ -1,5 +1,6 @@
 #include "analysis/vsa_cache.hpp"
 
+#include <cmath>
 #include <tuple>
 
 #include "obs/metrics.hpp"
@@ -18,6 +19,15 @@ VsaResult VsaCache::get_or_extract(const dram::ColumnSimulator& sim,
   const dram::OperatingConditions& c = sim.conditions();
   const VsaCacheKey key{d.kind, d.side,  r,      c.vdd,
                         c.temp_c, c.tcyc, c.duty, opt.tolerance};
+  // A non-finite key component (NaN resistance from a degenerate sweep,
+  // say) breaks the map's strict weak ordering, so bypass the cache
+  // entirely: extract and return without memoizing.
+  if (!std::isfinite(r) || !std::isfinite(c.vdd) || !std::isfinite(c.temp_c) ||
+      !std::isfinite(c.tcyc) || !std::isfinite(c.duty) ||
+      !std::isfinite(opt.tolerance)) {
+    obs::count("vsa_cache.bypass");
+    return extract_vsa(sim, d.side, opt);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = entries_.find(key);
@@ -34,7 +44,10 @@ VsaResult VsaCache::get_or_extract(const dram::ColumnSimulator& sim,
     std::lock_guard<std::mutex> lock(mu_);
     ++misses_;
     obs::count("vsa_cache.miss");
-    entries_.emplace(key, result);
+    // A non-finite threshold means the extraction ran on a broken trace
+    // (e.g. truncated by a retry timeout); memoizing it would poison every
+    // later lookup of the same key, so count the miss but skip the insert.
+    if (std::isfinite(result.threshold)) entries_.emplace(key, result);
   }
   return result;
 }

@@ -1,0 +1,363 @@
+#include "campaign/runner.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+
+#include "analysis/border.hpp"
+#include "analysis/result_plane.hpp"
+#include "campaign/cache.hpp"
+#include "dram/column.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/version.hpp"
+#include "stress/optimizer.hpp"
+#include "util/json.hpp"
+#include "util/parallel.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::campaign {
+
+namespace fs = std::filesystem;
+namespace util = dramstress::util;
+
+const char* to_string(UnitStatus status) {
+  switch (status) {
+    case UnitStatus::Done: return "done";
+    case UnitStatus::Cached: return "cached";
+    case UnitStatus::Quarantined: return "quarantined";
+    case UnitStatus::Skipped: return "skipped";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string defect_label(const defect::Defect& d) {
+  std::string s = defect::to_string(d.kind);
+  if (d.side == dram::Side::Comp) s += ".comp";
+  return s;
+}
+
+/// Compute one unit from scratch on a fresh column.  Returns the JSON
+/// payload.  Throws (ConvergenceError and friends) on failure -- the
+/// retry loop around this is the fault-tolerance layer.
+std::string compute_unit(const CampaignPlan& plan, const WorkUnit& u,
+                         const dram::TechnologyParams& tech,
+                         const dram::SimSettings& settings) {
+  const defect::Defect& d = plan.defect_of(u);
+  const StressPoint& p = plan.point_of(u);
+  const defect::SweepRange range = defect::default_sweep_range(d.kind);
+  dram::DramColumn column(tech);
+  dram::ColumnSimulator sim(column, p.condition, settings);
+  util::json::Writer w;
+  switch (u.kind) {
+    case UnitKind::Border: {
+      const analysis::BorderResult r =
+          analysis::analyze_defect(column, d, sim, analysis::BorderOptions{});
+      analysis::append_json(w, r, range);
+      break;
+    }
+    case UnitKind::Planes: {
+      analysis::PlaneOptions po;
+      po.num_r_points = plan.spec.plane_r_points;
+      po.ops_per_point = plan.spec.plane_ops_per_point;
+      po.r_lo = range.lo;
+      po.r_hi = range.hi;
+      // The campaign already parallelizes over units; a nested plane
+      // sweep would oversubscribe the machine.
+      po.threads = 1;
+      const analysis::PlaneSet s =
+          analysis::generate_plane_set(column, d, sim, po);
+      analysis::append_json(w, s);
+      break;
+    }
+    case UnitKind::Optimize: {
+      stress::OptimizerOptions oo;
+      oo.settings = settings;
+      const stress::OptimizationResult r =
+          stress::optimize_stresses(column, d, p.condition, oo);
+      stress::append_json(w, r, range);
+      break;
+    }
+  }
+  return w.str();
+}
+
+/// Does a border payload show a detectable fault anywhere in the range?
+/// (br present, or the test fails across the whole sweep.)
+bool border_shows_fault(const std::string& payload) {
+  const util::json::Value v = util::json::parse(payload);
+  const util::json::Value* br = v.find("br");
+  const util::json::Value* fe = v.find("fails_everywhere");
+  return (br != nullptr && br->is_number()) ||
+         (fe != nullptr && fe->is_bool() && fe->boolean);
+}
+
+void write_text_file(const fs::path& path, const std::string& text) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f.good())
+    throw ModelError("campaign: cannot write " + path.string());
+  f << text << '\n';
+  f.flush();
+  if (!f.good())
+    throw ModelError("campaign: write to " + path.string() + " failed");
+}
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(CampaignPlan plan,
+                               const dram::TechnologyParams& tech,
+                               std::string run_dir, std::string cache_dir,
+                               RunnerOptions opt)
+    : plan_(std::move(plan)),
+      tech_(tech),
+      run_dir_(std::move(run_dir)),
+      cache_dir_(std::move(cache_dir)),
+      opt_(std::move(opt)) {}
+
+CampaignResult CampaignRunner::run() {
+  OBS_SPAN("campaign.run");
+  std::error_code ec;
+  fs::create_directories(run_dir_, ec);
+  if (ec)
+    throw ModelError("campaign: cannot create " + run_dir_ + ": " +
+                     ec.message());
+  const std::string journal_path =
+      (fs::path(run_dir_) / "journal.jsonl").string();
+
+  CampaignResult result;
+  std::map<std::string, JournalEntry> replayed;
+  if (fs::exists(journal_path)) {
+    if (!opt_.resume)
+      throw ModelError(
+          "campaign: " + run_dir_ +
+          " already holds a journal; pass --resume to continue the "
+          "interrupted run or pick a fresh --out directory");
+    replayed = Journal::replay(journal_path, &result.diagnostics);
+  }
+  // Persist the spec next to the journal so `campaign status` (and a
+  // human) can see what the run directory belongs to.
+  write_text_file(fs::path(run_dir_) / "spec.json", spec_json(plan_.spec));
+
+  ResultCache cache(cache_dir_);
+  Journal journal(journal_path);
+
+  const size_t n = plan_.units.size();
+  result.outcomes.assign(n, UnitOutcome{});
+  std::vector<char> resolved(n, 0);
+  std::mutex mu;      // journal, diagnostics, counters
+  int computed = 0;   // units computed (not cached) this run
+
+  const auto run_unit = [&](const WorkUnit& u) {
+    OBS_SPAN("campaign.unit");
+    UnitOutcome out;
+
+    // 1. Dependency gate: a failed or skipped dependency poisons the
+    //    unit; a border that proves there is no fault makes an optimize
+    //    unit futile (optimize_stresses would throw by construction).
+    for (const size_t dep : u.deps) {
+      const UnitOutcome& d = result.outcomes[dep];
+      if (d.status == UnitStatus::Quarantined ||
+          d.status == UnitStatus::Skipped) {
+        out.status = UnitStatus::Skipped;
+        out.error = util::format("dependency %s was %s",
+                                 plan_.units[dep].id.c_str(),
+                                 d.status == UnitStatus::Quarantined
+                                     ? "quarantined"
+                                     : "skipped");
+      }
+    }
+    if (out.status != UnitStatus::Skipped && u.kind == UnitKind::Optimize &&
+        !u.deps.empty()) {
+      const UnitOutcome& b = result.outcomes[u.deps.front()];
+      if (!border_shows_fault(b.payload)) {
+        out.status = UnitStatus::Skipped;
+        out.error =
+            "no detectable fault at this corner (border analysis found "
+            "none), optimization is futile";
+      }
+    }
+    if (out.status == UnitStatus::Skipped) {
+      obs::count("campaign.unit_skipped");
+      std::lock_guard<std::mutex> lock(mu);
+      ++result.skipped;
+      result.outcomes[u.index] = std::move(out);
+      return;
+    }
+
+    // 2. A quarantine verdict replayed from the journal is restored
+    //    without re-burning the retry budget.
+    const std::string key_hex = u.key.hex();
+    const auto rep = replayed.find(key_hex);
+    if (rep != replayed.end() && rep->second.status == "quarantined") {
+      out.status = UnitStatus::Quarantined;
+      out.attempts = rep->second.attempts;
+      out.error = rep->second.error;
+      std::lock_guard<std::mutex> lock(mu);
+      ++result.quarantined;
+      result.outcomes[u.index] = std::move(out);
+      return;
+    }
+
+    // 3. Content-addressed cache: a hit short-circuits the computation.
+    {
+      verify::VerifyReport local;
+      std::optional<std::string> hit = cache.load(u.key, &local);
+      if (hit.has_value()) {
+        out.status = UnitStatus::Cached;
+        out.payload = std::move(*hit);
+        obs::count("campaign.unit_cached");
+        std::lock_guard<std::mutex> lock(mu);
+        result.diagnostics.merge(local);
+        ++result.cached;
+        // Keep the journal a complete completion record without growing
+        // it on every resume: append only if the key is new to it.
+        if (rep == replayed.end())
+          journal.append({u.id, key_hex, "done", 0, ""});
+        result.outcomes[u.index] = std::move(out);
+        return;
+      }
+      if (!local.diagnostics().empty()) {
+        std::lock_guard<std::mutex> lock(mu);
+        result.diagnostics.merge(local);
+      }
+    }
+
+    // 4. Compute, with bounded retries.  Each retry perturbs the Newton
+    //    damping and relaxes the iteration budget -- a continuation
+    //    strategy for operating points near non-convergence.
+    dram::SimSettings settings = plan_.spec.settings;
+    const RetryPolicy& retry = plan_.spec.retry;
+    const auto start = std::chrono::steady_clock::now();
+    std::string err;
+    bool succeeded = false;  // UnitStatus::Done is the enum default, so the
+                             // post-loop branch must not key off out.status
+    for (int attempt = 1; attempt <= retry.max_attempts; ++attempt) {
+      if (attempt > 1) {
+        settings.newton.max_step *= retry.damping_backoff;
+        settings.newton.max_iter += settings.newton.max_iter / 2;
+        obs::count("campaign.unit_retried");
+        std::lock_guard<std::mutex> lock(mu);
+        ++result.retried;
+      }
+      out.attempts = attempt;
+      try {
+        if (opt_.fault_injector) opt_.fault_injector(u, attempt);
+        out.payload = compute_unit(plan_, u, tech_, settings);
+        succeeded = true;
+        break;
+      } catch (const std::exception& e) {
+        err = e.what();
+      }
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (retry.timeout_s > 0 && elapsed > retry.timeout_s) {
+        err = util::format(
+            "exceeded the per-unit timeout of %g s after attempt %d (last "
+            "error: %s)",
+            retry.timeout_s, attempt, err.c_str());
+        break;
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(mu);
+    if (succeeded) {
+      out.status = UnitStatus::Done;
+      cache.store(u.key, out.payload);
+      journal.append({u.id, key_hex, "done", out.attempts, ""});
+      obs::count("campaign.unit_done");
+      ++result.done;
+    } else {
+      out.status = UnitStatus::Quarantined;
+      out.error = err;
+      journal.append({u.id, key_hex, "quarantined", out.attempts, err});
+      obs::count("campaign.unit_quarantined");
+      ++result.quarantined;
+    }
+    result.outcomes[u.index] = std::move(out);
+    ++computed;
+    if (opt_.stop_after_units > 0 && computed >= opt_.stop_after_units)
+      throw CampaignInterrupted(util::format(
+          "campaign interrupted after %d computed units (test hook)",
+          computed));
+  };
+
+  // Wave-based DAG execution: each wave runs every unit whose
+  // dependencies are resolved; completing a wave unblocks the next.
+  while (true) {
+    std::vector<size_t> ready;
+    for (size_t i = 0; i < n; ++i) {
+      if (resolved[i]) continue;
+      bool deps_ok = true;
+      for (const size_t dep : plan_.units[i].deps)
+        deps_ok = deps_ok && resolved[dep] != 0;
+      if (deps_ok) ready.push_back(i);
+    }
+    if (ready.empty()) break;
+    util::parallel_for(
+        ready.size(), [&](size_t ri) { run_unit(plan_.units[ready[ri]]); },
+        {.threads = opt_.threads});
+    for (const size_t i : ready) resolved[i] = 1;
+  }
+
+  // 5. Reports.  report.json holds only inputs-determined content so a
+  //    resumed or differently-threaded run reproduces it byte for byte.
+  {
+    util::json::Writer w;
+    w.begin_object();
+    w.key("campaign").value(plan_.spec.name);
+    w.key("units");
+    w.begin_array();
+    for (const WorkUnit& u : plan_.units) {
+      const UnitOutcome& out = result.outcomes[u.index];
+      w.begin_object();
+      w.key("id").value(u.id);
+      w.key("key").value(u.key.hex());
+      w.key("kind").value(to_string(u.kind));
+      w.key("defect").value(defect_label(plan_.defect_of(u)));
+      w.key("point").value(plan_.point_of(u).name);
+      w.key("status").value(out.status == UnitStatus::Cached
+                                ? "done"
+                                : to_string(out.status));
+      if (!out.payload.empty()) {
+        w.key("result");
+        util::json::append(w, util::json::parse(out.payload));
+      }
+      if (!out.error.empty()) w.key("error").value(out.error);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    result.report_path = (fs::path(run_dir_) / "report.json").string();
+    write_text_file(result.report_path, w.str());
+  }
+  {
+    util::json::Writer w;
+    w.begin_object();
+    w.key("campaign").value(plan_.spec.name);
+    w.key("failures");
+    w.begin_array();
+    for (const WorkUnit& u : plan_.units) {
+      const UnitOutcome& out = result.outcomes[u.index];
+      if (out.status != UnitStatus::Quarantined) continue;
+      w.begin_object();
+      w.key("id").value(u.id);
+      w.key("key").value(u.key.hex());
+      w.key("attempts").value(out.attempts);
+      w.key("error").value(out.error);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    result.failure_report_path =
+        (fs::path(run_dir_) / "failures.json").string();
+    write_text_file(result.failure_report_path, w.str());
+  }
+  return result;
+}
+
+}  // namespace dramstress::campaign

@@ -13,6 +13,11 @@ namespace dramstress::circuit {
 double Trace::at(size_t probe, double t) const {
   require(probe < samples.size(), "Trace: probe index out of range");
   require(!time.empty(), "Trace: empty");
+  // A truncated trace (e.g. a simulation aborted by a campaign retry
+  // timeout) can leave a probe with fewer samples than time points; front()
+  // or the interpolation below would then read out of bounds.
+  require(samples[probe].size() == time.size(),
+          "Trace: probe sample count does not match time axis");
   // `time` is monotone: locate the bracketing samples in O(log N) and
   // interpolate linearly between them (adaptive traces are non-uniform,
   // so nearest-sample snapping would bias threshold measurements).

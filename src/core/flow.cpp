@@ -82,6 +82,13 @@ BorderResult StressFlow::analyze(const Defect& d) {
   return analysis::analyze_defect(column_, d, sim, options_.border);
 }
 
+BorderResult StressFlow::analyze_at(const Defect& d,
+                                    const stress::StressCondition& sc) {
+  OBS_SPAN("flow.analyze");
+  dram::ColumnSimulator sim(column_, sc, options_.settings);
+  return analysis::analyze_defect(column_, d, sim, options_.border);
+}
+
 OptimizationResult StressFlow::optimize(const Defect& d) {
   OBS_SPAN("flow.optimize");
   return stress::optimize_stresses(column_, d, nominal_, options_);

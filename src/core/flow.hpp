@@ -69,6 +69,11 @@ public:
   /// Section-3 fault analysis at the nominal corner.
   analysis::BorderResult analyze(const defect::Defect& d);
 
+  /// Section-3 fault analysis at an arbitrary corner (campaign stress
+  /// points, Fig. 5 BR-vs-Vdd trends); analyze() is the nominal case.
+  analysis::BorderResult analyze_at(const defect::Defect& d,
+                                    const stress::StressCondition& sc);
+
   /// Section-4 stress optimization for one defect.
   stress::OptimizationResult optimize(const defect::Defect& d);
 

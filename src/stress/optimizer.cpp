@@ -4,6 +4,7 @@
 
 #include "obs/span.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -189,6 +190,46 @@ OptimizationResult optimize_stresses(dram::DramColumn& column,
     }
   }
   return result;
+}
+
+namespace {
+
+void append_corner(util::json::Writer& w, const StressCondition& sc) {
+  w.begin_object();
+  w.key("vdd").value(sc.vdd);
+  w.key("temp_c").value(sc.temp_c);
+  w.key("tcyc").value(sc.tcyc);
+  w.key("duty").value(sc.duty);
+  w.end_object();
+}
+
+}  // namespace
+
+void append_json(util::json::Writer& w, const OptimizationResult& r,
+                 const defect::SweepRange& range) {
+  w.begin_object();
+  w.key("nominal");
+  append_corner(w, r.nominal_sc);
+  w.key("stressed");
+  append_corner(w, r.stressed_sc);
+  w.key("nominal_border");
+  analysis::append_json(w, r.nominal_border, range);
+  w.key("stressed_border");
+  analysis::append_json(w, r.stressed_border, range);
+  w.key("gain_decades").value(r.coverage_gain_decades());
+  w.key("decisions");
+  w.begin_array();
+  for (const AxisDecision& dec : r.decisions) {
+    w.begin_object();
+    w.key("axis").value(to_string(dec.axis));
+    w.key("nominal").value(dec.nominal_value());
+    w.key("chosen").value(dec.chosen_value);
+    w.key("direction").value(dec.direction());
+    w.key("method").value(to_string(dec.method));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
 }
 
 }  // namespace dramstress::stress

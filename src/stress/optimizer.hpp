@@ -17,6 +17,10 @@
 #include "analysis/border.hpp"
 #include "stress/probe.hpp"
 
+namespace dramstress::util::json {
+class Writer;
+}
+
 namespace dramstress::stress {
 
 enum class DecisionMethod {
@@ -79,5 +83,10 @@ OptimizationResult optimize_stresses(dram::DramColumn& column,
 /// inverted, which this library exploits to halve Table-1 compute.
 analysis::DetectionCondition mirror_condition(
     const analysis::DetectionCondition& cond);
+
+/// Emit `r` as a JSON object (nominal/stressed corners and borders, the
+/// per-axis decisions, the coverage gain) -- the campaign cache payload.
+void append_json(util::json::Writer& w, const OptimizationResult& r,
+                 const defect::SweepRange& range);
 
 }  // namespace dramstress::stress

@@ -1,5 +1,6 @@
 #include "util/json.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
@@ -177,12 +178,16 @@ public:
   Value parse_document() {
     Value v = parse_value();
     skip_ws();
-    require(pos_ == s_.size(),
-            format("json: trailing garbage at offset %zu", pos_));
+    if (pos_ != s_.size()) fail("trailing garbage");
     return v;
   }
 
 private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(format("json: %s at offset %zu", msg.c_str(), pos_),
+                     pos_);
+  }
+
   void skip_ws() {
     while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
                                 s_[pos_] == '\n' || s_[pos_] == '\r'))
@@ -190,13 +195,13 @@ private:
   }
 
   char peek() {
-    require(pos_ < s_.size(), "json: unexpected end of input");
+    if (pos_ >= s_.size()) fail("unexpected end of input");
     return s_[pos_];
   }
 
   void expect(char c) {
-    require(pos_ < s_.size() && s_[pos_] == c,
-            format("json: expected '%c' at offset %zu", c, pos_));
+    if (pos_ >= s_.size() || s_[pos_] != c)
+      fail(format("expected '%c'", c));
     ++pos_;
   }
 
@@ -209,6 +214,13 @@ private:
 
   Value parse_value() {
     skip_ws();
+    const size_t start = pos_;
+    Value v = parse_value_body();
+    v.offset = start;
+    return v;
+  }
+
+  Value parse_value_body() {
     switch (peek()) {
       case '{': return parse_object();
       case '[': return parse_array();
@@ -226,14 +238,12 @@ private:
           v.boolean = true;
           return v;
         }
-        require(literal("false"),
-                format("json: bad literal at offset %zu", pos_));
+        if (!literal("false")) fail("bad literal");
         v.boolean = false;
         return v;
       }
       case 'n': {
-        require(literal("null"),
-                format("json: bad literal at offset %zu", pos_));
+        if (!literal("null")) fail("bad literal");
         return Value{};
       }
       default: return parse_number();
@@ -252,7 +262,7 @@ private:
     for (;;) {
       skip_ws();
       std::string key = parse_string();
-      require(v.find(key) == nullptr, "json: duplicate object key " + key);
+      if (v.find(key) != nullptr) fail("duplicate object key " + key);
       skip_ws();
       expect(':');
       v.object.emplace_back(std::move(key), parse_value());
@@ -291,16 +301,16 @@ private:
     expect('"');
     std::string out;
     for (;;) {
-      require(pos_ < s_.size(), "json: unterminated string");
+      if (pos_ >= s_.size()) fail("unterminated string");
       const char c = s_[pos_++];
       if (c == '"') return out;
       if (c != '\\') {
-        require(static_cast<unsigned char>(c) >= 0x20,
-                "json: raw control character in string");
+        if (static_cast<unsigned char>(c) < 0x20)
+          fail("raw control character in string");
         out += c;
         continue;
       }
-      require(pos_ < s_.size(), "json: unterminated escape");
+      if (pos_ >= s_.size()) fail("unterminated escape");
       const char e = s_[pos_++];
       switch (e) {
         case '"': out += '"'; break;
@@ -312,7 +322,7 @@ private:
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          require(pos_ + 4 <= s_.size(), "json: truncated \\u escape");
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
           unsigned code = 0;
           for (int i = 0; i < 4; ++i) {
             const char h = s_[pos_++];
@@ -320,7 +330,7 @@ private:
             if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
             else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
             else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else throw ModelError("json: bad hex digit in \\u escape");
+            else fail("bad hex digit in \\u escape");
           }
           // Encode as UTF-8 (surrogate pairs are not needed for the ASCII
           // manifests this reader exists for, but BMP points are handled).
@@ -336,7 +346,7 @@ private:
           }
           break;
         }
-        default: throw ModelError("json: unknown escape sequence");
+        default: fail("unknown escape sequence");
       }
     }
   }
@@ -349,12 +359,12 @@ private:
             s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
             s_[pos_] == '+' || s_[pos_] == '-'))
       ++pos_;
-    require(pos_ > start, format("json: expected a value at offset %zu", start));
+    if (pos_ == start) fail("expected a value");
     const std::string tok = s_.substr(start, pos_ - start);
     char* end = nullptr;
     const double d = std::strtod(tok.c_str(), &end);
-    require(end == tok.c_str() + tok.size(),
-            "json: malformed number '" + tok + "'");
+    if (end != tok.c_str() + tok.size())
+      fail("malformed number '" + tok + "'");
     Value v;
     v.kind = Value::Kind::Number;
     v.number = d;
@@ -368,5 +378,35 @@ private:
 }  // namespace
 
 Value parse(const std::string& text) { return Parser(text).parse_document(); }
+
+int line_of(const std::string& text, size_t offset) {
+  int line = 1;
+  const size_t end = std::min(offset, text.size());
+  for (size_t i = 0; i < end; ++i)
+    if (text[i] == '\n') ++line;
+  return line;
+}
+
+void append(Writer& w, const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::Null: w.null(); break;
+    case Value::Kind::Bool: w.value(v.boolean); break;
+    case Value::Kind::Number: w.value(v.number); break;
+    case Value::Kind::String: w.value(v.string); break;
+    case Value::Kind::Array:
+      w.begin_array();
+      for (const Value& e : v.array) append(w, e);
+      w.end_array();
+      break;
+    case Value::Kind::Object:
+      w.begin_object();
+      for (const auto& [key, val] : v.object) {
+        w.key(key);
+        append(w, val);
+      }
+      w.end_object();
+      break;
+  }
+}
 
 }  // namespace dramstress::util::json

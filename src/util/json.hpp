@@ -14,7 +14,26 @@
 #include <utility>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace dramstress::util::json {
+
+/// Parse failure: a ModelError that additionally carries the byte offset
+/// the parser stopped at, so callers (the campaign spec loader) can turn
+/// it into a line-numbered diagnostic instead of string-matching the what().
+class ParseError : public ModelError {
+public:
+  ParseError(const std::string& what, size_t offset)
+      : ModelError(what), offset_(offset) {}
+  size_t offset() const { return offset_; }
+
+private:
+  size_t offset_ = 0;
+};
+
+/// 1-based line number of byte `offset` in `text` (clamped to the last
+/// line when offset is past the end).
+int line_of(const std::string& text, size_t offset);
 
 /// Escape a string body per JSON rules (quotes not included).
 std::string escape(const std::string& s);
@@ -67,6 +86,9 @@ struct Value {
   std::string string;
   std::vector<Value> array;
   std::vector<std::pair<std::string, Value>> object;
+  /// Byte offset of the value's first character in the parsed document
+  /// (0 for values built programmatically); line_of() maps it to a line.
+  size_t offset = 0;
 
   bool is_null() const { return kind == Kind::Null; }
   bool is_bool() const { return kind == Kind::Bool; }
@@ -79,8 +101,14 @@ struct Value {
   const Value* find(const std::string& k) const;
 };
 
-/// Parse a complete JSON document; throws ModelError (with an offset) on
-/// malformed input or trailing garbage.
+/// Parse a complete JSON document; throws ParseError (a ModelError with
+/// the failing byte offset) on malformed input or trailing garbage.
 Value parse(const std::string& text);
+
+/// Re-emit a parsed Value as the next value of `w` (object key order is
+/// preserved).  Numbers round-trip bit-exactly through Writer's %.17g
+/// fallback, so parse + append is byte-stable -- the campaign report
+/// embeds cached result payloads this way.
+void append(Writer& w, const Value& v);
 
 }  // namespace dramstress::util::json

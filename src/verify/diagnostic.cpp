@@ -29,6 +29,12 @@ const char* code_id(Code code) {
     case Code::DefectNotResistor: return "E202";
     case Code::DefectWrongNodes: return "E203";
     case Code::DefectBadValue: return "E204";
+    case Code::SpecParse: return "E301";
+    case Code::SpecMissingField: return "E302";
+    case Code::SpecBadType: return "E303";
+    case Code::SpecBadValue: return "E304";
+    case Code::SpecUnknownKey: return "W305";
+    case Code::CacheCorrupt: return "E310";
   }
   return "?";
 }
@@ -39,6 +45,7 @@ Severity default_severity(Code code) {
     case Code::DanglingNode:
     case Code::DuplicateParallel:
     case Code::SuspiciousParam:
+    case Code::SpecUnknownKey:
       return Severity::Warning;
     default:
       return Severity::Error;

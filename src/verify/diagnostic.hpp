@@ -19,8 +19,9 @@ enum class Severity { Info, Warning, Error };
 const char* to_string(Severity severity);
 
 /// Stable diagnostic codes.  The numeric id (rendered as E1xx/W1xx for
-/// netlist checks, E2xx for defect-injection checks) never changes once
-/// shipped; docs/LINT.md is the catalogue.
+/// netlist checks, E2xx for defect-injection checks, E3xx for campaign
+/// spec / cache integrity checks) never changes once shipped; docs/LINT.md
+/// is the catalogue.
 enum class Code {
   FloatingIsland,     // E101: nodes with no connection to ground at all
   NoDcPath,           // W102: node only reaches ground through C / I / G
@@ -36,6 +37,12 @@ enum class Code {
   DefectNotResistor,    // E202: injected device is not a resistor
   DefectWrongNodes,     // E203: defect resistor spans the wrong node pair
   DefectBadValue,       // E204: injected resistance non-finite or <= 0
+  SpecParse,            // E301: campaign spec is not valid JSON
+  SpecMissingField,     // E302: required spec field absent
+  SpecBadType,          // E303: spec field has the wrong JSON type
+  SpecBadValue,         // E304: spec field value out of range / unknown enum
+  SpecUnknownKey,       // W305: spec key not in the schema (ignored)
+  CacheCorrupt,         // E310: unreadable cache object / journal record
 };
 
 /// Catalogue id, e.g. Code::VsourceLoop -> "E103".  SelfLoop renders as

@@ -1,12 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "analysis/border.hpp"
 #include "analysis/detection.hpp"
 #include "analysis/fast_model.hpp"
 #include "analysis/result_plane.hpp"
 #include "analysis/vsa.hpp"
+#include "analysis/vsa_cache.hpp"
 #include "util/error.hpp"
 
 using namespace dramstress;
@@ -328,4 +330,62 @@ TEST_F(AnalysisTest, ConditionValidityOnHealthyColumn) {
   DetectionCondition nonsense = sane;
   nonsense.expected = 0;
   EXPECT_FALSE(condition_valid_on_healthy(sim, Side::True, nonsense));
+}
+
+// -------------------------------------------------------------- VsaCache
+
+TEST_F(AnalysisTest, VsaCacheHitIsBitwiseIdenticalAndCounted) {
+  const Defect d{DefectKind::O3, Side::True};
+  defect::Injection inj(col, d, 200e3);
+  VsaCache cache;
+  const VsaResult first = cache.get_or_extract(sim, d, 200e3);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  const VsaResult again = cache.get_or_extract(sim, d, 200e3);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  // Bitwise identity, not mere closeness: sweeps rely on memoized values
+  // being indistinguishable from fresh extractions.
+  EXPECT_EQ(again.threshold, first.threshold);
+  EXPECT_EQ(again.kind, first.kind);
+  // And the cached value matches an uncached extraction exactly.
+  EXPECT_EQ(extract_vsa(sim, d.side).threshold, first.threshold);
+}
+
+TEST_F(AnalysisTest, VsaCacheKeyDistinguishesResistance) {
+  const Defect d{DefectKind::O3, Side::True};
+  defect::Injection inj(col, d, 100e3);
+  VsaCache cache;
+  const double v100k = cache.get_or_extract(sim, d, 100e3).threshold;
+  inj.set_value(1e6);
+  const double v1m = cache.get_or_extract(sim, d, 1e6).threshold;
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(v100k, v1m);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST_F(AnalysisTest, VsaCacheBypassesNonFiniteKeysWithoutInserting) {
+  // A NaN resistance (degenerate sweep bound) would break the cache map's
+  // strict weak ordering; the cache must extract-and-return without
+  // memoizing -- and without touching the hit/miss counters.
+  const Defect d{DefectKind::O3, Side::True};
+  defect::Injection inj(col, d, 200e3);
+  VsaCache cache;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const VsaResult r = cache.get_or_extract(sim, d, nan);
+  EXPECT_TRUE(std::isfinite(r.threshold));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  // A later finite lookup is a clean miss, not a poisoned hit.
+  const VsaResult real = cache.get_or_extract(sim, d, 200e3);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(real.threshold, r.threshold);
 }

@@ -510,3 +510,43 @@ TEST(Transient, TraceAtInterpolatesBetweenSamples) {
   EXPECT_THROW(tr.at("nope", 1.0), ModelError);
   EXPECT_THROW(tr.probe_index("nope"), ModelError);
 }
+
+TEST(Transient, TraceAtBoundaryConditions) {
+  // Empty trace: interpolation has nothing to clamp to.
+  Trace empty;
+  empty.names = {"v"};
+  empty.samples = {{}};
+  EXPECT_THROW(empty.at("v", 0.0), ModelError);
+  EXPECT_THROW(empty.back(0), ModelError);
+
+  // Single-sample trace (a campaign retry timeout can truncate a run to
+  // its first accepted step): constant for every query time.
+  Trace single;
+  single.names = {"v"};
+  single.time = {1e-9};
+  single.samples = {{0.7}};
+  EXPECT_DOUBLE_EQ(single.at("v", 0.0), 0.7);
+  EXPECT_DOUBLE_EQ(single.at("v", 1e-9), 0.7);
+  EXPECT_DOUBLE_EQ(single.at("v", 1.0), 0.7);
+  EXPECT_DOUBLE_EQ(single.back("v"), 0.7);
+
+  // A probe with fewer samples than time points (torn recording) must
+  // throw instead of reading out of bounds.
+  Trace torn;
+  torn.names = {"v"};
+  torn.time = {0.0, 1.0, 2.0};
+  torn.samples = {{10.0, 11.0}};
+  EXPECT_THROW(torn.at("v", 1.5), ModelError);
+  EXPECT_THROW(torn.at(0, 0.0), ModelError);  // even at a clamped endpoint
+
+  // Repeated time points (a rejected-then-retaken adaptive step recorded
+  // twice) must not divide by zero.
+  Trace dup;
+  dup.names = {"v"};
+  dup.time = {0.0, 1.0, 1.0, 2.0};
+  dup.samples = {{10.0, 11.0, 11.5, 12.0}};
+  const double v = dup.at("v", 1.0);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GE(v, 11.0);
+  EXPECT_LE(v, 11.5);
+}

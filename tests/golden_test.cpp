@@ -1,0 +1,269 @@
+// Golden regression layer: pins the paper-reproduction artifacts (Figs.
+// 2-6, Table 1) to values regenerated with the current engine, so any
+// future engine change that silently shifts the published figures fails
+// tier-1 instead of drifting unnoticed.
+//
+// Each fixture replicates the corresponding bench/fig*.cpp computation
+// with the same options, then asserts a compact sample of the CSV the
+// bench writes.  Tolerances: 0.03 V absolute on stored-cell voltages,
+// 0.02 V on sense thresholds (their bisection resolves to 3 mV), 5%
+// relative on border resistances, 0.05 decades on coverage gains.  Trend
+// *directions* -- the paper's actual claims -- are asserted exactly.
+#include <gtest/gtest.h>
+
+#include "analysis/border.hpp"
+#include "analysis/result_plane.hpp"
+#include "analysis/vsa.hpp"
+#include "core/flow.hpp"
+#include "defect/defect.hpp"
+#include "dram/column.hpp"
+#include "dram/column_sim.hpp"
+#include "stress/optimizer.hpp"
+
+namespace dramstress {
+namespace {
+
+using defect::Defect;
+using defect::DefectKind;
+using dram::Side;
+
+constexpr double kVcTol = 0.03;    // V, stored-cell voltages
+constexpr double kVsaTol = 0.02;   // V, sense thresholds
+constexpr double kBrRelTol = 0.05; // relative, border resistances
+constexpr double kGainTol = 0.05;  // decades, coverage gains
+
+void expect_br_near(const std::optional<double>& br, double golden) {
+  ASSERT_TRUE(br.has_value());
+  EXPECT_NEAR(*br, golden, kBrRelTol * golden);
+}
+
+/// The Fig. 2 plane options (bench/fig2_result_planes.cpp).
+analysis::PlaneOptions fig2_options() {
+  analysis::PlaneOptions opt;
+  opt.num_r_points = 13;
+  opt.ops_per_point = 3;
+  opt.r_lo = 10e3;
+  opt.r_hi = 10e6;
+  return opt;
+}
+
+// --- Fig. 2: nominal result planes of the cell open --------------------
+
+TEST(GoldenFig2, NominalPlaneSamplesAndShape) {
+  dram::DramColumn column;
+  const Defect d{DefectKind::O3, Side::True};
+  const dram::OperatingConditions nominal{2.4, 27.0, 60e-9, 0.5};
+  dram::ColumnSimulator sim(column, nominal);
+  const analysis::PlaneSet planes =
+      analysis::generate_plane_set(column, d, sim, fig2_options());
+
+  ASSERT_EQ(planes.w1.r_values.size(), 13u);
+  const size_t last = planes.w1.r_values.size() - 1;
+
+  // w1 plane: golden samples at R = 10 kOhm and R = 10 MOhm.
+  EXPECT_NEAR(planes.w1.curves[0].vc[0], 2.0601, kVcTol);
+  EXPECT_NEAR(planes.w1.curves[2].vc[0], 2.2612, kVcTol);
+  EXPECT_NEAR(planes.w1.curves[0].vc[last], 0.0700, kVcTol);
+  EXPECT_NEAR(planes.w1.curves[2].vc[last], 0.2117, kVcTol);
+
+  // w0 plane: a healthy-side write-0 nearly empties the cell at low R.
+  EXPECT_NEAR(planes.w0.curves[0].vc[0], 0.0110, kVcTol);
+
+  // r plane: read walks restore toward the rails from both sides.
+  EXPECT_NEAR(planes.r.curves[0].vc[0], 0.0205, kVcTol);
+  EXPECT_NEAR(planes.r.curves[1].vc[0], 2.0771, kVcTol);
+
+  // Vsa curve: golden endpoints, and it bends monotonically toward GND as
+  // R grows (paper: a 1 becomes easier to detect, a 0 harder).
+  EXPECT_NEAR(planes.w1.vsa[0], 1.1660, kVsaTol);
+  EXPECT_NEAR(planes.w1.vsa[last], 0.3926, kVsaTol);
+  for (size_t i = 1; i < planes.w1.vsa.size(); ++i)
+    EXPECT_LE(planes.w1.vsa[i], planes.w1.vsa[i - 1] + 1e-9);
+
+  // w1 charging degrades monotonically with the open's resistance.
+  for (size_t i = 1; i <= last; ++i)
+    EXPECT_LT(planes.w1.curves[0].vc[i], planes.w1.curves[0].vc[i - 1]);
+
+  // Graphical border estimate: the last w0 curve crosses Vsa in the
+  // operational-BR neighbourhood (operational BR is ~248 kOhm).
+  const std::optional<double> graphical = analysis::plane_border_resistance(
+      planes.w0, planes.w0.curves.size() - 1);
+  ASSERT_TRUE(graphical.has_value());
+  EXPECT_GT(*graphical, 1e5);
+  EXPECT_LT(*graphical, 1e6);
+}
+
+// --- Figs. 3-5: per-axis stress trends (bench/fig_sweep_common.hpp) ----
+
+/// Vc left in the cell (initialized to Vdd) by a single w0, with the O3
+/// open at 200 kOhm -- the top panel of Figs. 3-5.
+double vc_after_w0(dram::DramColumn& column, const Defect& d,
+                   const stress::StressCondition& sc) {
+  dram::ColumnSimulator sim(column, sc);
+  return sim.run({dram::Operation::w0()}, sc.vdd, d.side).vc_after(0);
+}
+
+/// Outcome of reading a marginal level (nominal Vsa + offset) -- the
+/// bottom panel of Figs. 3-5; `del` is the retention pause of Fig. 4.
+int marginal_read_bit(dram::DramColumn& column, const Defect& d,
+                      const stress::StressCondition& sc, double level,
+                      double del) {
+  dram::ColumnSimulator sim(column, sc);
+  dram::OpSequence seq;
+  if (del > 0.0) seq.push_back(dram::Operation::del(del));
+  seq.push_back(dram::Operation::r());
+  return sim.run(seq, level, d.side).last_read_bit();
+}
+
+double nominal_vsa_at_200k(dram::DramColumn& column, const Defect& d) {
+  dram::ColumnSimulator sim(column, stress::nominal_condition());
+  return analysis::extract_vsa(sim, d.side).threshold;
+}
+
+TEST(GoldenFig3, ShorterCycleStressesTheWriteNotTheRead) {
+  dram::DramColumn column;
+  const Defect d{DefectKind::O3, Side::True};
+  defect::Injection inj(column, d, 200e3);
+  stress::StressCondition c60 = stress::nominal_condition();
+  stress::StressCondition c55 = c60;
+  c55.tcyc = 55e-9;
+
+  const double v60 = vc_after_w0(column, d, c60);
+  const double v55 = vc_after_w0(column, d, c55);
+  EXPECT_NEAR(v60, 1.0366, kVcTol);
+  EXPECT_NEAR(v55, 1.1157, kVcTol);
+  // The cut-short write leaves MORE charge behind: more stressful.
+  EXPECT_GT(v55, v60);
+
+  // The read outcome is timing-insensitive (Vsa does not move).
+  const double level = nominal_vsa_at_200k(column, d) - 0.10;
+  EXPECT_EQ(marginal_read_bit(column, d, c60, level, 0.0),
+            marginal_read_bit(column, d, c55, level, 0.0));
+}
+
+TEST(GoldenFig4, TemperatureStressesTheWriteNonMonotonicRead) {
+  dram::DramColumn column;
+  const Defect d{DefectKind::O3, Side::True};
+  defect::Injection inj(column, d, 200e3);
+  stress::StressCondition cold = stress::nominal_condition();
+  cold.temp_c = -33.0;
+  const stress::StressCondition room = stress::nominal_condition();
+  stress::StressCondition hot = stress::nominal_condition();
+  hot.temp_c = 87.0;
+
+  const double vc_cold = vc_after_w0(column, d, cold);
+  const double vc_room = vc_after_w0(column, d, room);
+  const double vc_hot = vc_after_w0(column, d, hot);
+  EXPECT_NEAR(vc_cold, 1.0045, kVcTol);
+  EXPECT_NEAR(vc_room, 1.0366, kVcTol);
+  EXPECT_NEAR(vc_hot, 1.0514, kVcTol);
+  // Hotter -> weaker write-0 (higher residual Vc), monotone.
+  EXPECT_LT(vc_cold, vc_room);
+  EXPECT_LT(vc_room, vc_hot);
+
+  // The delayed read of a slightly-high level is NON-monotonic in T
+  // (paper Section 4.2): it returns 1 only at room temperature.
+  const double level = nominal_vsa_at_200k(column, d) + 0.10;
+  EXPECT_EQ(marginal_read_bit(column, d, cold, level, 1.5e-6), 0);
+  EXPECT_EQ(marginal_read_bit(column, d, room, level, 1.5e-6), 1);
+  EXPECT_EQ(marginal_read_bit(column, d, hot, level, 1.5e-6), 0);
+}
+
+TEST(GoldenFig5, VoltageConflictResolvedByRisingBorderResistance) {
+  dram::DramColumn column;
+  const Defect d{DefectKind::O3, Side::True};
+  stress::StressCondition low = stress::nominal_condition();
+  low.vdd = 2.1;
+  const stress::StressCondition nom = stress::nominal_condition();
+  stress::StressCondition high = stress::nominal_condition();
+  high.vdd = 2.7;
+
+  {
+    defect::Injection inj(column, d, 200e3);
+    const double vc_low = vc_after_w0(column, d, low);
+    const double vc_nom = vc_after_w0(column, d, nom);
+    const double vc_high = vc_after_w0(column, d, high);
+    EXPECT_NEAR(vc_low, 0.9137, kVcTol);
+    EXPECT_NEAR(vc_nom, 1.0366, kVcTol);
+    EXPECT_NEAR(vc_high, 1.1587, kVcTol);
+    // Higher Vdd -> weaker write (more stressful for the write)...
+    EXPECT_LT(vc_low, vc_nom);
+    EXPECT_LT(vc_nom, vc_high);
+
+    // ...but it HELPS the read: the marginal level reads 1 only at low
+    // Vdd.  The directions conflict -> the BR comparison must decide.
+    const double level = nominal_vsa_at_200k(column, d) - 0.07;
+    EXPECT_EQ(marginal_read_bit(column, d, low, level, 0.0), 1);
+    EXPECT_EQ(marginal_read_bit(column, d, nom, level, 0.0), 0);
+    EXPECT_EQ(marginal_read_bit(column, d, high, level, 0.0), 0);
+  }
+
+  // The BR of the fixed nominal test per supply (bench/fig5_voltage.cpp):
+  // BR grows with Vdd, so the LOW supply maximizes the failing range.
+  analysis::BorderResult nominal_br;
+  {
+    dram::ColumnSimulator sim(column, nom);
+    nominal_br = analysis::analyze_defect(column, d, sim);
+  }
+  const defect::SweepRange range = defect::default_sweep_range(d.kind);
+  const double golden[] = {235014.0, 248045.4, 261799.5};
+  double previous = 0.0;
+  int i = 0;
+  for (const stress::StressCondition& sc : {low, nom, high}) {
+    dram::ColumnSimulator sim(column, sc);
+    const analysis::BorderResult br = analysis::find_border_resistance(
+        column, d, sim, nominal_br.condition, range);
+    expect_br_near(br.br, golden[i++]);
+    EXPECT_GT(*br.br, previous);
+    previous = *br.br;
+  }
+}
+
+// --- Fig. 6 + Table 1: the optimized stress combination ---------------
+// One optimize_stresses run feeds both the Table-1 row and the stressed
+// planes, so the expensive Section-4 flow runs once per defect.
+
+TEST(GoldenTable1, CellOpenOptimizationAndStressedPlanes) {
+  dram::DramColumn column;
+  const Defect d{DefectKind::O3, Side::True};
+  const stress::OptimizationResult r =
+      stress::optimize_stresses(column, d, stress::nominal_condition());
+
+  // Table 1, O3 row (regenerated: 248 kOhm -> 167 kOhm, +0.17 decades).
+  expect_br_near(r.nominal_border.br, 248045.4);
+  expect_br_near(r.stressed_border.br, 166976.8);
+  EXPECT_NEAR(r.coverage_gain_decades(), 0.1719, kGainTol);
+  // O3 is a series defect: faults at high R, so the stress DROPS the BR.
+  EXPECT_TRUE(r.nominal_border.fault_at_high_r);
+  EXPECT_LT(*r.stressed_border.br, *r.nominal_border.br);
+
+  // Fig. 6: the result planes under the stressed SC (samples at 10 kOhm).
+  dram::ColumnSimulator sim(column, r.stressed_sc);
+  const analysis::PlaneSet planes =
+      analysis::generate_plane_set(column, d, sim, fig2_options());
+  EXPECT_NEAR(planes.w1.curves[0].vc[0], 1.6057, kVcTol);
+  EXPECT_NEAR(planes.w1.vsa[0], 0.9998, kVsaTol);
+  // The stressed supply is lower, so the whole w1 plane sits lower than
+  // the nominal one (Fig. 2 vs Fig. 6).
+  EXPECT_LT(planes.w1.curves[0].vc[0], 2.0);
+}
+
+TEST(GoldenTable1, GateShortOptimization) {
+  dram::DramColumn column;
+  const Defect d{DefectKind::Sg, Side::True};
+  const stress::OptimizationResult r =
+      stress::optimize_stresses(column, d, stress::nominal_condition());
+
+  // Table 1, Sg row (regenerated: 1.62 GOhm -> 1.76 GOhm, +0.034
+  // decades).  Sg is a shunt: faults at LOW R, so the stress RAISES the
+  // BR to widen the failing range.
+  expect_br_near(r.nominal_border.br, 1.6235e9);
+  expect_br_near(r.stressed_border.br, 1.7564e9);
+  EXPECT_NEAR(r.coverage_gain_decades(), 0.0342, kGainTol);
+  EXPECT_FALSE(r.nominal_border.fault_at_high_r);
+  EXPECT_GT(*r.stressed_border.br, *r.nominal_border.br);
+  EXPECT_GT(r.coverage_gain_decades(), 0.0);
+}
+
+}  // namespace
+}  // namespace dramstress

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <limits>
@@ -272,4 +273,93 @@ TEST(Json, FindOnNonObjectReturnsNull) {
   EXPECT_EQ(v.find("a"), nullptr);
   ASSERT_TRUE(v.is_array());
   EXPECT_EQ(v.array[0].find("b"), nullptr);
+}
+
+// A representative document exercising every JSON construct; the
+// robustness corpora below are derived from it.
+const char kJsonCorpusDoc[] =
+    "{\n"
+    "  \"name\": \"campaign\",\n"
+    "  \"defects\": [\"o3\", \"sg/comp\"],\n"
+    "  \"points\": [{\"vdd\": 2.4, \"tcyc\": 6e-08, \"ok\": true}],\n"
+    "  \"empty\": [],\n"
+    "  \"nil\": null,\n"
+    "  \"esc\": \"a\\\"b\\\\c\\u00b5\",\n"
+    "  \"neg\": -1.5e-3\n"
+    "}\n";
+
+TEST(Json, ParseErrorCarriesOffsetAndLine) {
+  // The bad token starts at the 'x'; the diagnostic pipeline relies on
+  // offset() to attribute the failure to the right spec line.
+  const std::string text = "{\n  \"a\": 1,\n  \"b\": x\n}";
+  try {
+    du::json::parse(text);
+    FAIL() << "expected ParseError";
+  } catch (const du::json::ParseError& e) {
+    EXPECT_EQ(text[e.offset()], 'x');
+    EXPECT_EQ(du::json::line_of(text, e.offset()), 3);
+  }
+}
+
+TEST(Json, LineOfHandlesBoundaries) {
+  const std::string text = "ab\ncd\nef";
+  EXPECT_EQ(du::json::line_of(text, 0), 1);
+  EXPECT_EQ(du::json::line_of(text, 3), 2);   // first char after the \n
+  EXPECT_EQ(du::json::line_of(text, 7), 3);
+  EXPECT_EQ(du::json::line_of(text, 1000), 3);  // clamped past the end
+  EXPECT_EQ(du::json::line_of("", 0), 1);
+}
+
+TEST(Json, TruncationCorpusNeverCrashes) {
+  // Every proper prefix of a valid document must fail as a ModelError
+  // (never crash, never silently succeed) -- the campaign journal replay
+  // feeds torn lines straight into the parser.
+  const std::string doc = kJsonCorpusDoc;
+  ASSERT_NO_THROW(du::json::parse(doc));
+  for (size_t len = 0; len < doc.size() - 1; ++len)
+    EXPECT_THROW(du::json::parse(doc.substr(0, len)), dramstress::ModelError)
+        << "prefix length " << len;
+}
+
+TEST(Json, MutationCorpusNeverCrashes) {
+  // Deterministic single-byte mutations: every outcome must be either a
+  // clean parse or a ModelError carrying a valid offset.
+  const std::string doc = kJsonCorpusDoc;
+  const char replacements[] = {'\0', '"', '{', '}', '[', ']', ',', ':',
+                               'x',  '9', '-', '\\', '\n', '\x80'};
+  uint32_t rng = 0x2545f491u;  // fixed seed: reproducible corpus
+  for (int i = 0; i < 500; ++i) {
+    rng = rng * 1664525u + 1013904223u;
+    std::string mutated = doc;
+    const size_t pos = (rng >> 8) % mutated.size();
+    mutated[pos] = replacements[(rng >> 24) % sizeof(replacements)];
+    try {
+      du::json::parse(mutated);
+    } catch (const du::json::ParseError& e) {
+      EXPECT_LE(e.offset(), mutated.size());
+    }
+  }
+}
+
+TEST(Json, AppendRoundTripIsByteStable) {
+  // parse + append must reproduce the Writer's own output byte-for-byte
+  // (the campaign report embeds cached payloads this way, and resume
+  // compares reports with a plain binary diff).
+  du::json::Writer first;
+  first.begin_object();
+  first.key("br").value(248045.44142297964);
+  first.key("fails").value(false);
+  first.key("list").begin_array().value(1e-9).null().value("x").end_array();
+  first.key("nested").begin_object().key("k").value(-3L).end_object();
+  first.end_object();
+
+  const du::json::Value v = du::json::parse(first.str());
+  du::json::Writer second;
+  du::json::append(second, v);
+  EXPECT_EQ(second.str(), first.str());
+
+  // And a second generation parses to the same bytes again.
+  du::json::Writer third;
+  du::json::append(third, du::json::parse(second.str()));
+  EXPECT_EQ(third.str(), second.str());
 }

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "campaign/spec.hpp"
 #include "circuit/spice_reader.hpp"
 #include "defect/defect.hpp"
 #include "defect/sweep_context.hpp"
@@ -40,7 +41,7 @@ TEST(Diagnostic, RendersCodeLineAndRefs) {
   d.code = Code::VsourceLoop;
   d.severity = Severity::Error;
   d.message = "loop closed";
-  d.device = "V3";
+  d.device = std::string("V3");
   d.spice_line = 4;
   const std::string s = d.str();
   EXPECT_NE(s.find("error[E103]"), std::string::npos) << s;
@@ -296,6 +297,136 @@ TEST(CleanPass, SweepContextRunsVerificationWithoutThrowing) {
                              {defect::DefectKind::O3, dram::Side::True}, 2e6);
     (void)ctx;
   });
+}
+
+// --- campaign spec diagnostics (E301-E304, W305) ---------------------
+// The spec parser must turn every malformed input into a line-numbered
+// diagnostic and never crash; valid-with-warnings specs still load.
+
+/// Parse `text` as a campaign spec, returning the report; `spec_ok`
+/// receives whether a spec was produced.
+VerifyReport parse_spec_report(const std::string& text, bool* spec_ok) {
+  VerifyReport report;
+  *spec_ok = campaign::parse_spec(text, &report).has_value();
+  return report;
+}
+
+const char kMinimalSpec[] =
+    "{\n"
+    "  \"name\": \"t\",\n"
+    "  \"defects\": [\"o3\"],\n"
+    "  \"points\": [{\"name\": \"a\", \"vdd\": 2.4}]\n"
+    "}\n";
+
+TEST(SpecLint, MinimalSpecIsClean) {
+  bool ok = false;
+  const VerifyReport r = parse_spec_report(kMinimalSpec, &ok);
+  EXPECT_TRUE(ok) << r.str();
+  EXPECT_TRUE(r.clean()) << r.str();
+}
+
+TEST(SpecLint, InvalidJsonIsE301WithLine) {
+  bool ok = true;
+  const VerifyReport r =
+      parse_spec_report("{\n  \"name\": \"t\",\n  \"defects\": [,]\n}", &ok);
+  EXPECT_FALSE(ok);
+  ASSERT_TRUE(r.has(Code::SpecParse)) << r.str();
+  EXPECT_EQ(r.find(Code::SpecParse)->spice_line, 3);
+  EXPECT_NE(r.str().find("E301"), std::string::npos) << r.str();
+}
+
+TEST(SpecLint, MissingRequiredFieldIsE302) {
+  bool ok = true;
+  const VerifyReport r = parse_spec_report(
+      "{\"name\": \"t\", \"points\": [{\"name\": \"a\"}]}", &ok);
+  EXPECT_FALSE(ok);
+  ASSERT_TRUE(r.has(Code::SpecMissingField)) << r.str();
+  EXPECT_NE(r.find(Code::SpecMissingField)->message.find("defects"),
+            std::string::npos);
+}
+
+TEST(SpecLint, WrongTypeIsE303WithLine) {
+  bool ok = true;
+  const VerifyReport r = parse_spec_report(
+      "{\n"
+      "  \"name\": \"t\",\n"
+      "  \"defects\": [\"o3\"],\n"
+      "  \"points\": [{\"name\": \"a\", \"vdd\": \"high\"}]\n"
+      "}",
+      &ok);
+  EXPECT_FALSE(ok);
+  ASSERT_TRUE(r.has(Code::SpecBadType)) << r.str();
+  EXPECT_EQ(r.find(Code::SpecBadType)->spice_line, 4);
+}
+
+TEST(SpecLint, OutOfRangeAndUnknownEnumAreE304) {
+  bool ok = true;
+  const VerifyReport r = parse_spec_report(
+      "{\n"
+      "  \"name\": \"t\",\n"
+      "  \"defects\": [\"o9\"],\n"
+      "  \"points\": [{\"name\": \"a\", \"vdd\": 99.0}]\n"
+      "}",
+      &ok);
+  EXPECT_FALSE(ok);
+  ASSERT_TRUE(r.has(Code::SpecBadValue)) << r.str();
+  // Both the unknown defect (line 3) and the out-of-range vdd (line 4).
+  int bad_values = 0;
+  for (const auto& d : r.diagnostics())
+    if (d.code == Code::SpecBadValue) ++bad_values;
+  EXPECT_EQ(bad_values, 2) << r.str();
+}
+
+TEST(SpecLint, UnknownKeyIsW305WarningOnly) {
+  bool ok = false;
+  const VerifyReport r = parse_spec_report(
+      "{\n"
+      "  \"name\": \"t\",\n"
+      "  \"defects\": [\"o3\"],\n"
+      "  \"points\": [{\"name\": \"a\"}],\n"
+      "  \"coments\": \"typo\"\n"
+      "}",
+      &ok);
+  EXPECT_TRUE(ok) << r.str();  // warnings alone do not reject the spec
+  ASSERT_TRUE(r.has(Code::SpecUnknownKey)) << r.str();
+  EXPECT_EQ(r.find(Code::SpecUnknownKey)->severity, Severity::Warning);
+  EXPECT_EQ(r.find(Code::SpecUnknownKey)->spice_line, 5);
+  EXPECT_EQ(r.errors(), 0);
+}
+
+TEST(SpecLint, DuplicateDefectAndPointAreE304) {
+  bool ok = true;
+  const VerifyReport r = parse_spec_report(
+      "{\"name\": \"t\", \"defects\": [\"o3\", \"o3\"],"
+      " \"points\": [{\"name\": \"a\"}, {\"name\": \"a\"}]}",
+      &ok);
+  EXPECT_FALSE(ok);
+  int bad_values = 0;
+  for (const auto& d : r.diagnostics())
+    if (d.code == Code::SpecBadValue) ++bad_values;
+  EXPECT_EQ(bad_values, 2) << r.str();
+}
+
+TEST(SpecLint, TruncationCorpusNeverCrashes) {
+  // Every prefix of a valid spec must produce a diagnostic-laden failure
+  // or (for the full document) a clean parse -- never a crash.  Stop at
+  // the closing brace: beyond it only trailing whitespace is cut.
+  const std::string doc = kMinimalSpec;
+  for (size_t len = 0; len <= doc.find_last_of('}'); ++len) {
+    VerifyReport report;
+    const auto spec = campaign::parse_spec(doc.substr(0, len), &report);
+    EXPECT_FALSE(spec.has_value()) << "prefix length " << len;
+    EXPECT_FALSE(report.ok()) << "prefix length " << len;
+  }
+}
+
+TEST(SpecLint, NonObjectRootsAreRejectedNotCrashed) {
+  for (const char* doc : {"[]", "\"spec\"", "3", "null", "true"}) {
+    bool ok = true;
+    const VerifyReport r = parse_spec_report(doc, &ok);
+    EXPECT_FALSE(ok) << doc;
+    EXPECT_TRUE(r.has(Code::SpecBadType)) << doc << ":\n" << r.str();
+  }
 }
 
 }  // namespace

@@ -40,6 +40,7 @@
 #include <sstream>
 
 #include "analysis/result_plane.hpp"
+#include "campaign/runner.hpp"
 #include "circuit/spice_reader.hpp"  // parse_spice_number
 #include "core/flow.hpp"
 #include "core/report.hpp"
@@ -61,12 +62,18 @@ int usage() {
                "[--verify[=strict]]\n"
                "                  [--metrics FILE] [--trace FILE] "
                "[--r-points N]\n"
+               "       dramstress campaign run <spec.json> [--out DIR] "
+               "[--cache DIR] [--resume]\n"
+               "       dramstress campaign status <run-dir>\n"
+               "       dramstress campaign gc <spec.json> [--cache DIR]\n"
                "  defect: o1 o2 o3 sg sv b1 b2 b3   side: true|comp\n"
                "  --verify runs the static netlist checks (docs/LINT.md) "
                "first; strict fails on warnings;\n"
                "  with no command, verify and exit\n"
                "  --metrics/--trace write a run manifest / span trace "
-               "(docs/OBSERVABILITY.md)\n");
+               "(docs/OBSERVABILITY.md)\n"
+               "  campaign: resumable batch runs with a result cache "
+               "(docs/CAMPAIGN.md)\n");
   return 2;
 }
 
@@ -235,6 +242,136 @@ int check_manifest(const char* path) {
   return 0;
 }
 
+/// `campaign run|status|gc` (docs/CAMPAIGN.md).
+int run_campaign(int argc, char** argv, const EngineFlags& eng) {
+  if (argc < 3) return usage();
+  const std::string sub = argv[2];
+  std::string out = "campaign-run";
+  std::string cache_dir = "campaign-cache";
+  bool resume = false;
+  std::vector<std::string> pos;
+  for (int i = 3; i < argc; ++i) {
+    const char* a = argv[i];
+    std::string* path = nullptr;
+    if (std::strcmp(a, "--resume") == 0) {
+      resume = true;
+    } else if (std::strncmp(a, "--out=", 6) == 0) {
+      out = a + 6;
+    } else if (std::strcmp(a, "--out") == 0) {
+      path = &out;
+    } else if (std::strncmp(a, "--cache=", 8) == 0) {
+      cache_dir = a + 8;
+    } else if (std::strcmp(a, "--cache") == 0) {
+      path = &cache_dir;
+    } else if (a[0] == '-') {
+      return usage();
+    } else {
+      pos.push_back(a);
+    }
+    if (path) {
+      if (i + 1 >= argc) return usage();
+      *path = argv[++i];
+      if (path->empty()) return usage();
+    }
+  }
+
+  const auto load = [](const std::string& spec_path)
+      -> std::optional<campaign::CampaignSpec> {
+    verify::VerifyReport report;
+    std::optional<campaign::CampaignSpec> spec =
+        campaign::load_spec(spec_path, &report);
+    if (!report.clean()) std::fputs(report.str().c_str(), stderr);
+    if (!spec.has_value())
+      std::fprintf(stderr, "error: %s is not a valid campaign spec\n",
+                   spec_path.c_str());
+    return spec;
+  };
+
+  if (sub == "run") {
+    if (pos.size() != 1) return usage();
+    const std::optional<campaign::CampaignSpec> spec = load(pos[0]);
+    if (!spec.has_value()) return 1;
+    const dram::TechnologyParams tech = dram::default_technology();
+    dram::DramColumn column(tech);
+    campaign::CampaignPlan plan = campaign::expand(*spec, column);
+    campaign::RunnerOptions opt;
+    opt.resume = resume;
+    std::printf("campaign '%s': %zu units -> %s (cache %s)\n",
+                spec->name.c_str(), plan.units.size(), out.c_str(),
+                cache_dir.c_str());
+    campaign::CampaignRunner runner(std::move(plan), tech, out, cache_dir,
+                                    opt);
+    const campaign::CampaignResult r = runner.run();
+    if (!r.diagnostics.clean())
+      std::fputs(r.diagnostics.str().c_str(), stderr);
+    std::printf(
+        "campaign '%s': %d computed, %d cached, %d retries, %d quarantined, "
+        "%d skipped\n",
+        spec->name.c_str(), r.done, r.cached, r.retried, r.quarantined,
+        r.skipped);
+    std::printf("report: %s\n", r.report_path.c_str());
+    if (r.quarantined > 0)
+      std::printf("failure report: %s\n", r.failure_report_path.c_str());
+    // Quarantined units are recorded, not fatal: the campaign completed.
+    return 0;
+  }
+
+  if (sub == "status") {
+    if (pos.size() != 1) return usage();
+    const std::string dir = pos[0];
+    const std::optional<campaign::CampaignSpec> spec =
+        load(dir + "/spec.json");
+    if (!spec.has_value()) return 1;
+    const dram::TechnologyParams tech = dram::default_technology();
+    dram::DramColumn column(tech);
+    const campaign::CampaignPlan plan = campaign::expand(*spec, column);
+    verify::VerifyReport report;
+    const std::map<std::string, campaign::JournalEntry> journal =
+        campaign::Journal::replay(dir + "/journal.jsonl", &report);
+    if (!report.clean()) std::fputs(report.str().c_str(), stderr);
+    int done = 0, quarantined = 0;
+    for (const campaign::WorkUnit& u : plan.units) {
+      const auto it = journal.find(u.key.hex());
+      if (it == journal.end()) continue;
+      if (it->second.status == "quarantined")
+        ++quarantined;
+      else
+        ++done;
+    }
+    const int remaining =
+        static_cast<int>(plan.units.size()) - done - quarantined;
+    std::printf("campaign '%s' in %s: %zu units, %d done, %d quarantined, "
+                "%d remaining\n",
+                spec->name.c_str(), dir.c_str(), plan.units.size(), done,
+                quarantined, remaining);
+    return 0;
+  }
+
+  if (sub == "gc") {
+    if (pos.empty()) return usage();
+    // Everything reachable from the given specs is live; the rest of the
+    // cache is from older engine versions or edited specs.
+    std::map<std::string, bool> live;
+    const dram::TechnologyParams tech = dram::default_technology();
+    dram::DramColumn column(tech);
+    for (const std::string& spec_path : pos) {
+      const std::optional<campaign::CampaignSpec> spec = load(spec_path);
+      if (!spec.has_value()) return 1;
+      const campaign::CampaignPlan plan = campaign::expand(*spec, column);
+      for (const campaign::WorkUnit& u : plan.units)
+        live[u.key.hex()] = true;
+    }
+    const campaign::ResultCache cache(cache_dir);
+    const int removed = cache.sweep(live);
+    std::printf("campaign gc: %d stale objects removed from %s (%zu live)\n",
+                removed, cache_dir.c_str(), live.size());
+    return 0;
+  }
+
+  (void)eng;
+  return usage();
+}
+
 int run_command(const std::string& cmd, int argc, char** argv,
                 defect::Defect d, const EngineFlags& eng) {
   const bool verify_only = eng.verify && cmd.empty();
@@ -331,15 +468,18 @@ int main(int raw_argc, char** raw_argv) {
     return check_manifest(argv[2]);
   }
 
-  defect::Defect d{defect::DefectKind::O3, dram::Side::True};
-  if (argc > 2 && !parse_defect(argv[2], &d.kind) && cmd != "table1")
-    return usage();
-  if (argc > 3 && std::strcmp(argv[3], "comp") == 0)
-    d.side = dram::Side::Comp;
-
   int rc = 1;
   try {
-    rc = run_command(cmd, argc, argv, d, eng);
+    if (cmd == "campaign") {
+      rc = run_campaign(argc, argv, eng);
+    } else {
+      defect::Defect d{defect::DefectKind::O3, dram::Side::True};
+      if (argc > 2 && !parse_defect(argv[2], &d.kind) && cmd != "table1")
+        return usage();
+      if (argc > 3 && std::strcmp(argv[3], "comp") == 0)
+        d.side = dram::Side::Comp;
+      rc = run_command(cmd, argc, argv, d, eng);
+    }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
