@@ -7,7 +7,8 @@
 //  * generate_plane_set end to end: the seed serial path (1 thread, no Vsa
 //    memoization) vs. the parallel engine (pool + VsaCache),
 //  * the transient-engine ladder on the Fig. 2 plane workload (1 thread):
-//    seed fixed-dt dense vs fixed-dt sparse vs adaptive (LTE) + sparse,
+//    seed fixed-dt dense vs fixed-dt sparse vs adaptive (LTE) + sparse vs
+//    the batched ensemble engine (adaptive + sparse + N lanes per solve),
 //  * observability overhead: the adaptive+sparse plane workload with metric
 //    and span collection on vs. suspended (obs::set_collecting); the
 //    acceptance ceiling is <2% overhead.
@@ -15,10 +16,18 @@
 // All comparisons are written to BENCH_engine.json (wall time and
 // points/sec per variant plus the speedups), together with the full metric
 // dump of the instrumented adaptive run, so the perf trajectory is
-// self-describing across PRs.  The engine acceptance floor is
-// adaptive_sparse_speedup >= 3 over the seed fixed-dense configuration.
+// self-describing across PRs.  The engine acceptance floors are
+// adaptive_sparse_speedup >= 3 over the seed fixed-dense configuration and
+// ensemble_speedup >= 2.5 over adaptive+sparse.  The JSON lands in the
+// repo root (DRAMSTRESS_BENCH_OUT_DIR) regardless of the runner's CWD.
 // Flags: --r-points=N shrinks the sweep grid, --threads=N caps the pool,
-// --skip-micro skips the google-benchmark microbenches.
+// --batch=N sets the ensemble rung's lane count (default 12, the measured
+// sweet spot on the Fig. 2 grid -- wider batches fill rounds better until
+// the lane-major working set outgrows the cache), --reps=N
+// takes the best of N runs per ladder rung (default 2 -- scheduler noise
+// on a loaded host easily exceeds the rung-to-rung differences),
+// --out=PATH overrides the JSON destination, --skip-micro skips the
+// google-benchmark microbenches.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -168,13 +177,16 @@ SweepTiming time_plane_set(const analysis::PlaneOptions& opt,
 
 /// Time generate_plane_set single-threaded under one engine configuration
 /// (the Fig. 2 plane workload with only the transient engine varying).
-SweepTiming time_plane_engine(const analysis::PlaneOptions& opt,
-                              const dram::SimSettings& settings) {
+/// `batch` > 0 selects the ensemble engine with that many lanes per solve.
+SweepTiming time_plane_engine_once(const analysis::PlaneOptions& opt,
+                                   const dram::SimSettings& settings,
+                                   int batch = 0) {
   dram::DramColumn column;
   const defect::Defect d{defect::DefectKind::O3, dram::Side::True};
   dram::ColumnSimulator sim(column, stress::nominal_condition(), settings);
   analysis::PlaneOptions o = opt;
   o.threads = 1;
+  o.batch = batch;
   const auto t0 = std::chrono::steady_clock::now();
   auto set = analysis::generate_plane_set(column, d, sim, o);
   benchmark::DoNotOptimize(set);
@@ -196,7 +208,8 @@ void write_json(const std::string& path, const analysis::PlaneOptions& opt,
                 int threads, const SweepTiming& serial,
                 const SweepTiming& parallel, const SweepTiming& fixed_dense,
                 const SweepTiming& fixed_sparse,
-                const SweepTiming& adaptive_sparse, const SweepTiming& obs_on,
+                const SweepTiming& adaptive_sparse, const SweepTiming& ensemble,
+                int ensemble_batch, int ladder_reps, const SweepTiming& obs_on,
                 const SweepTiming& obs_off,
                 const obs::MetricsSnapshot& metrics) {
   util::json::Writer w;
@@ -222,9 +235,16 @@ void write_json(const std::string& path, const analysis::PlaneOptions& opt,
   append_timing(w, fixed_sparse);
   w.key("adaptive_sparse");
   append_timing(w, adaptive_sparse);
+  w.key("ensemble");
+  append_timing(w, ensemble);
+  w.key("ensemble_batch").value(ensemble_batch);
+  w.key("ladder_reps").value(ladder_reps);
   w.key("sparse_speedup").value(fixed_dense.wall_s / fixed_sparse.wall_s);
   w.key("adaptive_sparse_speedup")
       .value(fixed_dense.wall_s / adaptive_sparse.wall_s);
+  // The headline ensemble number: batched lanes vs. the same adaptive +
+  // sparse configuration run one lane at a time.
+  w.key("ensemble_speedup").value(adaptive_sparse.wall_s / ensemble.wall_s);
   w.end_object();
   w.key("observability").begin_object();
   w.key("compiled_in").value(obs::compiled_in());
@@ -259,15 +279,30 @@ void write_json(const std::string& path, const analysis::PlaneOptions& opt,
 int main(int argc, char** argv) {
   analysis::PlaneOptions opt;  // default PlaneOptions: the acceptance grid
   int threads = 0;             // 0 = util::default_threads()
+  int batch = 12;              // ensemble-rung lane count (measured best)
+  int reps = 2;                // best-of-N per ladder rung
   bool skip_micro = false;
+#ifndef DRAMSTRESS_BENCH_OUT_DIR
+#define DRAMSTRESS_BENCH_OUT_DIR "."
+#endif
+  std::string out_path = std::string(DRAMSTRESS_BENCH_OUT_DIR)
+                         + "/BENCH_engine.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--r-points=", 11) == 0)
       opt.num_r_points = std::atoi(argv[i] + 11);
     else if (std::strncmp(argv[i], "--threads=", 10) == 0)
       threads = std::atoi(argv[i] + 10);
+    else if (std::strncmp(argv[i], "--batch=", 8) == 0)
+      batch = std::atoi(argv[i] + 8);
+    else if (std::strncmp(argv[i], "--reps=", 7) == 0)
+      reps = std::atoi(argv[i] + 7);
+    else if (std::strncmp(argv[i], "--out=", 6) == 0)
+      out_path = argv[i] + 6;
     else if (std::strcmp(argv[i], "--skip-micro") == 0)
       skip_micro = true;
   }
+  if (batch < 1) batch = 1;
+  if (reps < 1) reps = 1;
   if (threads > 0) util::set_default_threads(threads);
   const int pool = util::resolve_threads(threads);
 
@@ -286,24 +321,44 @@ int main(int argc, char** argv) {
         parallel.wall_s, parallel.points_per_s(),
         serial.wall_s / parallel.wall_s);
 
-    std::printf("transient-engine ladder (1 thread, same plane workload):\n");
+    std::printf(
+        "transient-engine ladder (1 thread, best of %d, same plane "
+        "workload):\n",
+        reps);
+    // Best-of-N per rung, with the reps INTERLEAVED across rungs: host
+    // load drifts on a timescale of seconds to minutes, so back-to-back
+    // reps of one rung share its bias while the cross-rung ratios -- the
+    // numbers the acceptance floors gate on -- get comparable windows.
     dram::SimSettings s_fixed_dense;
     s_fixed_dense.adaptive = false;
     s_fixed_dense.backend = circuit::SolverBackend::Dense;
-    const SweepTiming fixed_dense = time_plane_engine(opt, s_fixed_dense);
-    std::printf("  fixed + dense (seed) : %8.3f s  (%7.2f points/s)\n",
-                fixed_dense.wall_s, fixed_dense.points_per_s());
     dram::SimSettings s_fixed_sparse;
     s_fixed_sparse.adaptive = false;
-    const SweepTiming fixed_sparse = time_plane_engine(opt, s_fixed_sparse);
+    SweepTiming fixed_dense, fixed_sparse, adaptive_sparse, ensemble;
+    for (int rep = 0; rep < reps; ++rep) {
+      const SweepTiming fd = time_plane_engine_once(opt, s_fixed_dense);
+      if (rep == 0 || fd.wall_s < fixed_dense.wall_s) fixed_dense = fd;
+      const SweepTiming fs = time_plane_engine_once(opt, s_fixed_sparse);
+      if (rep == 0 || fs.wall_s < fixed_sparse.wall_s) fixed_sparse = fs;
+      const SweepTiming as = time_plane_engine_once(opt, dram::SimSettings{});
+      if (rep == 0 || as.wall_s < adaptive_sparse.wall_s) adaptive_sparse = as;
+      const SweepTiming en =
+          time_plane_engine_once(opt, dram::SimSettings{}, batch);
+      if (rep == 0 || en.wall_s < ensemble.wall_s) ensemble = en;
+    }
+    std::printf("  fixed + dense (seed) : %8.3f s  (%7.2f points/s)\n",
+                fixed_dense.wall_s, fixed_dense.points_per_s());
     std::printf("  fixed + sparse       : %8.3f s  (%7.2f points/s)  %.2fx\n",
                 fixed_sparse.wall_s, fixed_sparse.points_per_s(),
                 fixed_dense.wall_s / fixed_sparse.wall_s);
-    const SweepTiming adaptive_sparse =
-        time_plane_engine(opt, dram::SimSettings{});
     std::printf("  adaptive + sparse    : %8.3f s  (%7.2f points/s)  %.2fx\n",
                 adaptive_sparse.wall_s, adaptive_sparse.points_per_s(),
                 fixed_dense.wall_s / adaptive_sparse.wall_s);
+    std::printf("  ensemble (batch %2d)  : %8.3f s  (%7.2f points/s)  %.2fx "
+                "(%.2fx vs adaptive)\n",
+                batch, ensemble.wall_s, ensemble.points_per_s(),
+                fixed_dense.wall_s / ensemble.wall_s,
+                adaptive_sparse.wall_s / ensemble.wall_s);
 
     // Observability overhead: the same adaptive workload with collection
     // enabled (fresh registries) vs. suspended at runtime.  Alternating
@@ -318,13 +373,14 @@ int main(int argc, char** argv) {
       obs::reset_metrics();
       obs::reset_spans();
       obs::set_collecting(true);
-      const SweepTiming on = time_plane_engine(opt, dram::SimSettings{});
+      const SweepTiming on = time_plane_engine_once(opt, dram::SimSettings{});
       if (rep == 0 || on.wall_s < obs_on.wall_s) {
         obs_on = on;
         metrics = obs::metrics_snapshot();
       }
       obs::set_collecting(false);
-      const SweepTiming off = time_plane_engine(opt, dram::SimSettings{});
+      const SweepTiming off =
+          time_plane_engine_once(opt, dram::SimSettings{});
       obs::set_collecting(true);
       if (rep == 0 || off.wall_s < obs_off.wall_s) obs_off = off;
     }
@@ -335,8 +391,9 @@ int main(int argc, char** argv) {
     std::printf("  collection off       : %8.3f s  (overhead %+.2f%%)\n",
                 obs_off.wall_s, overhead_pct);
 
-    write_json("BENCH_engine.json", opt, pool, serial, parallel, fixed_dense,
-               fixed_sparse, adaptive_sparse, obs_on, obs_off, metrics);
+    write_json(out_path, opt, pool, serial, parallel, fixed_dense,
+               fixed_sparse, adaptive_sparse, ensemble, batch, reps, obs_on,
+               obs_off, metrics);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

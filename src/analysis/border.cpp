@@ -1,9 +1,11 @@
 #include "analysis/border.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "numeric/interp.hpp"
 #include "numeric/rootfind.hpp"
+#include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -32,11 +34,76 @@ BorderResult find_border_resistance(dram::DramColumn& column,
   result.condition = cond;
   result.fault_at_high_r = defect::is_series(d.kind);
 
+  const bool series = result.fault_at_high_r;
+
   defect::Injection inj(column, d, range.lo);
+  long probes = 0;
   auto fails_at = [&](double r) {
+    ++probes;
     inj.set_value(r);
     return condition_fails(sim, d.side, cond);
   };
+  // Every exit reports how many transient probes the search spent -- the
+  // quantity the warm start below exists to shrink.
+  auto finish = [&]() -> BorderResult {
+    obs::count("border.bisect.iters", probes);
+    return result;
+  };
+
+  // Warm start: when the caller supplies a hint (typically the BR of the
+  // neighbouring stress point), bracket it one coarse-grid step wide and
+  // expand geometrically on a miss instead of scanning the whole range.
+  // The detection predicates are monotone in R (faulty for R >= BR on
+  // series defects, R <= BR on shunts), so the expansion reaches the same
+  // bracket -- and the same range-endpoint verdicts -- as the full scan,
+  // just in fewer probes.
+  if (opt.bracket_hint.has_value() && std::isfinite(*opt.bracket_hint) &&
+      *opt.bracket_hint > range.lo && *opt.bracket_hint < range.hi) {
+    const double step =
+        std::pow(range.hi / range.lo, 1.0 / (opt.scan_points - 1));
+    double lo = std::max(range.lo, *opt.bracket_hint / step);
+    double hi = std::min(range.hi, *opt.bracket_hint * step);
+    // A valid bracket behaves healthy at the low end of a series sweep
+    // (fails_at == false == !series) and faulty at its high end, and the
+    // mirror image for shunts: the "correct side" test is fails_at == series
+    // for the high end, != series for the low end.  Widen whichever end
+    // landed on the wrong side, doubling the log-width per miss.
+    double widen = step;
+    if (fails_at(lo) == series) {
+      // The boundary, if any, lies below the hint bracket: walk down.
+      while (true) {
+        if (lo <= range.lo * (1.0 + 1e-12)) {
+          if (series) {  // fails all the way down to range.lo
+            result.fails_everywhere = true;
+            result.br = range.lo;
+          }  // shunt passing at range.lo: never fails, br stays nullopt
+          return finish();
+        }
+        hi = lo;
+        lo = std::max(range.lo, lo / widen);
+        widen *= widen;
+        if (fails_at(lo) != series) break;
+      }
+    } else if (fails_at(hi) != series) {
+      // The boundary lies above the hint bracket: walk up.
+      while (true) {
+        if (hi >= range.hi * (1.0 - 1e-12)) {
+          if (!series) {  // shunt fails all the way up to range.hi
+            result.fails_everywhere = true;
+            result.br = range.hi;
+          }  // series passing at range.hi: never fails, br stays nullopt
+          return finish();
+        }
+        lo = hi;
+        hi = std::min(range.hi, hi * widen);
+        widen *= widen;
+        if (fails_at(hi) == series) break;
+      }
+    }
+    result.br = numeric::bisect_predicate_log(
+        [&](double r) { return fails_at(r); }, lo, hi, {.x_tol = opt.log_tol});
+    return finish();
+  }
 
   // Coarse scan, then refine the transition adjacent to the faulty side.
   const auto grid = numeric::logspace(range.lo, range.hi, opt.scan_points);
@@ -55,7 +122,7 @@ BorderResult find_border_resistance(dram::DramColumn& column,
   }
   if (!edge.has_value()) {
     result.br = std::nullopt;
-    return result;  // never fails
+    return finish();  // never fails
   }
 
   const size_t e = *edge;
@@ -65,14 +132,14 @@ BorderResult find_border_resistance(dram::DramColumn& column,
   if (whole_range_faulty) {
     result.fails_everywhere = true;
     result.br = result.fault_at_high_r ? range.lo : range.hi;
-    return result;
+    return finish();
   }
 
   const double lo = result.fault_at_high_r ? grid[e - 1] : grid[e];
   const double hi = result.fault_at_high_r ? grid[e] : grid[e + 1];
   result.br = numeric::bisect_predicate_log(
       [&](double r) { return fails_at(r); }, lo, hi, {.x_tol = opt.log_tol});
-  return result;
+  return finish();
 }
 
 BorderResult analyze_defect(dram::DramColumn& column, const defect::Defect& d,
@@ -126,8 +193,11 @@ BorderResult analyze_defect(dram::DramColumn& column, const defect::Defect& d,
         !condition_valid_on_healthy(sim, d.side, *refined))
       refined.reset();
     if (!refined.has_value() || refined->str() == result.condition.str()) break;
+    // The refined condition's BR lands near the current one: warm-start.
+    BorderOptions refine_opt = opt;
+    refine_opt.bracket_hint = result.br;
     const BorderResult again =
-        find_border_resistance(column, d, sim, *refined, range, opt);
+        find_border_resistance(column, d, sim, *refined, range, refine_opt);
     if (!again.br.has_value()) break;
     util::log_debug(util::format("analyze_defect(%s): refined '%s' -> '%s', "
                                  "BR %s -> %s",

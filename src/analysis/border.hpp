@@ -28,6 +28,14 @@ struct BorderOptions {
   /// notes the detection condition itself depends on where BR lands
   /// (Fig. 6: the stressed SC needs more charging writes).
   int refine_iterations = 2;
+  /// Warm start: a BR expected near the answer (the previous stress
+  /// point's result -- BR moves little between adjacent stress values).
+  /// The search then brackets the hint one coarse-grid step wide and
+  /// expands geometrically instead of scanning the whole range, falling
+  /// back to the full-range endpoints for the never-fails /
+  /// fails-everywhere verdicts.  Affects probe count, not the verdict,
+  /// for the monotone fail(R) predicates the detection conditions produce.
+  std::optional<double> bracket_hint;
 };
 
 struct BorderResult {

@@ -1,6 +1,10 @@
 #include "analysis/result_plane.hpp"
 
+#include <algorithm>
+#include <memory>
+
 #include "defect/sweep_context.hpp"
+#include "dram/ensemble_column.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "util/error.hpp"
@@ -32,6 +36,125 @@ Operation op_of(OpKind kind) {
     case OpKind::Del: break;
   }
   throw ModelError("result plane: op must be w0, w1 or r");
+}
+
+/// Worker state of the batched (ensemble) sweep: `batch` column clones
+/// bound as ensemble lanes, plus the Vsa gallop seed this worker carries
+/// from batch to batch (R-sweep continuation: adjacent grid points have
+/// nearby thresholds, so the seed cuts the probe count; it cannot change
+/// the extracted values -- see analysis/vsa.hpp).
+struct BatchState {
+  std::vector<defect::SweepContext> ctxs;
+  std::unique_ptr<dram::EnsembleColumnSim> ens;
+  VsaSeed seed;
+};
+
+void sweep_points_batched(ResultPlane& plane, const defect::Defect& d,
+                          const dram::TechnologyParams& tech,
+                          const dram::OperatingConditions& cond,
+                          const dram::SimSettings& settings, OpKind op,
+                          const PlaneOptions& opt, size_t batch) {
+  const double vdd = cond.vdd;
+  const size_t n_points = plane.r_values.size();
+  const int n_ops = opt.ops_per_point;
+  const double r_init = plane.r_values.front();
+  const size_t n_batches = (n_points + batch - 1) / batch;
+  util::parallel_for_state(
+      n_batches,
+      [&] {
+        BatchState bs;
+        bs.ctxs.reserve(batch);
+        for (size_t k = 0; k < batch; ++k)
+          bs.ctxs.emplace_back(tech, d, r_init, cond, settings);
+        std::vector<dram::ColumnSimulator*> sims;
+        sims.reserve(batch);
+        for (auto& c : bs.ctxs) sims.push_back(&c.sim());
+        bs.ens = std::make_unique<dram::EnsembleColumnSim>(std::move(sims));
+        return bs;
+      },
+      [&](BatchState& bs, size_t bi) {
+        OBS_SPAN("plane.batch");
+        const size_t begin = bi * batch;
+        const size_t end = std::min(begin + batch, n_points);
+        const size_t lanes_used = end - begin;
+        obs::count("plane.points", static_cast<long>(lanes_used));
+        std::vector<char> act(batch, 0);
+        for (size_t k = 0; k < lanes_used; ++k) {
+          act[k] = 1;
+          bs.ctxs[k].injection().set_value(plane.r_values[begin + k]);
+        }
+
+        // Vsa per lane: serve cache hits, batch-extract the misses.
+        std::vector<VsaResult> vsa(batch);
+        std::vector<char> miss = act;
+        bool any_miss = false;
+        for (size_t k = 0; k < lanes_used; ++k) {
+          if (opt.vsa_cache != nullptr) {
+            const auto hit = opt.vsa_cache->lookup(
+                bs.ctxs[k].sim(), d, plane.r_values[begin + k], opt.vsa);
+            if (hit.has_value()) {
+              vsa[k] = *hit;
+              miss[k] = 0;
+              continue;
+            }
+          }
+          any_miss = true;
+        }
+        if (any_miss) {
+          const std::vector<VsaResult> extracted =
+              extract_vsa_batch(*bs.ens, d.side, opt.vsa, miss, &bs.seed);
+          for (size_t k = 0; k < lanes_used; ++k) {
+            if (miss[k] == 0) continue;
+            vsa[k] = extracted[k];
+            if (opt.vsa_cache != nullptr)
+              opt.vsa_cache->insert(bs.ctxs[k].sim(), d,
+                                    plane.r_values[begin + k], opt.vsa,
+                                    extracted[k]);
+          }
+        }
+        for (size_t k = 0; k < lanes_used; ++k) {
+          plane.vsa_raw[begin + k] = vsa[k];
+          plane.vsa[begin + k] = vsa[k].threshold;
+        }
+
+        // Probe runs never record a trace and stop after the last sample;
+        // the per-op cell voltages are all the plane consumes.
+        if (op == OpKind::R) {
+          const OpSequence reads(static_cast<size_t>(n_ops), Operation::r());
+          std::vector<double> below(batch, 0.0);
+          std::vector<double> above(batch, 0.0);
+          for (size_t k = 0; k < lanes_used; ++k) {
+            below[k] =
+                std::max(0.0, vsa[k].threshold - opt.read_probe_offset);
+            above[k] =
+                std::min(vdd, vsa[k].threshold + opt.read_probe_offset);
+          }
+          const auto rb = bs.ens->run_batch(reads, d.side, below, act,
+                                            /*early_stop=*/true);
+          const auto ra = bs.ens->run_batch(reads, d.side, above, act,
+                                            /*early_stop=*/true);
+          for (size_t k = 0; k < lanes_used; ++k) {
+            for (int j = 0; j < n_ops; ++j) {
+              plane.curves[static_cast<size_t>(2 * j)].vc[begin + k] =
+                  rb[k].ops[static_cast<size_t>(j)].vc;
+              plane.curves[static_cast<size_t>(2 * j + 1)].vc[begin + k] =
+                  ra[k].ops[static_cast<size_t>(j)].vc;
+            }
+          }
+        } else {
+          const int target = op == OpKind::W0 ? 0 : 1;
+          const double init = dram::physical_level(d.side, 1 - target, vdd);
+          const OpSequence writes(static_cast<size_t>(n_ops), op_of(op));
+          const std::vector<double> inits(batch, init);
+          const auto rr = bs.ens->run_batch(writes, d.side, inits, act,
+                                            /*early_stop=*/true);
+          for (size_t k = 0; k < lanes_used; ++k)
+            for (int j = 0; j < n_ops; ++j)
+              plane.curves[static_cast<size_t>(j)].vc[begin + k] =
+                  rr[k].ops[static_cast<size_t>(j)].vc;
+        }
+      },
+      {.threads = opt.threads});
 }
 
 }  // namespace
@@ -71,6 +194,12 @@ ResultPlane generate_plane(dram::DramColumn& column, const defect::Defect& d,
   const dram::OperatingConditions cond = sim.conditions();
   const dram::SimSettings settings = sim.settings();
   const double r_init = plane.r_values.front();
+  const int batch = util::resolve_batch(opt.batch);
+  if (batch >= 1) {
+    sweep_points_batched(plane, d, tech, cond, settings, op, opt,
+                         static_cast<size_t>(batch));
+    return plane;
+  }
   util::parallel_for_state(
       n_points,
       [&] { return defect::SweepContext(tech, d, r_init, cond, settings); },

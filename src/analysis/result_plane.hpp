@@ -34,6 +34,13 @@ struct PlaneOptions {
   /// Worker threads for the R sweep; 0 = util::default_threads().  Results
   /// are bit-identical for every thread count.
   int threads = 0;
+  /// Ensemble batch: lanes simulated together per worker.  0 consults
+  /// util::resolve_batch (the --batch flag / DRAMSTRESS_BATCH variable,
+  /// default scalar engine).  Any batch size >= 1 uses the batched engine
+  /// and produces bit-identical results for every batch size and thread
+  /// count; batched results may differ from the scalar engine's within the
+  /// documented solver tolerances (docs/ENGINE.md).
+  int batch = 0;
   /// Optional Vsa(R) memoization shared across planes of the same defect
   /// and corner (generate_plane_set supplies one automatically).
   VsaCache* vsa_cache = nullptr;

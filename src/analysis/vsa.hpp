@@ -4,9 +4,21 @@
 // which it returns 0, for the current defect value and stress condition.
 // The paper brackets it with +-0.2 V probe reads; we extract it to a
 // configurable tolerance by bisection on the read outcome.
+//
+// The batched variant extracts N lanes at once on a fixed dyadic voltage
+// grid: every probe round is one ensemble read, and a per-worker seed
+// (the previous extraction's threshold) lets lanes gallop to the flip
+// pair in a handful of probes instead of a full-range bisection.  The
+// grid pins the result to the flip pair itself, so the extracted value
+// does not depend on the seed or the search path as long as the read
+// outcome is monotone in the initial cell voltage (which the sense
+// operation is); a seed only changes how many probes the search takes.
 #pragma once
 
+#include <vector>
+
 #include "dram/column_sim.hpp"
+#include "dram/ensemble_column.hpp"
 
 namespace dramstress::analysis {
 
@@ -33,5 +45,24 @@ struct VsaOptions {
 /// cell on `side` (with whatever defect is currently injected).
 VsaResult extract_vsa(const dram::ColumnSimulator& sim, dram::Side side,
                       const VsaOptions& opt = {});
+
+/// Carried between batched extractions by one worker: the previous
+/// threshold seeds the next gallop.  Affects probe count only, never the
+/// extracted values (see the file comment).
+struct VsaSeed {
+  bool valid = false;
+  double threshold = 0.0;
+  int at_zero = 0;  // read bit of a 0 V cell at the seeding point
+};
+
+/// Batched Vsa extraction over the ensemble's lanes (inactive lanes get a
+/// default result).  Every probe round is one batched read; lanes retire
+/// as their flip pair is bracketed.  `seed`, if non-null, is consumed to
+/// warm-start the search and updated with the last active lane's result.
+std::vector<VsaResult> extract_vsa_batch(dram::EnsembleColumnSim& sim,
+                                         dram::Side side,
+                                         const VsaOptions& opt = {},
+                                         const std::vector<char>& active = {},
+                                         VsaSeed* seed = nullptr);
 
 }  // namespace dramstress::analysis

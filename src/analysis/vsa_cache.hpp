@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <map>
 #include <mutex>
+#include <optional>
 
 #include "analysis/vsa.hpp"
 #include "defect/defect.hpp"
@@ -43,6 +44,19 @@ public:
   VsaResult get_or_extract(const dram::ColumnSimulator& sim,
                            const defect::Defect& d, double r,
                            const VsaOptions& opt = {});
+
+  /// Cache probe without extraction, for callers that batch their misses
+  /// (the ensemble plane sweep).  Returns nullopt on a miss or when the
+  /// key has a non-finite component (bypass).
+  std::optional<VsaResult> lookup(const dram::ColumnSimulator& sim,
+                                  const defect::Defect& d, double r,
+                                  const VsaOptions& opt = {});
+
+  /// Store an externally extracted result under the same key lookup uses.
+  /// Counted as a miss; non-finite keys/thresholds are skipped, as in
+  /// get_or_extract.
+  void insert(const dram::ColumnSimulator& sim, const defect::Defect& d,
+              double r, const VsaOptions& opt, const VsaResult& result);
 
   size_t hits() const;
   size_t misses() const;

@@ -47,20 +47,47 @@ struct StampContext {
 
 /// Accumulates Jacobian and residual entries, mapping node ids / branch
 /// indices to unknown indices and silently dropping ground rows/columns.
-/// The Jacobian target is either a dense matrix or a SparseMatrix; a
-/// not-yet-finalized sparse target records the structural pattern instead
-/// of values, which is how MnaSystem builds its stamp-slot map once at
-/// construction.
+/// Four targets share the one interface devices stamp through:
+///   * dense matrix / sparse CSR matrix (a not-yet-finalized sparse target
+///     records the structural pattern instead of values, which is how
+///     MnaSystem builds its stamp-slot map once at construction);
+///   * record: append each Jacobian entry's CSR slot to a program instead
+///     of writing a value -- the stamp sequence of a device is fixed per
+///     analysis mode, so the program replays for every later assembly;
+///   * replay: consume the recorded program, accumulating into lane-major
+///     ensemble storage (base pointer + stride) with no slot search.
 class Stamper {
 public:
   Stamper(numeric::Matrix& jac, numeric::Vector& res, int num_nodes)
-      : dense_(&jac), res_(res), num_nodes_(num_nodes) {}
+      : dense_(&jac), res_(res.data()), num_nodes_(num_nodes) {}
   Stamper(numeric::SparseMatrix& jac, numeric::Vector& res, int num_nodes)
-      : sparse_(&jac), res_(res), num_nodes_(num_nodes) {}
+      : sparse_(&jac), res_(res.data()), num_nodes_(num_nodes) {}
+  /// Record mode: jac entries append pattern.slot(r, c) to `program`;
+  /// residual writes land in `res_scratch` (values are meaningless here).
+  Stamper(const numeric::SparseMatrix& pattern,
+          std::vector<unsigned>& program, numeric::Vector& res_scratch,
+          int num_nodes)
+      : record_pat_(&pattern),
+        record_prog_(&program),
+        res_(res_scratch.data()),
+        num_nodes_(num_nodes) {}
+  /// Replay mode: the k-th jac call of the stamp sequence accumulates into
+  /// jac_base[program[k] * stride]; residual row r into res_base[r * stride].
+  /// Caller folds the lane offset into the base pointers.  A null jac_base
+  /// replays the residual only (the program cursor still advances so the
+  /// device sequence stays aligned) -- chord iterations reuse the previous
+  /// factorization and never read the Jacobian.
+  Stamper(const unsigned* program, double* jac_base, double* res_base,
+          size_t stride, int num_nodes)
+      : replay_prog_(program),
+        replay_jac_(jac_base),
+        replay_res_(res_base),
+        stride_(stride),
+        num_nodes_(num_nodes) {}
 
   // --- node-row stamps (KCL residuals) ---
   void res_node(NodeId n, double current_leaving) {
-    if (n != kGround) res_[idx(n)] += current_leaving;
+    if (n != kGround) res(idx(n), current_leaving);
   }
   void jac_node_node(NodeId r, NodeId c, double g) {
     if (r != kGround && c != kGround) jac(idx(r), idx(c), g);
@@ -70,7 +97,7 @@ public:
   }
 
   // --- branch-row stamps (constitutive residuals) ---
-  void res_branch(int b, double residual) { res_[bidx(b)] += residual; }
+  void res_branch(int b, double residual) { res(bidx(b), residual); }
   void jac_branch_node(int b, NodeId c, double g) {
     if (c != kGround) jac(bidx(b), idx(c), g);
   }
@@ -80,16 +107,34 @@ public:
 
 private:
   void jac(size_t r, size_t c, double g) {
-    if (sparse_ != nullptr)
+    if (replay_prog_ != nullptr) {
+      const size_t slot = replay_prog_[pc_++];
+      if (replay_jac_ != nullptr) replay_jac_[slot * stride_] += g;
+    } else if (sparse_ != nullptr)
       sparse_->add(r, c, g);
+    else if (record_prog_ != nullptr)
+      record_prog_->push_back(static_cast<unsigned>(record_pat_->slot(r, c)));
     else
       (*dense_)(r, c) += g;
+  }
+  void res(size_t r, double v) {
+    if (replay_res_ != nullptr)
+      replay_res_[r * stride_] += v;
+    else
+      res_[r] += v;
   }
   size_t idx(NodeId n) const { return static_cast<size_t>(n - 1); }
   size_t bidx(int b) const { return static_cast<size_t>(num_nodes_ + b); }
   numeric::Matrix* dense_ = nullptr;
   numeric::SparseMatrix* sparse_ = nullptr;
-  numeric::Vector& res_;
+  const numeric::SparseMatrix* record_pat_ = nullptr;
+  std::vector<unsigned>* record_prog_ = nullptr;
+  const unsigned* replay_prog_ = nullptr;
+  double* replay_jac_ = nullptr;
+  double* replay_res_ = nullptr;
+  size_t stride_ = 1;
+  size_t pc_ = 0;
+  double* res_ = nullptr;
   int num_nodes_;
 };
 

@@ -16,55 +16,11 @@ void Resistor::set_resistance(double ohms) {
   ohms_ = ohms;
 }
 
-void Resistor::stamp(const StampContext& ctx, Stamper& s) const {
-  const double g = 1.0 / ohms_;
-  const double i = g * (ctx.v(a_) - ctx.v(b_));
-  s.res_node(a_, i);
-  s.res_node(b_, -i);
-  s.jac_node_node(a_, a_, g);
-  s.jac_node_node(a_, b_, -g);
-  s.jac_node_node(b_, a_, -g);
-  s.jac_node_node(b_, b_, g);
-}
-
 // --------------------------------------------------------------- Capacitor
 
 Capacitor::Capacitor(std::string name, NodeId a, NodeId b, double farads)
     : Device(std::move(name)), a_(a), b_(b), farads_(farads) {
   require(farads > 0.0, "Capacitor: capacitance must be positive: " + this->name());
-}
-
-double Capacitor::current(const StampContext& ctx, double* dI_dv) const {
-  const double v = ctx.v(a_) - ctx.v(b_);
-  switch (ctx.mode) {
-    case AnalysisMode::DcOp:
-      if (dI_dv != nullptr) *dI_dv = 0.0;
-      return 0.0;
-    case AnalysisMode::TransientBe: {
-      const double g = farads_ / ctx.dt;
-      if (dI_dv != nullptr) *dI_dv = g;
-      return g * (v - v_state_);
-    }
-    case AnalysisMode::TransientTrap: {
-      const double g = 2.0 * farads_ / ctx.dt;
-      if (dI_dv != nullptr) *dI_dv = g;
-      return g * (v - v_state_) - i_state_;
-    }
-  }
-  return 0.0;
-}
-
-void Capacitor::stamp(const StampContext& ctx, Stamper& s) const {
-  double g = 0.0;
-  const double i = current(ctx, &g);
-  s.res_node(a_, i);
-  s.res_node(b_, -i);
-  if (g != 0.0) {
-    s.jac_node_node(a_, a_, g);
-    s.jac_node_node(a_, b_, -g);
-    s.jac_node_node(b_, a_, -g);
-    s.jac_node_node(b_, b_, g);
-  }
 }
 
 void Capacitor::init_state(const StampContext& ctx) {

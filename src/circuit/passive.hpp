@@ -12,7 +12,18 @@ class Resistor : public Device {
 public:
   Resistor(std::string name, NodeId a, NodeId b, double ohms);
 
-  void stamp(const StampContext& ctx, Stamper& s) const override;
+  // Defined inline: the ensemble engine's assembly loop calls it
+  // non-virtually (qualified call) so the stamp folds into the loop.
+  void stamp(const StampContext& ctx, Stamper& s) const override {
+    const double g = 1.0 / ohms_;
+    const double i = g * (ctx.v(a_) - ctx.v(b_));
+    s.res_node(a_, i);
+    s.res_node(b_, -i);
+    s.jac_node_node(a_, a_, g);
+    s.jac_node_node(a_, b_, -g);
+    s.jac_node_node(b_, a_, -g);
+    s.jac_node_node(b_, b_, g);
+  }
   DeviceKind kind() const override { return DeviceKind::Resistor; }
   std::vector<NodeId> terminals() const override { return {a_, b_}; }
 
@@ -34,7 +45,19 @@ class Capacitor : public Device {
 public:
   Capacitor(std::string name, NodeId a, NodeId b, double farads);
 
-  void stamp(const StampContext& ctx, Stamper& s) const override;
+  // Inline for the same reason as Resistor::stamp.
+  void stamp(const StampContext& ctx, Stamper& s) const override {
+    double g = 0.0;
+    const double i = current(ctx, &g);
+    s.res_node(a_, i);
+    s.res_node(b_, -i);
+    if (g != 0.0) {
+      s.jac_node_node(a_, a_, g);
+      s.jac_node_node(a_, b_, -g);
+      s.jac_node_node(b_, a_, -g);
+      s.jac_node_node(b_, b_, g);
+    }
+  }
   void init_state(const StampContext& ctx) override;
   void commit_step(const StampContext& ctx) override;
   DeviceKind kind() const override { return DeviceKind::Capacitor; }
@@ -46,7 +69,25 @@ public:
 
 private:
   /// Device current (a -> b) implied by the companion model at the iterate.
-  double current(const StampContext& ctx, double* dI_dv = nullptr) const;
+  double current(const StampContext& ctx, double* dI_dv = nullptr) const {
+    const double v = ctx.v(a_) - ctx.v(b_);
+    switch (ctx.mode) {
+      case AnalysisMode::DcOp:
+        if (dI_dv != nullptr) *dI_dv = 0.0;
+        return 0.0;
+      case AnalysisMode::TransientBe: {
+        const double g = farads_ / ctx.dt;
+        if (dI_dv != nullptr) *dI_dv = g;
+        return g * (v - v_state_);
+      }
+      case AnalysisMode::TransientTrap: {
+        const double g = 2.0 * farads_ / ctx.dt;
+        if (dI_dv != nullptr) *dI_dv = g;
+        return g * (v - v_state_) - i_state_;
+      }
+    }
+    return 0.0;
+  }
 
   NodeId a_;
   NodeId b_;

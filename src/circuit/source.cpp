@@ -6,18 +6,4 @@ VoltageSource::VoltageSource(std::string name, NodeId plus, NodeId minus,
                              Waveform volts)
     : Device(std::move(name)), plus_(plus), minus_(minus), volts_(std::move(volts)) {}
 
-void VoltageSource::stamp(const StampContext& ctx, Stamper& s) const {
-  const int b = branch_base();
-  const double i = ctx.branch(b);
-  // KCL: branch current leaves the plus node, enters the minus node.
-  s.res_node(plus_, i);
-  s.res_node(minus_, -i);
-  s.jac_node_branch(plus_, b, 1.0);
-  s.jac_node_branch(minus_, b, -1.0);
-  // Constitutive: v(plus) - v(minus) - V(t) = 0.
-  s.res_branch(b, ctx.v(plus_) - ctx.v(minus_) - volts_.value(ctx.time));
-  s.jac_branch_node(b, plus_, 1.0);
-  s.jac_branch_node(b, minus_, -1.0);
-}
-
 }  // namespace dramstress::circuit

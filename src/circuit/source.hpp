@@ -14,7 +14,21 @@ class VoltageSource : public Device {
 public:
   VoltageSource(std::string name, NodeId plus, NodeId minus, Waveform volts);
 
-  void stamp(const StampContext& ctx, Stamper& s) const override;
+  // Defined inline so the ensemble engine's assembly loop (a qualified,
+  // non-virtual call site) can fold the stamp into the loop.
+  void stamp(const StampContext& ctx, Stamper& s) const override {
+    const int b = branch_base();
+    const double i = ctx.branch(b);
+    // KCL: branch current leaves the plus node, enters the minus node.
+    s.res_node(plus_, i);
+    s.res_node(minus_, -i);
+    s.jac_node_branch(plus_, b, 1.0);
+    s.jac_node_branch(minus_, b, -1.0);
+    // Constitutive: v(plus) - v(minus) - V(t) = 0.
+    s.res_branch(b, ctx.v(plus_) - ctx.v(minus_) - volts_.value(ctx.time));
+    s.jac_branch_node(b, plus_, 1.0);
+    s.jac_branch_node(b, minus_, -1.0);
+  }
   int num_branches() const override { return 1; }
   void append_breakpoints(std::vector<double>& out) const override {
     volts_.append_breakpoints(out);

@@ -1,0 +1,347 @@
+#include "numeric/ensemble.hpp"
+
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace dramstress::numeric {
+
+namespace {
+
+/// Everything the elimination needs, as raw pointers: the recorded
+/// structure of the group's base solver plus per-lane value arrays.
+struct BatchArgs {
+  size_t n = 0;
+  const size_t* colpat_ptr = nullptr;
+  const size_t* colpat_row = nullptr;
+  const size_t* acol_ptr = nullptr;
+  const std::pair<size_t, size_t>* ascatter = nullptr;
+  const size_t* ucol_ptr = nullptr;
+  const size_t* urow = nullptr;
+  const size_t* lcol_ptr = nullptr;
+  const size_t* lrow = nullptr;
+  const double* const* av = nullptr;  // [lane] -> A values
+  double* const* lvp = nullptr;       // [lane] -> solver lval_
+  double* const* uvp = nullptr;       // [lane] -> solver uval_
+  double* const* dgp = nullptr;       // [lane] -> solver diag_
+  double* x = nullptr;                // n x W lane-major work
+  double* lvb = nullptr;              // L values, lane-major (hot reads)
+  double* dinv = nullptr;             // [lane]
+  double* colmax = nullptr;           // [lane] pivot-guard scratch
+  char* failed = nullptr;             // [lane]
+  double pivot_tol = 0.0;
+};
+
+/// One left-looking elimination pass over the shared structure with a
+/// lane-wide inner loop.  KW == 0 runs with the runtime width; a nonzero
+/// KW makes the lane loops constant-trip so the compiler unrolls and
+/// vectorizes them.  Per lane this performs exactly the operation
+/// sequence of SparseLuSolver::refactor (see the header for the one
+/// sign-of-zero caveat), so results are bit-identical to the scalar path.
+template <size_t KW>
+void eliminate(const BatchArgs& a, size_t runtime_w) {
+  const size_t W = KW == 0 ? runtime_w : KW;
+  for (size_t j = 0; j < a.n; ++j) {
+    for (size_t p = a.colpat_ptr[j]; p < a.colpat_ptr[j + 1]; ++p) {
+      double* xr = a.x + a.colpat_row[p] * W;
+      for (size_t g = 0; g < W; ++g) xr[g] = 0.0;
+    }
+    for (size_t p = a.acol_ptr[j]; p < a.acol_ptr[j + 1]; ++p) {
+      double* xr = a.x + a.ascatter[p].first * W;
+      const size_t slot = a.ascatter[p].second;
+      for (size_t g = 0; g < W; ++g) xr[g] += a.av[g][slot];
+    }
+
+    for (size_t t = a.ucol_ptr[j]; t < a.ucol_ptr[j + 1]; ++t) {
+      const size_t k = a.urow[t];
+      const double* xk = a.x + k * W;
+      bool any = false;
+      for (size_t g = 0; g < W; ++g) {
+        a.uvp[g][t] = xk[g];
+        any = any || xk[g] != 0.0;
+      }
+      if (!any) continue;
+      for (size_t s = a.lcol_ptr[k]; s < a.lcol_ptr[k + 1]; ++s) {
+        const double* lv = a.lvb + s * W;
+        double* xr = a.x + a.lrow[s] * W;
+        for (size_t g = 0; g < W; ++g) xr[g] -= lv[g] * xk[g];
+      }
+    }
+
+    // Per-lane pivot guard, identical to the scalar fallback condition
+    // (max is order-independent, so the row-outer scan decides the same).
+    // A tripped lane keeps running (its results are discarded by the
+    // caller); its scalar refactorization re-derives the trip and falls
+    // back to a fresh factor() for that lane alone.
+    const double* xj = a.x + j * W;
+    for (size_t g = 0; g < W; ++g) a.colmax[g] = std::fabs(xj[g]);
+    for (size_t s = a.lcol_ptr[j]; s < a.lcol_ptr[j + 1]; ++s) {
+      const double* xr = a.x + a.lrow[s] * W;
+      for (size_t g = 0; g < W; ++g)
+        a.colmax[g] = std::max(a.colmax[g], std::fabs(xr[g]));
+    }
+    for (size_t g = 0; g < W; ++g) {
+      if (std::fabs(xj[g]) < a.pivot_tol * std::max(a.colmax[g], 1.0))
+        a.failed[g] = 1;
+      a.dgp[g][j] = xj[g];
+      a.dinv[g] = 1.0 / xj[g];
+    }
+    for (size_t s = a.lcol_ptr[j]; s < a.lcol_ptr[j + 1]; ++s) {
+      double* lvs = a.lvb + s * W;
+      const double* xr = a.x + a.lrow[s] * W;
+      for (size_t g = 0; g < W; ++g) lvs[g] = xr[g] * a.dinv[g];
+      for (size_t g = 0; g < W; ++g) a.lvp[g][s] = lvs[g];
+    }
+  }
+}
+
+/// Substitution counterpart of `eliminate`: forward/back solves over the
+/// shared structure.  The per-lane `xk != 0` guards reproduce the scalar
+/// solve_into skip exactly, so every lane's value path is the scalar one.
+struct SolveArgs {
+  size_t n = 0;
+  const size_t* perm = nullptr;
+  const size_t* lcol_ptr = nullptr;
+  const size_t* lrow = nullptr;
+  const size_t* ucol_ptr = nullptr;
+  const size_t* urow = nullptr;
+  const double* const* lv = nullptr;  // [lane] -> lval_
+  const double* const* uv = nullptr;  // [lane] -> uval_
+  const double* const* dg = nullptr;  // [lane] -> diag_
+  const double* const* b = nullptr;   // [lane] -> rhs
+  double* const* out = nullptr;       // [lane] -> solution
+  double* x = nullptr;                // n x W lane-major work
+};
+
+template <size_t KW>
+void substitute(const SolveArgs& a, size_t runtime_w) {
+  const size_t W = KW == 0 ? runtime_w : KW;
+  for (size_t i = 0; i < a.n; ++i) {
+    double* xr = a.x + i * W;
+    const size_t pi = a.perm[i];
+    for (size_t g = 0; g < W; ++g) xr[g] = a.b[g][pi];
+  }
+  // Per column, classify the lanes once: if every lane's pivot value is
+  // nonzero (the common case) the unguarded loop performs exactly the
+  // guarded loop's operations, and the compiler can unroll it; if none
+  // is, skipping the column matches every guard failing.  Only the mixed
+  // case pays the per-element branch.
+  for (size_t k = 0; k < a.n; ++k) {
+    const double* xk = a.x + k * W;
+    size_t nz = 0;
+    for (size_t g = 0; g < W; ++g) nz += xk[g] != 0.0 ? 1 : 0;
+    if (nz == 0) continue;
+    if (nz == W) {
+      for (size_t s = a.lcol_ptr[k]; s < a.lcol_ptr[k + 1]; ++s) {
+        double* xr = a.x + a.lrow[s] * W;
+        for (size_t g = 0; g < W; ++g) xr[g] -= a.lv[g][s] * xk[g];
+      }
+    } else {
+      for (size_t s = a.lcol_ptr[k]; s < a.lcol_ptr[k + 1]; ++s) {
+        double* xr = a.x + a.lrow[s] * W;
+        for (size_t g = 0; g < W; ++g) {
+          if (xk[g] != 0.0) xr[g] -= a.lv[g][s] * xk[g];
+        }
+      }
+    }
+  }
+  for (size_t jj = a.n; jj-- > 0;) {
+    double* xj = a.x + jj * W;
+    for (size_t g = 0; g < W; ++g) xj[g] /= a.dg[g][jj];
+    size_t nz = 0;
+    for (size_t g = 0; g < W; ++g) nz += xj[g] != 0.0 ? 1 : 0;
+    if (nz == 0) continue;
+    if (nz == W) {
+      for (size_t t = a.ucol_ptr[jj]; t < a.ucol_ptr[jj + 1]; ++t) {
+        double* xr = a.x + a.urow[t] * W;
+        for (size_t g = 0; g < W; ++g) xr[g] -= a.uv[g][t] * xj[g];
+      }
+    } else {
+      for (size_t t = a.ucol_ptr[jj]; t < a.ucol_ptr[jj + 1]; ++t) {
+        double* xr = a.x + a.urow[t] * W;
+        for (size_t g = 0; g < W; ++g) {
+          if (xj[g] != 0.0) xr[g] -= a.uv[g][t] * xj[g];
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < a.n; ++i) {
+    const double* xr = a.x + i * W;
+    for (size_t g = 0; g < W; ++g) a.out[g][i] = xr[g];
+  }
+}
+
+}  // namespace
+
+int EnsembleLu::refactor_batch(SparseLuSolver* const* solvers,
+                               const SparseMatrix* const* mats, size_t count,
+                               char* done, double pivot_tol) {
+  for (size_t i = 0; i < count; ++i) done[i] = 0;
+
+  const SparseLuSolver* base = nullptr;
+  group_.clear();
+  for (size_t i = 0; i < count; ++i) {
+    const SparseLuSolver& s = *solvers[i];
+    if (!s.analyzed_ || mats[i]->size() != s.n_) continue;
+    if (base == nullptr) {
+      base = &s;
+      group_.push_back(i);
+    } else if (s.n_ == base->n_ && s.perm_ == base->perm_) {
+      group_.push_back(i);
+    }
+  }
+  if (group_.size() < 2) return 0;
+  const size_t W = group_.size();
+  const size_t n = base->n_;
+
+  // Equal pivot order over the shared pattern implies equal fill
+  // (analyze_pattern is a function of pattern and order); the size checks
+  // guard that invariant.
+  for (const size_t i : group_) {
+    require(solvers[i]->lrow_.size() == base->lrow_.size() &&
+                solvers[i]->urow_.size() == base->urow_.size(),
+            "EnsembleLu: equal pivot order but unequal fill");
+  }
+
+  x_.resize(n * W);
+  lvb_.resize(base->lrow_.size() * W);
+  av_.resize(W);
+  lvp_.resize(W);
+  uvp_.resize(W);
+  dgp_.resize(W);
+  dinv_.assign(W, 0.0);
+  colmax_.assign(W, 0.0);
+  failed_.assign(W, 0);
+  for (size_t g = 0; g < W; ++g) {
+    SparseLuSolver& s = *solvers[group_[g]];
+    av_[g] = mats[group_[g]]->values().data();
+    lvp_[g] = s.lval_.data();
+    uvp_[g] = s.uval_.data();
+    dgp_[g] = s.diag_.data();
+  }
+
+  BatchArgs a;
+  a.n = n;
+  a.colpat_ptr = base->colpat_ptr_.data();
+  a.colpat_row = base->colpat_row_.data();
+  a.acol_ptr = base->acol_ptr_.data();
+  a.ascatter = base->ascatter_.data();
+  a.ucol_ptr = base->ucol_ptr_.data();
+  a.urow = base->urow_.data();
+  a.lcol_ptr = base->lcol_ptr_.data();
+  a.lrow = base->lrow_.data();
+  a.av = av_.data();
+  a.lvp = lvp_.data();
+  a.uvp = uvp_.data();
+  a.dgp = dgp_.data();
+  a.x = x_.data();
+  a.lvb = lvb_.data();
+  a.dinv = dinv_.data();
+  a.colmax = colmax_.data();
+  a.failed = failed_.data();
+  a.pivot_tol = pivot_tol;
+
+  switch (W) {
+    case 2: eliminate<2>(a, W); break;
+    case 3: eliminate<3>(a, W); break;
+    case 4: eliminate<4>(a, W); break;
+    case 5: eliminate<5>(a, W); break;
+    case 6: eliminate<6>(a, W); break;
+    case 7: eliminate<7>(a, W); break;
+    case 8: eliminate<8>(a, W); break;
+    case 10: eliminate<10>(a, W); break;
+    case 12: eliminate<12>(a, W); break;
+    case 14: eliminate<14>(a, W); break;
+    case 16: eliminate<16>(a, W); break;
+    default: eliminate<0>(a, W); break;
+  }
+
+  int batched = 0;
+  for (size_t g = 0; g < W; ++g) {
+    if (failed_[g] != 0) continue;
+    done[group_[g]] = 1;
+    ++solvers[group_[g]]->refactor_count_;
+    ++batched;
+  }
+  if (batched > 0) {
+    obs::count("sparse.refactor", batched);
+    obs::count("ensemble.lu_batch");
+    obs::count("ensemble.lu_lanes", batched);
+  }
+  return batched;
+}
+
+int EnsembleLu::solve_batch(SparseLuSolver* const* solvers,
+                            const Vector* const* bs, Vector* const* xs,
+                            size_t count, char* done) {
+  for (size_t i = 0; i < count; ++i) done[i] = 0;
+
+  const SparseLuSolver* base = nullptr;
+  group_.clear();
+  for (size_t i = 0; i < count; ++i) {
+    const SparseLuSolver& s = *solvers[i];
+    if (!s.analyzed_ || bs[i]->size() != s.n_ || xs[i]->size() != s.n_)
+      continue;
+    if (base == nullptr) {
+      base = &s;
+      group_.push_back(i);
+    } else if (s.n_ == base->n_ && s.perm_ == base->perm_) {
+      group_.push_back(i);
+    }
+  }
+  if (group_.size() < 2) return 0;
+  const size_t W = group_.size();
+  const size_t n = base->n_;
+
+  x_.resize(n * W);
+  lvp_.resize(W);
+  uvp_.resize(W);
+  dgp_.resize(W);
+  bp_.resize(W);
+  xp_.resize(W);
+  for (size_t g = 0; g < W; ++g) {
+    SparseLuSolver& s = *solvers[group_[g]];
+    lvp_[g] = s.lval_.data();
+    uvp_[g] = s.uval_.data();
+    dgp_[g] = s.diag_.data();
+    bp_[g] = bs[group_[g]]->data();
+    xp_[g] = xs[group_[g]]->data();
+  }
+
+  SolveArgs a;
+  a.n = n;
+  a.perm = base->perm_.data();
+  a.lcol_ptr = base->lcol_ptr_.data();
+  a.lrow = base->lrow_.data();
+  a.ucol_ptr = base->ucol_ptr_.data();
+  a.urow = base->urow_.data();
+  a.lv = lvp_.data();
+  a.uv = uvp_.data();
+  a.dg = dgp_.data();
+  a.b = bp_.data();
+  a.out = xp_.data();
+  a.x = x_.data();
+
+  switch (W) {
+    case 2: substitute<2>(a, W); break;
+    case 3: substitute<3>(a, W); break;
+    case 4: substitute<4>(a, W); break;
+    case 5: substitute<5>(a, W); break;
+    case 6: substitute<6>(a, W); break;
+    case 7: substitute<7>(a, W); break;
+    case 8: substitute<8>(a, W); break;
+    case 10: substitute<10>(a, W); break;
+    case 12: substitute<12>(a, W); break;
+    case 14: substitute<14>(a, W); break;
+    case 16: substitute<16>(a, W); break;
+    default: substitute<0>(a, W); break;
+  }
+
+  for (size_t g = 0; g < W; ++g) done[group_[g]] = 1;
+  obs::count("ensemble.solve_batch");
+  obs::count("ensemble.solve_lanes", static_cast<long>(W));
+  return static_cast<int>(W);
+}
+
+}  // namespace dramstress::numeric

@@ -1,0 +1,71 @@
+// Lane-batched numeric refactorization for the ensemble engine.
+//
+// An ensemble solves N parameter variants ("lanes") of one circuit whose
+// sparsity pattern is shared, and every lane (re)factors its Jacobian at
+// the first iteration of every lockstep Newton solve.  When lanes also
+// share a recorded pivot order -- the common case, since their matrices
+// differ only in a few element values -- the left-looking elimination
+// walks identical structure arrays for every lane.  EnsembleLu runs that
+// elimination once with a lane-wide inner loop over lane-major values
+// (entry s of lane l lives at data[s * W + l]): the column/row index
+// traffic that dominates a scalar refactorization of these small MNA
+// systems is paid once per batch instead of once per lane.
+//
+// Determinism: each lane's value path performs exactly the operations of
+// SparseLuSolver::refactor in exactly the same order -- the lane loop only
+// interleaves independent lanes -- so a batched refactorization is
+// bit-identical to the scalar one, and batch-size-1 results equal
+// batch-size-N results.  (The lone semantic difference: the scalar code
+// skips a column update when its multiplier is zero.  The batched kernel
+// skips only when the multiplier is zero in every lane; a lane-wise
+// fused-in zero update can flip the sign of a zero, which compares equal
+// and cannot steer any downstream branch.)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/sparse.hpp"
+
+namespace dramstress::numeric {
+
+class EnsembleLu {
+public:
+  /// Numeric-only batched refactorization.  solvers[i] is refactored from
+  /// mats[i] for every i in the largest group that shares the first
+  /// analyzed solver's size and recorded pivot order; done[i] is set to 1
+  /// for each solver the batch completed.  Solvers outside the group, a
+  /// group of fewer than two lanes, and lanes whose pivot degrades past
+  /// pivot_tol (the scalar fallback-to-factor condition) are left
+  /// untouched with done[i] == 0 -- the caller runs their scalar path,
+  /// which reproduces the fallback behaviour exactly.  Returns the number
+  /// of solvers refactored in the batch.
+  int refactor_batch(SparseLuSolver* const* solvers,
+                     const SparseMatrix* const* mats, size_t count,
+                     char* done, double pivot_tol = 1e-13);
+
+  /// Lane-batched triangular solves: xs[i] = solvers[i]^-1 bs[i] for every
+  /// i in the largest group sharing the first analyzed solver's size and
+  /// pivot order, walking the substitution structure once.  Unlike the
+  /// refactorization, each lane keeps the scalar path's per-lane zero
+  /// skips, so the solutions are bit-identical to solve_into -- no
+  /// sign-of-zero caveat on values that reach the outside world.  done[i]
+  /// is set to 1 for lanes solved here; the caller runs solve_into for the
+  /// rest.  Returns the number of lanes solved.
+  int solve_batch(SparseLuSolver* const* solvers, const Vector* const* bs,
+                  Vector* const* xs, size_t count, char* done);
+
+private:
+  std::vector<double> x_;    // n x W lane-major elimination work
+  std::vector<double> lvb_;  // L values, lane-major (hot update reads)
+  std::vector<size_t> group_;
+  std::vector<const double*> av_;  // per-lane A values
+  std::vector<double*> lvp_, uvp_, dgp_;  // per-lane result arrays
+  std::vector<const double*> bp_;         // per-lane right-hand sides
+  std::vector<double*> xp_;               // per-lane solution vectors
+  std::vector<double> dinv_;
+  std::vector<double> colmax_;  // per-lane pivot-guard scratch
+  std::vector<char> failed_;
+};
+
+}  // namespace dramstress::numeric

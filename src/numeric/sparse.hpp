@@ -56,10 +56,16 @@ public:
   const std::vector<size_t>& col_idx() const { return col_idx_; }
   const std::vector<double>& values() const { return values_; }
 
-private:
-  /// Slot of (r, c) in values_, or npos.
+  /// Slot of (r, c) in values(), or SIZE_MAX for non-structural positions.
+  /// Exposed so the ensemble engine can compile stamp sequences into flat
+  /// slot programs once instead of binary-searching on every assembly.
   size_t slot(size_t r, size_t c) const;
 
+  /// Mutable value storage (finalized matrices only): the ensemble engine
+  /// scatters lane values straight into the CSR slots it compiled.
+  double* values_data() { return values_.data(); }
+
+private:
   size_t n_ = 0;
   bool finalized_ = false;
   std::vector<std::vector<size_t>> row_entries_;  // capture phase only
@@ -82,6 +88,11 @@ private:
 ///                an order of magnitude cheaper than the dense sweep.
 class SparseLuSolver {
 public:
+  /// The ensemble engine's lane-batched refactorization (EnsembleLu) runs
+  /// the recorded elimination for several solvers in one structure walk;
+  /// it needs the recorded structure and the value arrays.
+  friend class EnsembleLu;
+
   /// Full factorization: pivot order + fill pattern + numeric values.
   void factor(const SparseMatrix& a, double pivot_tol = 1e-13);
 

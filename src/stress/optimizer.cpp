@@ -58,16 +58,22 @@ namespace {
 
 /// BR (failing decades) of the nominal condition evaluated at corner `sc`.
 /// A corner where the condition is not a valid test (it would fail healthy
-/// devices) scores zero.
+/// devices) scores zero.  `hint` carries the BR of the previously evaluated
+/// corner in and the BR found here out: adjacent stress values move the
+/// border little, so each search warm-starts from its neighbour's answer.
 double failing_decades_at(dram::DramColumn& column, const defect::Defect& d,
                           const StressCondition& sc,
                           const DetectionCondition& cond,
-                          const OptimizerOptions& opt) {
+                          const OptimizerOptions& opt,
+                          std::optional<double>* hint = nullptr) {
   dram::ColumnSimulator sim(column, sc, opt.settings);
   if (!analysis::condition_valid_on_healthy(sim, d.side, cond)) return 0.0;
   const auto range = defect::default_sweep_range(d.kind);
-  const BorderResult br = analysis::find_border_resistance(
-      column, d, sim, cond, range, opt.border);
+  analysis::BorderOptions bopt = opt.border;
+  if (hint != nullptr) bopt.bracket_hint = *hint;
+  const BorderResult br =
+      analysis::find_border_resistance(column, d, sim, cond, range, bopt);
+  if (hint != nullptr && br.br.has_value()) *hint = br.br;
   return br.failing_decades(range);
 }
 
@@ -122,10 +128,14 @@ OptimizationResult optimize_stresses(dram::DramColumn& column,
       indices.push_back(p.nominal_index);
       double best_value = p.candidates[p.nominal_index].value;
       double best_score = -1.0;
+      // Seed the first corner's search from the nominal-corner BR; each
+      // later corner warm-starts from the previous one's result.
+      std::optional<double> hint = result.nominal_border.br;
       for (size_t idx : indices) {
         StressCondition sc = stressed;
         set_axis(sc, axis, p.candidates[idx].value);
-        const double score = failing_decades_at(column, d, sc, cond, opt);
+        const double score =
+            failing_decades_at(column, d, sc, cond, opt, &hint);
         util::log_debug(util::format(
             "BR-compare %s %s=%.4g: failing decades %.3f", d.name().c_str(),
             to_string(axis), p.candidates[idx].value, score));
@@ -183,10 +193,13 @@ OptimizationResult optimize_stresses(dram::DramColumn& column,
     if (!result.stressed_border.br.has_value() &&
         analysis::condition_valid_on_healthy(sim, d.side, cond)) {
       // The stressed corner should never *lose* the fault; if the candidate
-      // derivation missed it, fall back to the nominal condition's test.
+      // derivation missed it, fall back to the nominal condition's test,
+      // warm-started from where the nominal corner put the border.
       const auto range = defect::default_sweep_range(d.kind);
+      analysis::BorderOptions bopt = opt.border;
+      bopt.bracket_hint = result.nominal_border.br;
       result.stressed_border = analysis::find_border_resistance(
-          column, d, sim, cond, range, opt.border);
+          column, d, sim, cond, range, bopt);
     }
   }
   return result;

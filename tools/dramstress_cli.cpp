@@ -14,6 +14,10 @@
 // --threads N caps the sweep worker pool (default: DRAMSTRESS_THREADS or
 // all hardware threads); results are identical for every thread count.
 //
+// --batch N routes plane sweeps through the batched ensemble engine with N
+// lanes per solve (default: DRAMSTRESS_BATCH, else the scalar engine);
+// results are identical for every batch size >= 1.
+//
 // --adaptive / --no-adaptive selects LTE-controlled vs fixed time stepping
 // (default: adaptive); --lte-tol X sets the relative LTE tolerance of the
 // adaptive engine (default 5e-4; tighter tracks the fixed-step reference
@@ -57,7 +61,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: dramstress "
                "<analyze|optimize|report|table1|ffm|planes|check-manifest>\n"
-               "                  [defect] [side] [R|file] [--threads N]\n"
+               "                  [defect] [side] [R|file] [--threads N] "
+               "[--batch N]\n"
                "                  [--adaptive|--no-adaptive] [--lte-tol X] "
                "[--verify[=strict]]\n"
                "                  [--metrics FILE] [--trace FILE] "
@@ -93,9 +98,10 @@ struct EngineFlags {
   }
 };
 
-/// Strip --threads[=| ]N, --adaptive/--no-adaptive and --lte-tol[=| ]X from
-/// argv, applying them to the sweep pool / `flags`.  Returns the remaining
-/// positional arguments; false on a malformed flag.
+/// Strip --threads[=| ]N, --batch[=| ]N, --adaptive/--no-adaptive and
+/// --lte-tol[=| ]X from argv, applying them to the sweep pool / ensemble
+/// default / `flags`.  Returns the remaining positional arguments; false on
+/// a malformed flag.
 bool extract_flags(int argc, char** argv, std::vector<char*>* args,
                    EngineFlags* flags) {
   for (int i = 0; i < argc; ++i) {
@@ -103,6 +109,7 @@ bool extract_flags(int argc, char** argv, std::vector<char*>* args,
     const char* value = nullptr;
     bool is_tol = false;
     bool is_r_points = false;
+    bool is_batch = false;
     std::string* path = nullptr;
     if (std::strcmp(a, "--adaptive") == 0) {
       flags->adaptive = true;
@@ -157,6 +164,13 @@ bool extract_flags(int argc, char** argv, std::vector<char*>* args,
     } else if (std::strcmp(a, "--threads") == 0) {
       if (i + 1 >= argc) return false;
       value = argv[++i];
+    } else if (std::strncmp(a, "--batch=", 8) == 0) {
+      value = a + 8;
+      is_batch = true;
+    } else if (std::strcmp(a, "--batch") == 0) {
+      if (i + 1 >= argc) return false;
+      value = argv[++i];
+      is_batch = true;
     } else {
       args->push_back(argv[i]);
       continue;
@@ -170,6 +184,10 @@ bool extract_flags(int argc, char** argv, std::vector<char*>* args,
       const long n = std::strtol(value, &end, 10);
       if (end == value || *end != '\0' || n < 2) return false;
       flags->r_points = static_cast<int>(n);
+    } else if (is_batch) {
+      const long n = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || n < 1 || n > 1024) return false;
+      util::set_default_batch(static_cast<int>(n));
     } else {
       const long n = std::strtol(value, &end, 10);
       if (end == value || *end != '\0' || n < 1) return false;
@@ -215,6 +233,7 @@ obs::ManifestInfo make_manifest_info(const EngineFlags& eng,
   info.tool = "dramstress";
   info.command = cmdline;
   info.settings_number["threads"] = util::resolve_threads(0);
+  info.settings_number["batch"] = util::resolve_batch(0);
   info.settings_flag["adaptive"] = eng.adaptive;
   info.settings_number["lte_tol"] = eng.lte_tol;
   info.settings_text["solver_backend"] = "auto";
