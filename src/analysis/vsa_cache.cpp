@@ -38,7 +38,7 @@ std::optional<VsaResult> VsaCache::lookup(const dram::ColumnSimulator& sim,
     obs::count("vsa_cache.bypass");
     return std::nullopt;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) return std::nullopt;
   ++hits_;
@@ -51,7 +51,7 @@ void VsaCache::insert(const dram::ColumnSimulator& sim,
                       const VsaResult& result) {
   const VsaCacheKey key = make_key(sim, d, r, opt);
   if (!key_finite(key)) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++misses_;
   obs::count("vsa_cache.miss");
   if (std::isfinite(result.threshold)) entries_.emplace(key, result);
@@ -73,7 +73,7 @@ VsaResult VsaCache::get_or_extract(const dram::ColumnSimulator& sim,
     return extract_vsa(sim, d.side, opt);
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
@@ -85,7 +85,7 @@ VsaResult VsaCache::get_or_extract(const dram::ColumnSimulator& sim,
   // result is deterministic, so a duplicate race costs time, not identity.
   const VsaResult result = extract_vsa(sim, d.side, opt);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     ++misses_;
     obs::count("vsa_cache.miss");
     // A non-finite threshold means the extraction ran on a broken trace
@@ -97,22 +97,22 @@ VsaResult VsaCache::get_or_extract(const dram::ColumnSimulator& sim,
 }
 
 size_t VsaCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return hits_;
 }
 
 size_t VsaCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return misses_;
 }
 
 size_t VsaCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return entries_.size();
 }
 
 void VsaCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   entries_.clear();
   hits_ = 0;
   misses_ = 0;

@@ -13,11 +13,11 @@
 
 #include <cstddef>
 #include <map>
-#include <mutex>
 #include <optional>
 
 #include "analysis/vsa.hpp"
 #include "defect/defect.hpp"
+#include "util/annotations.hpp"
 
 namespace dramstress::analysis {
 
@@ -43,31 +43,33 @@ public:
   /// already have `d` injected at resistance `r`.
   VsaResult get_or_extract(const dram::ColumnSimulator& sim,
                            const defect::Defect& d, double r,
-                           const VsaOptions& opt = {});
+                           const VsaOptions& opt = {}) DS_EXCLUDES(mu_);
 
   /// Cache probe without extraction, for callers that batch their misses
   /// (the ensemble plane sweep).  Returns nullopt on a miss or when the
   /// key has a non-finite component (bypass).
   std::optional<VsaResult> lookup(const dram::ColumnSimulator& sim,
                                   const defect::Defect& d, double r,
-                                  const VsaOptions& opt = {});
+                                  const VsaOptions& opt = {})
+      DS_EXCLUDES(mu_);
 
   /// Store an externally extracted result under the same key lookup uses.
   /// Counted as a miss; non-finite keys/thresholds are skipped, as in
   /// get_or_extract.
   void insert(const dram::ColumnSimulator& sim, const defect::Defect& d,
-              double r, const VsaOptions& opt, const VsaResult& result);
+              double r, const VsaOptions& opt, const VsaResult& result)
+      DS_EXCLUDES(mu_);
 
-  size_t hits() const;
-  size_t misses() const;
-  size_t size() const;
-  void clear();
+  size_t hits() const DS_EXCLUDES(mu_);
+  size_t misses() const DS_EXCLUDES(mu_);
+  size_t size() const DS_EXCLUDES(mu_);
+  void clear() DS_EXCLUDES(mu_);
 
 private:
-  mutable std::mutex mu_;
-  std::map<VsaCacheKey, VsaResult> entries_;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
+  mutable util::Mutex mu_;
+  std::map<VsaCacheKey, VsaResult> entries_ DS_GUARDED_BY(mu_);
+  size_t hits_ DS_GUARDED_BY(mu_) = 0;
+  size_t misses_ DS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dramstress::analysis

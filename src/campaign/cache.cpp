@@ -174,6 +174,10 @@ void Journal::append(const JournalEntry& entry) {
   for (const char c : w.str())
     if (c != '\n') line += c;
 
+  // Serialize the append+flush pair: O_APPEND makes single writes atomic,
+  // but the stream buffer could otherwise interleave partial lines from
+  // two workers finishing at once.
+  util::MutexLock lock(mu_);
   std::ofstream f(path_, std::ios::app);
   if (!f.good()) throw ModelError("campaign journal: cannot append " + path_);
   f << line << '\n';

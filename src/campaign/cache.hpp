@@ -23,6 +23,7 @@
 #include <optional>
 #include <string>
 
+#include "util/annotations.hpp"
 #include "verify/diagnostic.hpp"
 
 namespace dramstress::campaign {
@@ -88,14 +89,17 @@ struct JournalEntry {
   std::string error;  // quarantine reason, empty for done
 };
 
-/// Append-only journal of one campaign run directory.
+/// Append-only journal of one campaign run directory.  Thread-safe:
+/// workers of one campaign run share the instance, and the internal mutex
+/// keeps records line-atomic (one record per line is what makes a torn
+/// final line after SIGKILL the only possible corruption).
 class Journal {
 public:
   explicit Journal(std::string path);
 
   /// Append one record and flush it to the OS, so a SIGKILL immediately
   /// after loses at most the record being written.
-  void append(const JournalEntry& entry);
+  void append(const JournalEntry& entry) DS_EXCLUDES(mu_);
 
   /// Replay the journal into a key->entry map.  Corrupt records are
   /// skipped with an E310 warning (a torn final line is expected after a
@@ -106,7 +110,8 @@ public:
   const std::string& path() const { return path_; }
 
 private:
-  std::string path_;
+  mutable util::Mutex mu_;
+  std::string path_;  // immutable after construction; reads need no lock
 };
 
 }  // namespace dramstress::campaign

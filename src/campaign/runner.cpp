@@ -3,7 +3,6 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 
 #include "analysis/border.hpp"
 #include "analysis/result_plane.hpp"
@@ -13,6 +12,7 @@
 #include "obs/span.hpp"
 #include "obs/version.hpp"
 #include "stress/optimizer.hpp"
+#include "util/annotations.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
@@ -147,7 +147,11 @@ CampaignResult CampaignRunner::run() {
   const size_t n = plan_.units.size();
   result.outcomes.assign(n, UnitOutcome{});
   std::vector<char> resolved(n, 0);
-  std::mutex mu;      // journal, diagnostics, counters
+  // Guards everything the workers mutate together: the result counters
+  // and diagnostics, the outcome slots, and the computed-unit count.
+  // (Journal::append is internally locked too; taking it under `mu` keeps
+  // the journal order consistent with the counter updates.)
+  util::Mutex mu;
   int computed = 0;   // units computed (not cached) this run
 
   const auto run_unit = [&](const WorkUnit& u) {
@@ -181,7 +185,7 @@ CampaignResult CampaignRunner::run() {
     }
     if (out.status == UnitStatus::Skipped) {
       obs::count("campaign.unit_skipped");
-      std::lock_guard<std::mutex> lock(mu);
+      util::MutexLock lock(mu);
       ++result.skipped;
       result.outcomes[u.index] = std::move(out);
       return;
@@ -195,7 +199,7 @@ CampaignResult CampaignRunner::run() {
       out.status = UnitStatus::Quarantined;
       out.attempts = rep->second.attempts;
       out.error = rep->second.error;
-      std::lock_guard<std::mutex> lock(mu);
+      util::MutexLock lock(mu);
       ++result.quarantined;
       result.outcomes[u.index] = std::move(out);
       return;
@@ -209,7 +213,7 @@ CampaignResult CampaignRunner::run() {
         out.status = UnitStatus::Cached;
         out.payload = std::move(*hit);
         obs::count("campaign.unit_cached");
-        std::lock_guard<std::mutex> lock(mu);
+        util::MutexLock lock(mu);
         result.diagnostics.merge(local);
         ++result.cached;
         // Keep the journal a complete completion record without growing
@@ -220,7 +224,7 @@ CampaignResult CampaignRunner::run() {
         return;
       }
       if (!local.diagnostics().empty()) {
-        std::lock_guard<std::mutex> lock(mu);
+        util::MutexLock lock(mu);
         result.diagnostics.merge(local);
       }
     }
@@ -239,7 +243,7 @@ CampaignResult CampaignRunner::run() {
         settings.newton.max_step *= retry.damping_backoff;
         settings.newton.max_iter += settings.newton.max_iter / 2;
         obs::count("campaign.unit_retried");
-        std::lock_guard<std::mutex> lock(mu);
+        util::MutexLock lock(mu);
         ++result.retried;
       }
       out.attempts = attempt;
@@ -264,7 +268,7 @@ CampaignResult CampaignRunner::run() {
       }
     }
 
-    std::lock_guard<std::mutex> lock(mu);
+    util::MutexLock lock(mu);
     if (succeeded) {
       out.status = UnitStatus::Done;
       cache.store(u.key, out.payload);

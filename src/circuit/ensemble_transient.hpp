@@ -55,6 +55,11 @@ private:
   void commit(size_t lane, numeric::Vector&& x_new, double t_new,
               const StampContext& ctx);
 
+  // Concurrency: every field below is thread-confined to the sweep worker
+  // that owns this EnsembleTransient (util/annotations.hpp conventions --
+  // confinement is documented, not DS_GUARDED_BY-annotated, because no
+  // mutex is involved).  Lanes share *work*, never state: lane l touches
+  // only index l of each vector, so batching cannot couple trajectories.
   EnsembleMna* sys_;
   TransientOptions opt_;
   std::vector<char> active_;

@@ -67,8 +67,10 @@ private:
   T* add(Args&&... args);
 
   std::vector<std::string> names_;  // index i -> node id i+1
+  // detlint:allow(D501 lookup-only index; every walk over nodes uses names_)
   std::unordered_map<std::string, NodeId> by_name_;
   std::vector<std::unique_ptr<Device>> devices_;
+  // detlint:allow(D501 lookup-only index; every walk over devices uses devices_)
   std::unordered_map<std::string, Device*> device_by_name_;
 };
 

@@ -6,6 +6,7 @@
 
 #include "util/strings.hpp"
 #include "verify/netlist_lint.hpp"
+#include "verify/preflight.hpp"
 
 namespace dramstress::core {
 
@@ -73,6 +74,16 @@ verify::VerifyReport StressFlow::verify() {
     report.merge(verify::lint_injection(column_.netlist(), d.device_name(),
                                         seg_a, seg_b));
   }
+  // Numeric pre-flight (E4xx) under the stepping configuration the flow
+  // will actually run with, so --verify=strict vouches for the settings
+  // pair (deck, SimSettings), not the deck alone.
+  const dram::SimSettings& s = options_.settings;
+  verify::PreflightOptions pre;
+  pre.adaptive = s.adaptive;
+  pre.dt_min = s.dt_min;
+  pre.lte_tol = s.lte_tol;
+  pre.integrator = s.integrator;
+  report.merge(verify::preflight_numeric(column_.netlist(), pre));
   return report;
 }
 

@@ -5,9 +5,10 @@
 #include <atomic>
 #include <cmath>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace dramstress::obs {
 
@@ -53,12 +54,20 @@ struct HistCell {
 };
 
 /// Per-thread metric storage.  Only the owning thread inserts; `mu` is
-/// held for inserts and by the registry while it walks the maps, so the
-/// owner's lock-free find never races a rehash it can observe.
+/// held for inserts and by the registry while it walks the cell deques, so
+/// the owner's lock-free find never races a rehash it can observe.  The
+/// maps are deliberately NOT DS_GUARDED_BY(mu): the owner's hot-path find
+/// is lock-free by design (single-writer discipline), which the static
+/// analysis cannot express -- TSan covers the dynamic side.
+/// detlint: the unordered maps are name-pointer lookup indexes only; every
+/// path that feeds a snapshot walks the deques in insertion order.
 struct Shard {
-  std::mutex mu;
+  util::Mutex mu;
+  // detlint:allow(D501 lookup-only index, never iterated; snapshots walk the deques)
   std::unordered_map<const void*, CounterCell*> counters;
+  // detlint:allow(D501 lookup-only index, never iterated)
   std::unordered_map<const void*, GaugeCell*> gauges;
+  // detlint:allow(D501 lookup-only index, never iterated)
   std::unordered_map<const void*, HistCell*> hists;
   // Deques give the cells stable addresses across inserts.
   std::deque<CounterCell> counter_cells;
@@ -68,7 +77,7 @@ struct Shard {
   CounterCell& counter(const char* name) {
     if (auto it = counters.find(name); it != counters.end())
       return *it->second;
-    std::lock_guard<std::mutex> lock(mu);
+    util::MutexLock lock(mu);
     counter_cells.emplace_back();
     counter_cells.back().name = name;
     counters.emplace(name, &counter_cells.back());
@@ -77,7 +86,7 @@ struct Shard {
 
   GaugeCell& gauge(const char* name) {
     if (auto it = gauges.find(name); it != gauges.end()) return *it->second;
-    std::lock_guard<std::mutex> lock(mu);
+    util::MutexLock lock(mu);
     gauge_cells.emplace_back();
     gauge_cells.back().name = name;
     gauges.emplace(name, &gauge_cells.back());
@@ -86,7 +95,7 @@ struct Shard {
 
   HistCell& hist(const char* name) {
     if (auto it = hists.find(name); it != hists.end()) return *it->second;
-    std::lock_guard<std::mutex> lock(mu);
+    util::MutexLock lock(mu);
     hist_cells.emplace_back(name);
     hists.emplace(name, &hist_cells.back());
     return hist_cells.back();
@@ -118,14 +127,14 @@ public:
     return *r;
   }
 
-  void attach(Shard* s) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void attach(Shard* s) DS_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     shards_.push_back(s);
   }
 
   /// Fold a dying thread's totals into the retained snapshot.
-  void detach(Shard* s) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void detach(Shard* s) DS_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     merge_shard_locked(*s, retired_, retired_gauge_seq_);
     for (size_t i = 0; i < shards_.size(); ++i) {
       if (shards_[i] == s) {
@@ -136,23 +145,23 @@ public:
     }
   }
 
-  MetricsSnapshot snapshot() {
-    std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot() DS_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     MetricsSnapshot snap = retired_;
     std::map<std::string, long> gauge_seq = retired_gauge_seq_;
     for (Shard* s : shards_) {
-      std::lock_guard<std::mutex> shard_lock(s->mu);
+      util::MutexLock shard_lock(s->mu);
       merge_shard_locked(*s, snap, gauge_seq);
     }
     return snap;
   }
 
-  void reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void reset() DS_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     retired_ = {};
     retired_gauge_seq_.clear();
     for (Shard* s : shards_) {
-      std::lock_guard<std::mutex> shard_lock(s->mu);
+      util::MutexLock shard_lock(s->mu);
       for (auto& c : s->counter_cells)
         c.value.store(0, std::memory_order_relaxed);
       for (auto& g : s->gauge_cells) {
@@ -176,7 +185,8 @@ public:
 private:
   // Caller holds mu_ (and the shard's mu when the shard is live).
   void merge_shard_locked(Shard& s, MetricsSnapshot& snap,
-                          std::map<std::string, long>& gauge_seq) {
+                          std::map<std::string, long>& gauge_seq)
+      DS_REQUIRES(mu_) {
     for (const auto& c : s.counter_cells) {
       const long v = c.value.load(std::memory_order_relaxed);
       if (v != 0) snap.counters[c.name] += v;
@@ -203,10 +213,10 @@ private:
     }
   }
 
-  std::mutex mu_;
-  std::vector<Shard*> shards_;
-  MetricsSnapshot retired_;
-  std::map<std::string, long> retired_gauge_seq_;
+  util::Mutex mu_;
+  std::vector<Shard*> shards_ DS_GUARDED_BY(mu_);
+  MetricsSnapshot retired_ DS_GUARDED_BY(mu_);
+  std::map<std::string, long> retired_gauge_seq_ DS_GUARDED_BY(mu_);
   std::atomic<long> gauge_clock_{0};
 };
 

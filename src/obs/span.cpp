@@ -6,7 +6,8 @@
 #include <chrono>
 #include <cstring>
 #include <memory>
-#include <mutex>
+
+#include "util/annotations.hpp"
 
 namespace dramstress::obs {
 
@@ -29,8 +30,11 @@ struct SpanNode {
   std::vector<std::unique_ptr<SpanNode>> children;
 };
 
+// `mu` guards the tree *structure* (children vectors) against concurrent
+// snapshot walks; `current` and the node payloads are owner-thread-only
+// (single-writer discipline the static analysis cannot express).
 struct SpanShard {
-  std::mutex mu;
+  util::Mutex mu;
   SpanNode root;
   SpanNode* current = &root;
 };
@@ -76,15 +80,15 @@ public:
     return *r;
   }
 
-  void attach(SpanShard* s) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void attach(SpanShard* s) DS_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     shards_.push_back(s);
   }
 
-  void detach(SpanShard* s) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void detach(SpanShard* s) DS_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     {
-      std::lock_guard<std::mutex> shard_lock(s->mu);
+      util::MutexLock shard_lock(s->mu);
       for (const auto& c : s->root.children) merge_node(*c, retired_);
     }
     for (size_t i = 0; i < shards_.size(); ++i) {
@@ -96,30 +100,31 @@ public:
     }
   }
 
-  std::vector<SpanSnapshot> snapshot() {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanSnapshot> snapshot() DS_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     std::vector<SpanSnapshot> out = retired_;
     for (SpanShard* s : shards_) {
-      std::lock_guard<std::mutex> shard_lock(s->mu);
+      util::MutexLock shard_lock(s->mu);
       for (const auto& c : s->root.children) merge_node(*c, out);
     }
     prune(out);
     return out;
   }
 
-  void reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void reset() DS_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     retired_.clear();
     for (SpanShard* s : shards_) {
-      std::lock_guard<std::mutex> shard_lock(s->mu);
+      util::MutexLock shard_lock(s->mu);
       zero_node(s->root);
     }
   }
 
 private:
-  std::mutex mu_;
-  std::vector<SpanShard*> shards_;
-  std::vector<SpanSnapshot> retired_;  // merged forest of exited threads
+  util::Mutex mu_;
+  std::vector<SpanShard*> shards_ DS_GUARDED_BY(mu_);
+  // merged forest of exited threads
+  std::vector<SpanSnapshot> retired_ DS_GUARDED_BY(mu_);
 };
 
 struct SpanShardHandle {
@@ -149,7 +154,7 @@ ScopedSpan::ScopedSpan(const char* name) {
     }
   }
   if (!child) {
-    std::lock_guard<std::mutex> lock(sh.mu);
+    util::MutexLock lock(sh.mu);
     cur->children.push_back(std::make_unique<SpanNode>());
     child = cur->children.back().get();
     child->name = name;

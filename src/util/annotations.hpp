@@ -1,0 +1,88 @@
+// Clang thread-safety annotations and the annotated locking primitives.
+//
+// The engine's headline property -- byte-identical plane/campaign output
+// at any thread count and batch width -- rests on a small set of
+// concurrency invariants: sweeps write only to pre-sized slots, shared
+// mutable state (metric shards, the Vsa cache, the campaign journal) is
+// mutex-guarded, and everything else is thread-confined.  Those
+// invariants were enforced dynamically (diff tests, TSan); this header
+// makes them *static*: every guarded field names its mutex, every
+// must-hold helper names its precondition, and Clang's -Wthread-safety
+// analysis (the lint CI job) rejects an unguarded access at compile time.
+// On GCC (which has no such analysis) every macro expands to nothing, so
+// the annotations are zero-cost documentation.
+//
+// Conventions (docs/LINT.md "Thread-safety annotations"):
+//   * Shared mutable state uses util::Mutex (never a bare std::mutex --
+//     the standard type carries no capability attribute, so the analysis
+//     cannot see it) and declares its guard with DS_GUARDED_BY.
+//   * Scope-locked sections use util::MutexLock (an annotated
+//     lock_guard); helpers that assume the lock say DS_REQUIRES(mu).
+//   * Thread-confined state (worker-local SweepContext clones, the
+//     ensemble engine's lane arrays) is NOT annotated -- confinement is
+//     documented at the owning class instead, and detlint/TSan cover the
+//     dynamic side.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef DS_THREAD_ANNOTATION
+#define DS_THREAD_ANNOTATION(x)  // no-op: not Clang, or no analysis support
+#endif
+
+#define DS_CAPABILITY(x) DS_THREAD_ANNOTATION(capability(x))
+#define DS_SCOPED_CAPABILITY DS_THREAD_ANNOTATION(scoped_lockable)
+#define DS_GUARDED_BY(x) DS_THREAD_ANNOTATION(guarded_by(x))
+#define DS_PT_GUARDED_BY(x) DS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define DS_REQUIRES(...) \
+  DS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define DS_ACQUIRE(...) DS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define DS_RELEASE(...) DS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define DS_TRY_ACQUIRE(...) \
+  DS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define DS_EXCLUDES(...) DS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define DS_ACQUIRED_BEFORE(...) \
+  DS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define DS_ACQUIRED_AFTER(...) \
+  DS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define DS_RETURN_CAPABILITY(x) DS_THREAD_ANNOTATION(lock_returned(x))
+#define DS_NO_THREAD_SAFETY_ANALYSIS \
+  DS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dramstress::util {
+
+/// std::mutex wrapped with the `capability` attribute so Clang's analysis
+/// can track it.  Drop-in: same lock/unlock surface, zero overhead.
+class DS_CAPABILITY("mutex") Mutex {
+public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DS_ACQUIRE() { mu_.lock(); }
+  void unlock() DS_RELEASE() { mu_.unlock(); }
+  bool try_lock() DS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+private:
+  std::mutex mu_;
+};
+
+/// Annotated scope lock over util::Mutex (std::lock_guard carries no
+/// scoped_lockable attribute, so the analysis would not credit it).
+class DS_SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex& mu) DS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() DS_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+private:
+  Mutex& mu_;
+};
+
+}  // namespace dramstress::util

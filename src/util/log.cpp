@@ -1,14 +1,18 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "util/annotations.hpp"
 
 namespace dramstress::util {
 namespace {
 
 LogLevel level_from_env() {
+  // Option-resolution layer: the one place log configuration may read the
+  // environment (detlint D505).
   const char* env = std::getenv("DRAMSTRESS_LOG");
   if (env == nullptr) return LogLevel::Warn;
   if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
@@ -19,8 +23,13 @@ LogLevel level_from_env() {
   return LogLevel::Warn;
 }
 
-LogLevel g_level = level_from_env();
-std::mutex g_mutex;
+// Read on every log call without the stream lock; atomic so a concurrent
+// set_log_level (a test toggling verbosity around a sweep) is a race-free
+// level change and not UB.
+std::atomic<LogLevel> g_level{level_from_env()};
+
+// Serializes stderr emission so interleaved worker logs stay line-atomic.
+Mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -35,12 +44,14 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 

@@ -21,11 +21,47 @@
 #include <atomic>
 #include <cstddef>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/annotations.hpp"
+
 namespace dramstress::util {
+
+/// First-exception-wins capture shared by a worker team.  Workers call
+/// capture() from their catch-all; the pool rethrows on the calling thread
+/// after the join.  The `failed` flag is read on every chunk boundary, so
+/// it stays a lock-free atomic while the exception itself is guarded.
+class ExceptionSlot {
+public:
+  /// Record `e` if no earlier exception was captured, and raise `failed`.
+  void capture(std::exception_ptr e) DS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (!error_) error_ = e;
+    failed_.store(true, std::memory_order_relaxed);
+  }
+
+  /// True once any worker captured; workers poll this to stop early.
+  bool failed() const {
+    return failed_.load(std::memory_order_relaxed);
+  }
+
+  /// Rethrow the first captured exception, if any.  Call after the join
+  /// (no concurrent capture), on the thread that owns the pool.
+  void rethrow_if_failed() DS_EXCLUDES(mu_) {
+    std::exception_ptr e;
+    {
+      MutexLock lock(mu_);
+      e = error_;
+    }
+    if (e) std::rethrow_exception(e);
+  }
+
+private:
+  mutable Mutex mu_;
+  std::exception_ptr error_ DS_GUARDED_BY(mu_);
+  std::atomic<bool> failed_{false};
+};
 
 struct ParallelOptions {
   int threads = 0;      // 0 = default_threads()
@@ -82,24 +118,20 @@ void parallel_for_state(size_t n, MakeState&& make_state, Body&& body,
       std::max<size_t>(opt.min_chunk, 1),
       n / (static_cast<size_t>(team) * 4));
   std::atomic<size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex error_mu;
+  ExceptionSlot errors;
 
   auto worker = [&]() {
     try {
       auto state = make_state();
       for (;;) {
-        if (failed.load(std::memory_order_relaxed)) return;
+        if (errors.failed()) return;
         const size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
         if (begin >= n) return;
         const size_t end = std::min(n, begin + chunk);
         for (size_t i = begin; i < end; ++i) body(state, i);
       }
     } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mu);
-      if (!error) error = std::current_exception();
-      failed.store(true, std::memory_order_relaxed);
+      errors.capture(std::current_exception());
     }
   };
 
@@ -108,7 +140,7 @@ void parallel_for_state(size_t n, MakeState&& make_state, Body&& body,
   for (int t = 1; t < team; ++t) team_threads.emplace_back(worker);
   worker();  // the calling thread is a team member too
   for (std::thread& t : team_threads) t.join();
-  if (error) std::rethrow_exception(error);
+  errors.rethrow_if_failed();
 }
 
 /// Stateless variant: body(i) for every i in [0, n).

@@ -35,6 +35,10 @@ const char* code_id(Code code) {
     case Code::SpecBadValue: return "E304";
     case Code::SpecUnknownKey: return "W305";
     case Code::CacheCorrupt: return "E310";
+    case Code::ConductanceRatio: return "W401";
+    case Code::IndexTwoLoop: return "E402";
+    case Code::StiffnessUnresolvable: return "E403";
+    case Code::BreakpointSpacing: return "E404";
   }
   return "?";
 }
@@ -46,6 +50,7 @@ Severity default_severity(Code code) {
     case Code::DuplicateParallel:
     case Code::SuspiciousParam:
     case Code::SpecUnknownKey:
+    case Code::ConductanceRatio:
       return Severity::Warning;
     default:
       return Severity::Error;

@@ -43,11 +43,18 @@ enum class Code {
   SpecBadValue,         // E304: spec field value out of range / unknown enum
   SpecUnknownKey,       // W305: spec key not in the schema (ignored)
   CacheCorrupt,         // E310: unreadable cache object / journal record
+  ConductanceRatio,     // W401: extreme resistor conductance spread
+  IndexTwoLoop,         // E402: capacitor/voltage-source loop (DAE index 2)
+  StiffnessUnresolvable,  // E403/W403: fastest RC constant vs dt_min
+  BreakpointSpacing,    // E404: waveform breakpoints finer than dt_min
 };
 
 /// Catalogue id, e.g. Code::VsourceLoop -> "E103".  SelfLoop renders as
 /// E110 -- the voltage-source case is an error, the passive case is
-/// reported with Severity::Warning under the same id.
+/// reported with Severity::Warning under the same id.  Likewise
+/// StiffnessUnresolvable renders as E403: an RC constant the minimum step
+/// cannot resolve at all is an error, the trapezoidal-ringing case is a
+/// warning under the same id.
 const char* code_id(Code code);
 
 /// The severity a check assigns by default (SelfLoop: per-case).

@@ -1,0 +1,302 @@
+#include "verify/preflight.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "circuit/passive.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::verify {
+
+using circuit::Capacitor;
+using circuit::Device;
+using circuit::DeviceKind;
+using circuit::kGround;
+using circuit::Netlist;
+using circuit::NodeId;
+using circuit::Resistor;
+
+namespace {
+
+int line_of(const PreflightOptions& opt, const std::string& device) {
+  if (opt.source_lines == nullptr) return 0;
+  const auto it = opt.source_lines->find(device);
+  return it == opt.source_lines->end() ? 0 : it->second;
+}
+
+void add(VerifyReport& report, const PreflightOptions& opt, Code code,
+         Severity severity, std::string message, std::string device = {},
+         std::string node = {}) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.message = std::move(message);
+  d.device = std::move(device);
+  d.node = std::move(node);
+  if (!d.device.empty()) d.spice_line = line_of(opt, d.device);
+  report.add(d);
+}
+
+/// Resistor conductance, or 0 when the value is non-physical (E108's
+/// domain -- pre-flight never double-reports what the structural linter
+/// already rejects).
+double conductance(const Resistor& r) {
+  const double ohms = r.resistance();
+  if (!std::isfinite(ohms) || ohms <= 0.0) return 0.0;
+  return 1.0 / ohms;
+}
+
+// --- W401: resistor conductance spread --------------------------------
+
+void check_conductance_ratio(const Netlist& nl, const PreflightOptions& opt,
+                             VerifyReport& report) {
+  double g_min = std::numeric_limits<double>::infinity();
+  double g_max = 0.0;
+  const Device* dev_min = nullptr;
+  const Device* dev_max = nullptr;
+  for (const auto& dev : nl.devices()) {
+    if (dev->kind() != DeviceKind::Resistor) continue;
+    const double g = conductance(static_cast<const Resistor&>(*dev));
+    if (g == 0.0) continue;
+    if (g < g_min) { g_min = g; dev_min = dev.get(); }
+    if (g > g_max) { g_max = g; dev_max = dev.get(); }
+  }
+  if (dev_min == nullptr || dev_max == nullptr) return;
+  const double ratio = g_max / g_min;
+  if (ratio <= opt.cond_ratio_max) return;
+  add(report, opt, Code::ConductanceRatio, Severity::Warning,
+      util::format("resistor conductance ratio %.3g (min %s, max %s) exceeds "
+                   "%.3g; the MNA condition number is at least this large, "
+                   "so factorization works at the edge of double precision",
+                   ratio, dev_min->name().c_str(), dev_max->name().c_str(),
+                   opt.cond_ratio_max),
+      dev_min->name());
+}
+
+// --- E402: capacitor / voltage-source loops ---------------------------
+
+/// Branch of the C/V subgraph.
+struct CvEdge {
+  NodeId a = kGround;
+  NodeId b = kGround;
+  bool is_cap = false;
+  const Device* dev = nullptr;
+};
+
+/// Union-find over node ids (0..num_nodes inclusive, ground is 0).
+class Dsu {
+ public:
+  explicit Dsu(int n) : parent_(static_cast<size_t>(n)) {
+    for (size_t i = 0; i < parent_.size(); ++i) parent_[i] = static_cast<int>(i);
+  }
+  int find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+  bool unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[static_cast<size_t>(a)] = b;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+/// Detect cycles of capacitors and ideal voltage sources (V and E count;
+/// at least one of each kind in the cycle).  Every edge that closes a
+/// cycle in the incrementally built C/V forest yields a fundamental
+/// cycle; its composition is read off the unique tree path between the
+/// edge's endpoints.  Fundamental cycles generate the whole cycle space,
+/// so a deck with any mixed C/V loop has a mixed fundamental cycle here.
+void check_index_two_loops(const Netlist& nl, const PreflightOptions& opt,
+                           VerifyReport& report) {
+  const int n = nl.num_nodes() + 1;  // ids 0..num_nodes, ground included
+  Dsu dsu(n);
+  // Adjacency of accepted (tree) edges: node -> (neighbour, edge index).
+  std::vector<std::vector<std::pair<NodeId, size_t>>> adj(
+      static_cast<size_t>(n));
+  std::vector<CvEdge> tree;
+
+  for (const auto& dev : nl.devices()) {
+    const DeviceKind kind = dev->kind();
+    const bool is_cap = kind == DeviceKind::Capacitor;
+    const bool is_vsrc =
+        kind == DeviceKind::VoltageSource || kind == DeviceKind::Vcvs;
+    if (!is_cap && !is_vsrc) continue;
+    const std::vector<NodeId> t = dev->terminals();
+    if (t.size() != 2 || t[0] == t[1]) continue;  // self-loop: E110's domain
+    const CvEdge edge{t[0], t[1], is_cap, dev.get()};
+    if (dsu.unite(edge.a, edge.b)) {
+      const size_t idx = tree.size();
+      tree.push_back(edge);
+      adj[static_cast<size_t>(edge.a)].push_back({edge.b, idx});
+      adj[static_cast<size_t>(edge.b)].push_back({edge.a, idx});
+      continue;
+    }
+    // Closing edge: walk the tree path edge.a -> edge.b (BFS; the forest
+    // path is unique) and tally the cycle's composition.
+    std::vector<int> prev_edge(static_cast<size_t>(n), -1);
+    std::vector<NodeId> prev_node(static_cast<size_t>(n), -1);
+    std::vector<char> seen(static_cast<size_t>(n), 0);
+    std::deque<NodeId> queue{edge.a};
+    seen[static_cast<size_t>(edge.a)] = 1;
+    while (!queue.empty() && !seen[static_cast<size_t>(edge.b)]) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (const auto& [v, idx] : adj[static_cast<size_t>(u)]) {
+        if (seen[static_cast<size_t>(v)]) continue;
+        seen[static_cast<size_t>(v)] = 1;
+        prev_edge[static_cast<size_t>(v)] = static_cast<int>(idx);
+        prev_node[static_cast<size_t>(v)] = u;
+        queue.push_back(v);
+      }
+    }
+    int caps = edge.is_cap ? 1 : 0;
+    int vsrcs = edge.is_cap ? 0 : 1;
+    std::string members = edge.dev->name();
+    for (NodeId u = edge.b; u != edge.a;
+         u = prev_node[static_cast<size_t>(u)]) {
+      const CvEdge& e = tree[static_cast<size_t>(
+          prev_edge[static_cast<size_t>(u)])];
+      (e.is_cap ? caps : vsrcs) += 1;
+      members += ", " + e.dev->name();
+    }
+    if (caps == 0 || vsrcs == 0) continue;  // pure-V loop: E103's domain
+    add(report, opt, Code::IndexTwoLoop, Severity::Error,
+        util::format("loop of %d capacitor(s) and %d voltage source(s) "
+                     "(%s) makes the transient DAE index 2: the loop "
+                     "current is the derivative of the source input, so a "
+                     "step edge demands an impulse; add series resistance "
+                     "in the loop",
+                     caps, vsrcs, members.c_str()),
+        edge.dev->name(), nl.node_name(edge.a));
+  }
+}
+
+// --- E403: stiffness vs the minimum step ------------------------------
+
+void check_stiffness(const Netlist& nl, const PreflightOptions& opt,
+                     VerifyReport& report) {
+  if (!(opt.dt_min > 0.0)) return;
+  // Resistive conductance seen at each node.
+  std::vector<double> g_node(static_cast<size_t>(nl.num_nodes()) + 1, 0.0);
+  for (const auto& dev : nl.devices()) {
+    if (dev->kind() != DeviceKind::Resistor) continue;
+    const auto& r = static_cast<const Resistor&>(*dev);
+    const double g = conductance(r);
+    if (g == 0.0) continue;
+    g_node[static_cast<size_t>(r.a())] += g;
+    g_node[static_cast<size_t>(r.b())] += g;
+  }
+  double tau_min = std::numeric_limits<double>::infinity();
+  const Device* dev_min = nullptr;
+  for (const auto& dev : nl.devices()) {
+    if (dev->kind() != DeviceKind::Capacitor) continue;
+    const auto& c = static_cast<const Capacitor&>(*dev);
+    const double farads = c.capacitance();
+    if (!std::isfinite(farads) || farads <= 0.0) continue;  // E108's domain
+    // Fastest mode the cap can form: discharge through the stronger of
+    // its two terminal conductances.  A terminal with no resistor at all
+    // contributes no mode (W102 covers truly floating caps).
+    const double g = std::max(g_node[static_cast<size_t>(c.a())],
+                              g_node[static_cast<size_t>(c.b())]);
+    if (g <= 0.0) continue;
+    const double tau = farads / g;
+    if (tau < tau_min) { tau_min = tau; dev_min = dev.get(); }
+  }
+  if (dev_min == nullptr) return;
+  if (tau_min < opt.dt_min * opt.stiff_margin) {
+    add(report, opt, Code::StiffnessUnresolvable, Severity::Error,
+        util::format("fastest RC time constant ~%.3g s (%s) is more than "
+                     "%.0e below the minimum adaptive step %.3g s: driven "
+                     "edges of this mode look discontinuous to Newton at "
+                     "every allowed step, and LTE control (lte_tol=%.3g) "
+                     "cannot shrink past dt_min",
+                     tau_min, dev_min->name().c_str(), 1.0 / opt.stiff_margin,
+                     opt.dt_min, opt.lte_tol),
+        dev_min->name());
+  } else if (opt.integrator == circuit::Integrator::Trapezoidal &&
+             tau_min < opt.dt_min) {
+    add(report, opt, Code::StiffnessUnresolvable, Severity::Warning,
+        util::format("fastest RC time constant ~%.3g s (%s) is below the "
+                     "minimum adaptive step %.3g s and the integrator is "
+                     "trapezoidal, which rings unresolved modes instead of "
+                     "damping them; use backward Euler or raise dt_min",
+                     tau_min, dev_min->name().c_str(), opt.dt_min),
+        dev_min->name());
+  }
+}
+
+// --- E404: breakpoint spacing ----------------------------------------
+
+void check_breakpoints(const Netlist& nl, const PreflightOptions& opt,
+                       VerifyReport& report) {
+  if (!(opt.dt_min > 0.0)) return;
+  std::vector<double> bp;
+  for (const auto& dev : nl.devices()) dev->append_breakpoints(bp);
+  std::sort(bp.begin(), bp.end());
+  // Exact-duplicate dedupe, matching BreakpointRegistry: two waveforms
+  // switching at the same instant are one breakpoint.
+  bp.erase(std::unique(bp.begin(), bp.end()), bp.end());
+  if (opt.t_stop > 0.0) {
+    bp.erase(std::remove_if(bp.begin(), bp.end(),
+                            [&](double t) { return t > opt.t_stop; }),
+             bp.end());
+  }
+  int pairs = 0;
+  double first_lo = 0.0;
+  double first_hi = 0.0;
+  for (size_t i = 0; i + 1 < bp.size(); ++i) {
+    if (bp[i + 1] - bp[i] >= opt.dt_min) continue;
+    if (pairs == 0) { first_lo = bp[i]; first_hi = bp[i + 1]; }
+    ++pairs;
+  }
+  if (pairs == 0) return;
+  // Attribute the finding to a device whose stimulus owns the second
+  // breakpoint of the first offending pair.
+  std::string device;
+  std::vector<double> mine;
+  for (const auto& dev : nl.devices()) {
+    mine.clear();
+    dev->append_breakpoints(mine);
+    if (std::find(mine.begin(), mine.end(), first_hi) != mine.end()) {
+      device = dev->name();
+      break;
+    }
+  }
+  add(report, opt, Code::BreakpointSpacing, Severity::Error,
+      util::format("waveform breakpoints at t=%.6g s and t=%.6g s are "
+                   "%.3g s apart, finer than the minimum adaptive step "
+                   "%.3g s (%d such pair(s)): the engine lands accepted "
+                   "steps on breakpoints and would silently integrate "
+                   "over one of these edges",
+                   first_lo, first_hi, first_hi - first_lo, opt.dt_min,
+                   pairs),
+      device);
+}
+
+}  // namespace
+
+VerifyReport preflight_numeric(const Netlist& netlist,
+                               const PreflightOptions& options) {
+  VerifyReport report;
+  check_conductance_ratio(netlist, options, report);
+  check_index_two_loops(netlist, options, report);
+  if (options.adaptive) {
+    check_stiffness(netlist, options, report);
+    check_breakpoints(netlist, options, report);
+  }
+  return report;
+}
+
+}  // namespace dramstress::verify

@@ -1,0 +1,81 @@
+// Numeric pre-flight: E4xx checks computed statically from the deck.
+//
+// The structural linter (netlist_lint.hpp) answers "is this a circuit";
+// pre-flight answers "can the transient engine integrate it with the
+// configured tolerances".  Each check is a cheap static proxy for a
+// failure mode that otherwise only shows up dynamically -- a Newton grind,
+// a silently skipped command edge, a garbage Vc(R) curve:
+//
+//   W401 extreme conductance ratio   max(1/R)/min(1/R) across the
+//        resistors bounds (from below) the MNA condition number; past
+//        ~1e16 the factorization works at the edge of double precision.
+//   E402 capacitor/voltage-source loop   a cycle whose branches are only
+//        capacitors and ideal voltage sources (at least one of each)
+//        makes the MNA system a DAE of index 2 (Tischendorf's criterion):
+//        the loop caps' current is the *derivative* of the source input,
+//        so a step edge demands an impulse the integrator cannot
+//        represent.  One series resistance anywhere in the loop fixes it.
+//   E403 unresolvable stiffness   the fastest RC time constant of the
+//        deck, estimated per capacitor as C / (sum of resistor
+//        conductances at its faster terminal).  Error when it is below
+//        dt_min by more than the stiff margin -- the LTE controller can
+//        neither resolve the mode nor step over its driven edges without
+//        Newton failures clamped at dt_min.  Warning (same id) when
+//        trapezoidal integration meets tau < dt_min: trap does not damp
+//        unresolved modes, it rings them.
+//   E404 breakpoint spacing finer than dt_min   the adaptive engine lands
+//        accepted steps exactly on waveform breakpoints; two breakpoints
+//        closer than the minimum step cannot both be hit, so one edge is
+//        silently integrated over.
+//
+// E403/E404 depend on the stepping configuration, so the caller passes the
+// engine settings it will actually run with (StressFlow forwards its
+// SimSettings; minispice forwards the deck's .tran card).  Fixed-step runs
+// skip both: dt_min and breakpoints are adaptive-path concepts.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "circuit/netlist.hpp"
+#include "circuit/transient.hpp"
+#include "verify/diagnostic.hpp"
+
+namespace dramstress::verify {
+
+/// Engine-facing knobs of the numeric pre-flight.  Defaults mirror
+/// dram::SimSettings so StressFlow::verify() stays in sync by
+/// construction; the ratio/margin thresholds are deliberately loose --
+/// the shipped column sits at a conductance ratio of exactly 1e15 (1 Ohm
+/// series stubs vs 1e15 Ohm pristine shunt stubs) and must stay clean
+/// under --verify=strict.
+struct PreflightOptions {
+  /// W401 above this max/min resistor-conductance ratio.
+  double cond_ratio_max = 1e16;
+
+  // --- stepping configuration the deck will run under -------------------
+  bool adaptive = true;  // false: skip E403/E404 (fixed step ignores both)
+  double dt_min = 1e-13;   // s, smallest adaptive step
+  double lte_tol = 5e-4;   // relative LTE tolerance (reported in E403)
+  circuit::Integrator integrator = circuit::Integrator::BackwardEuler;
+
+  /// E403 is an error when tau_min < dt_min * stiff_margin: backward
+  /// Euler damps a fast mode it cannot resolve, but three decades below
+  /// the step floor its *driven* edges are effectively discontinuities to
+  /// Newton.
+  double stiff_margin = 1e-3;
+
+  /// Breakpoint horizon for E404; <= 0 checks every registered breakpoint.
+  double t_stop = 0.0;
+
+  /// Device name -> 1-based source line (SpiceDeck::device_lines), as in
+  /// LintOptions.
+  const std::map<std::string, int>* source_lines = nullptr;
+};
+
+/// Run the E4xx checks over one netlist.  Purely read-only: unlike the
+/// structural linter it assigns no branch indices and stamps nothing.
+VerifyReport preflight_numeric(const circuit::Netlist& netlist,
+                               const PreflightOptions& options = {});
+
+}  // namespace dramstress::verify

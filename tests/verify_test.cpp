@@ -15,6 +15,7 @@
 #include "dram/column.hpp"
 #include "util/error.hpp"
 #include "verify/netlist_lint.hpp"
+#include "verify/preflight.hpp"
 
 namespace dramstress {
 namespace {
@@ -32,6 +33,14 @@ VerifyReport lint_deck(const std::string& text) {
   LintOptions opt;
   opt.source_lines = &deck.device_lines;
   return NetlistLinter(opt).lint(*deck.netlist);
+}
+
+/// Parse a deck and run the numeric pre-flight (E4xx) over it.
+VerifyReport preflight_deck(const std::string& text,
+                            verify::PreflightOptions opt = {}) {
+  circuit::SpiceDeck deck = circuit::parse_spice(text);
+  opt.source_lines = &deck.device_lines;
+  return verify::preflight_numeric(*deck.netlist, opt);
 }
 
 // --- diagnostics engine ----------------------------------------------
@@ -263,6 +272,154 @@ TEST(InjectionLint, FlagsUnknownWrongKindAndWrongNodes) {
 
 // --- clean passes over everything the repo ships ---------------------
 
+// --- numeric pre-flight (E4xx) ---------------------------------------
+
+TEST(Preflight, WarnsOnExtremeConductanceRatio) {
+  const VerifyReport r = preflight_deck(
+      "ratio deck\n"
+      "V1 in 0 DC 1\n"
+      "R1 in out 1e-3\n"
+      "R2 out 0 1e15\n"
+      ".end\n");
+  EXPECT_TRUE(r.ok());  // W401 is warning-severity
+  ASSERT_TRUE(r.has(Code::ConductanceRatio));
+  const verify::Diagnostic* d = r.find(Code::ConductanceRatio);
+  EXPECT_EQ(d->severity, Severity::Warning);
+  EXPECT_EQ(d->device, "r2");  // the min-conductance resistor
+  EXPECT_EQ(d->spice_line, 4);
+  EXPECT_NE(d->message.find("r1"), std::string::npos) << d->message;
+}
+
+TEST(Preflight, ColumnScaleRatioStaysUnderThreshold) {
+  // 1 Ohm stubs vs 1e15 Ohm pristine shunts: exactly the shipped
+  // column's spread, one decade inside the default 1e16 bound.
+  const VerifyReport r = preflight_deck(
+      "column-like\n"
+      "V1 in 0 DC 1\n"
+      "R1 in out 1\n"
+      "R2 out 0 1e15\n"
+      ".end\n");
+  EXPECT_FALSE(r.has(Code::ConductanceRatio)) << r.str();
+}
+
+TEST(Preflight, FlagsCapacitorVsourceLoop) {
+  const VerifyReport r = preflight_deck(
+      "cv loop\n"
+      "V1 a 0 DC 1\n"
+      "C1 a 0 1p\n"
+      ".end\n");
+  EXPECT_FALSE(r.ok());
+  ASSERT_TRUE(r.has(Code::IndexTwoLoop));
+  const verify::Diagnostic* d = r.find(Code::IndexTwoLoop);
+  EXPECT_EQ(d->device, "c1");  // the loop-closing device
+  EXPECT_EQ(d->spice_line, 3);
+  EXPECT_NE(d->message.find("index 2"), std::string::npos) << d->message;
+}
+
+TEST(Preflight, FlagsLongMixedCvLoop) {
+  // V1 - C1 - C2 cycle: the closing edge's fundamental-cycle walk must
+  // count every member, not just the closing device's neighbours.
+  const VerifyReport r = preflight_deck(
+      "long cv loop\n"
+      "V1 a 0 DC 1\n"
+      "C1 a b 1p\n"
+      "C2 b 0 1p\n"
+      ".end\n");
+  ASSERT_TRUE(r.has(Code::IndexTwoLoop));
+  const verify::Diagnostic* d = r.find(Code::IndexTwoLoop);
+  EXPECT_NE(d->message.find("2 capacitor(s)"), std::string::npos)
+      << d->message;
+  EXPECT_NE(d->message.find("1 voltage source(s)"), std::string::npos)
+      << d->message;
+}
+
+TEST(Preflight, PureCapacitorLoopIsNotIndexTwo) {
+  // A capacitor-only cycle redistributes charge but stays index 1; only
+  // mixed C/V cycles are flagged.
+  const VerifyReport r = preflight_deck(
+      "c loop\n"
+      "V1 a 0 DC 1\n"
+      "R1 a b 1k\n"
+      "C1 b c 1p\n"
+      "C2 c d 1p\n"
+      "C3 d b 1p\n"
+      ".end\n");
+  EXPECT_FALSE(r.has(Code::IndexTwoLoop)) << r.str();
+}
+
+TEST(Preflight, SeriesResistanceBreaksCvLoop) {
+  const VerifyReport r = preflight_deck(
+      "broken loop\n"
+      "V1 a 0 DC 1\n"
+      "R1 a b 1\n"
+      "C1 b 0 1p\n"
+      ".end\n");
+  EXPECT_FALSE(r.has(Code::IndexTwoLoop)) << r.str();
+}
+
+TEST(Preflight, ErrorsOnUnresolvableStiffness) {
+  // tau = 1 fF * 1 uOhm = 1e-21 s, seventeen decades below dt_min.
+  const VerifyReport r = preflight_deck(
+      "stiff deck\n"
+      "V1 in 0 DC 1\n"
+      "R1 in x 1u\n"
+      "C1 x 0 1f\n"
+      ".end\n");
+  EXPECT_FALSE(r.ok());
+  ASSERT_TRUE(r.has(Code::StiffnessUnresolvable));
+  const verify::Diagnostic* d = r.find(Code::StiffnessUnresolvable);
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_EQ(d->device, "c1");
+  EXPECT_EQ(d->spice_line, 4);
+}
+
+TEST(Preflight, TrapezoidalWarnsWhereBackwardEulerIsClean) {
+  // tau = 10 fF * 1 Ohm = 1e-14 s: below dt_min (1e-13) but inside the
+  // error margin.  BE damps the unresolved mode; trap rings it.
+  const std::string deck =
+      "trap ringing\n"
+      "V1 in 0 DC 1\n"
+      "R1 in x 1\n"
+      "C1 x 0 10f\n"
+      ".end\n";
+  EXPECT_FALSE(preflight_deck(deck).has(Code::StiffnessUnresolvable));
+  verify::PreflightOptions trap;
+  trap.integrator = circuit::Integrator::Trapezoidal;
+  const VerifyReport r = preflight_deck(deck, trap);
+  ASSERT_TRUE(r.has(Code::StiffnessUnresolvable));
+  EXPECT_EQ(r.find(Code::StiffnessUnresolvable)->severity,
+            Severity::Warning);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Preflight, FlagsBreakpointsFinerThanMinStep) {
+  // PWL corners 1e-14 s apart: under dt_min, one edge must be lost.
+  const VerifyReport r = preflight_deck(
+      "dense breakpoints\n"
+      "V1 in 0 PWL(0 0 1n 0 1.00001n 1)\n"
+      "R1 in 0 1k\n"
+      ".end\n");
+  EXPECT_FALSE(r.ok());
+  ASSERT_TRUE(r.has(Code::BreakpointSpacing));
+  const verify::Diagnostic* d = r.find(Code::BreakpointSpacing);
+  EXPECT_EQ(d->device, "v1");
+  EXPECT_EQ(d->spice_line, 2);
+}
+
+TEST(Preflight, FixedStepSkipsAdaptiveOnlyChecks) {
+  verify::PreflightOptions fixed;
+  fixed.adaptive = false;
+  const VerifyReport r = preflight_deck(
+      "fixed-step deck\n"
+      "V1 in 0 PWL(0 0 1n 0 1.00001n 1)\n"
+      "R1 in x 1u\n"
+      "C1 x 0 1f\n"
+      ".end\n",
+      fixed);
+  EXPECT_FALSE(r.has(Code::StiffnessUnresolvable)) << r.str();
+  EXPECT_FALSE(r.has(Code::BreakpointSpacing)) << r.str();
+}
+
 TEST(CleanPass, ShippedColumnVerifiesClean) {
   dram::DramColumn col;
   const VerifyReport r = col.verify();
@@ -285,6 +442,24 @@ TEST(CleanPass, ExampleDeckLintsClean) {
   std::stringstream buffer;
   buffer << in.rdbuf();
   const VerifyReport r = lint_deck(buffer.str());
+  EXPECT_TRUE(r.clean()) << r.str();
+}
+
+TEST(CleanPass, ShippedColumnPreflightsClean) {
+  // Default PreflightOptions mirror dram::SimSettings, so this is the
+  // exact check StressFlow::verify() appends -- the shipped column must
+  // stay clean or `dramstress --verify=strict` starts failing.
+  dram::DramColumn col;
+  const VerifyReport r = verify::preflight_numeric(col.netlist());
+  EXPECT_TRUE(r.clean()) << r.str();
+}
+
+TEST(CleanPass, ExampleDeckPreflightsClean) {
+  std::ifstream in(DS_SOURCE_DIR "/examples/decks/dram_cell.sp");
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const VerifyReport r = preflight_deck(buffer.str());
   EXPECT_TRUE(r.clean()) << r.str();
 }
 

@@ -1,0 +1,613 @@
+// detlint: the repo's determinism linter (docs/LINT.md, D5xx catalogue).
+//
+//   detlint src                          # scan a tree (*.hpp, *.cpp, ...)
+//   detlint --compdb build/compile_commands.json src
+//   detlint --report detlint.json src    # machine-readable findings
+//   detlint --self-test tools/detlint_corpus
+//
+// The engine's headline property -- byte-identical plane/campaign output
+// at any thread count and batch width -- is enforced dynamically by diff
+// tests and TSan; detlint enforces the *coding rules* that keep it true,
+// statically, at lexer level (no libclang; comments and string literals
+// are stripped before matching, so diagnostics never fire on prose):
+//
+//   D501  unordered_map / unordered_set: iteration order is
+//         implementation-defined, so any walk feeding output or
+//         accumulation is a byte-stability bug.  Pure lookup indexes are
+//         fine -- suppress with an allow comment saying so.
+//   D502  nondeterminism sources in simulation paths: rand/srand,
+//         std::random_device, system_clock / high_resolution_clock /
+//         wall-clock time()/clock()/gettimeofday/localtime/gmtime.
+//         steady_clock is exempt: monotonic, used only for timeouts and
+//         span durations, never in numeric paths.
+//   D503  pointer-keyed ordered containers (std::map/set/multimap/
+//         multiset with a '*' in the key type): ordered by allocation
+//         address, i.e. by allocator mood -- iteration is nondeterministic
+//         run to run even though the container is "ordered".
+//   D504  float reductions via std::accumulate / std::reduce /
+//         std::transform_reduce: reduce's operation order is unspecified,
+//         and accumulate hides the summation order from review; numeric
+//         reductions belong in the repo's own deterministic helpers.
+//   D505  getenv outside the option-resolution layer (util/parallel.cpp,
+//         util/log.cpp): configuration must flow through options structs
+//         so a run's inputs are captured by its manifest.
+//
+// Escape hatch: `// detlint:allow(D5xx reason)` on the same line or on
+// comment-only lines directly above suppresses one rule with a recorded
+// justification.  `--self-test` checks seeded corpus files whose expected
+// findings are marked `// detlint:expect(D5xx)`.
+//
+// Exit status: 0 clean, 1 findings (or self-test mismatch), 2 usage/IO.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace fs = std::filesystem;
+namespace util = dramstress::util;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string code;  // "D501".."D505"
+  std::string message;
+};
+
+struct Suppression {
+  std::string file;
+  int line = 0;  // line of the suppressed finding
+  std::string code;
+  std::string reason;
+};
+
+/// One logical source line split into executable text and comment text.
+struct SourceLine {
+  std::string code;     // literals blanked, comments removed
+  std::string comment;  // concatenated comment text of the line
+};
+
+/// Lexer-level split: strips // and /* */ comments into `comment`, blanks
+/// string/char literals (the quotes survive as placeholders so token
+/// boundaries stay intact).  Handles line continuations implicitly by
+/// working character-wise; raw strings are treated as plain strings,
+/// which is fine for linting (their content is blanked either way).
+std::vector<SourceLine> split_lines(const std::string& text) {
+  std::vector<SourceLine> lines(1);
+  enum class State { Code, LineComment, BlockComment, String, Char };
+  State st = State::Code;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (st == State::LineComment) st = State::Code;
+      lines.emplace_back();
+      continue;
+    }
+    SourceLine& cur = lines.back();
+    switch (st) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          st = State::LineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = State::BlockComment;
+          ++i;
+        } else if (c == '"') {
+          cur.code += '"';
+          st = State::String;
+        } else if (c == '\'') {
+          cur.code += '\'';
+          st = State::Char;
+        } else {
+          cur.code += c;
+        }
+        break;
+      case State::LineComment:
+        cur.comment += c;
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          st = State::Code;
+          ++i;
+        } else {
+          cur.comment += c;
+        }
+        break;
+      case State::String:
+        if (c == '\\') {
+          ++i;  // skip the escaped character
+        } else if (c == '"') {
+          cur.code += '"';
+          st = State::Code;
+        }
+        break;
+      case State::Char:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          cur.code += '\'';
+          st = State::Code;
+        }
+        break;
+    }
+  }
+  return lines;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Position of `word` in `s` at an identifier boundary, or npos.
+size_t find_word(const std::string& s, const std::string& word,
+                 size_t from = 0) {
+  for (size_t pos = s.find(word, from); pos != std::string::npos;
+       pos = s.find(word, pos + 1)) {
+    const bool left_ok = pos == 0 || !ident_char(s[pos - 1]);
+    const size_t end = pos + word.size();
+    const bool right_ok = end >= s.size() || !ident_char(s[end]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string::npos;
+}
+
+/// Last non-space character before `pos`, or '\0'.
+char prev_nonspace(const std::string& s, size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (!std::isspace(static_cast<unsigned char>(s[pos]))) return s[pos];
+  }
+  return '\0';
+}
+
+/// First non-space character at or after `pos`, or '\0'.
+char next_nonspace(const std::string& s, size_t pos) {
+  while (pos < s.size()) {
+    if (!std::isspace(static_cast<unsigned char>(s[pos]))) return s[pos];
+    ++pos;
+  }
+  return '\0';
+}
+
+/// True when s[..pos) ends with `suffix` (used for "std::" qualification).
+bool preceded_by(const std::string& s, size_t pos, const std::string& suffix) {
+  return pos >= suffix.size() &&
+         s.compare(pos - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string trim_copy(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+// --- rules ------------------------------------------------------------
+
+void rule_d501(const std::string& line, int /*lineno*/,
+               std::vector<std::pair<std::string, std::string>>& out) {
+  for (const char* word : {"unordered_map", "unordered_set"}) {
+    if (find_word(line, word) == std::string::npos) continue;
+    out.push_back(
+        {"D501",
+         util::format("%s has implementation-defined iteration order; "
+                      "iterating it into output or accumulation is "
+                      "nondeterministic -- use std::map/std::vector, or "
+                      "allow with a lookup-only justification",
+                      word)});
+  }
+}
+
+void rule_d502(const std::string& line, int /*lineno*/,
+               std::vector<std::pair<std::string, std::string>>& out) {
+  // Unconditionally banned identifiers.
+  for (const char* word :
+       {"random_device", "system_clock", "high_resolution_clock", "srand",
+        "gettimeofday", "localtime", "gmtime"}) {
+    if (find_word(line, word) == std::string::npos) continue;
+    out.push_back(
+        {"D502", util::format("%s is a nondeterminism source; simulation "
+                              "paths must be pure functions of their "
+                              "options (steady_clock is the one sanctioned "
+                              "clock, for timeouts only)",
+                              word)});
+  }
+  // rand/time/clock: only as calls, and not as member access or the
+  // declaration of an unrelated method that happens to share the name
+  // (`double time(size_t lane)`), which an identifier directly before
+  // the word indicates.
+  for (const char* word : {"rand", "time", "clock"}) {
+    for (size_t pos = find_word(line, word); pos != std::string::npos;
+         pos = find_word(line, word, pos + 1)) {
+      const size_t end = pos + std::string(word).size();
+      if (next_nonspace(line, end) != '(') continue;  // not a call
+      const bool std_qualified = preceded_by(line, pos, "std::");
+      if (!std_qualified) {
+        const char before = prev_nonspace(line, pos);
+        // '.'/'->' member access, '::' other-namespace qualification, and
+        // a preceding identifier (a declaration like `double time(...)`)
+        // are all legitimate same-named entities, not the C library.
+        if (before == '.' || before == ':' || before == '>') continue;
+        if (ident_char(before)) continue;
+      }
+      out.push_back(
+          {"D502", util::format("%s() reads wall-clock/PRNG state; "
+                                "simulation paths must be pure functions "
+                                "of their options",
+                                word)});
+      break;  // one finding per word per line
+    }
+  }
+}
+
+void rule_d503(const std::string& line, int /*lineno*/,
+               std::vector<std::pair<std::string, std::string>>& out) {
+  for (const char* word : {"map", "set", "multimap", "multiset"}) {
+    for (size_t pos = find_word(line, word); pos != std::string::npos;
+         pos = find_word(line, word, pos + 1)) {
+      const size_t open = pos + std::string(word).size();
+      if (open >= line.size() || line[open] != '<') continue;
+      // First template argument: scan to the matching ',' or '>' at
+      // depth 0, then look for a pointer declarator in it.
+      int depth = 0;
+      std::string key;
+      for (size_t i = open + 1; i < line.size(); ++i) {
+        const char c = line[i];
+        if (c == '<' || c == '(') ++depth;
+        if (c == '>' || c == ')') {
+          if (depth == 0) break;
+          --depth;
+        }
+        if (c == ',' && depth == 0) break;
+        key += c;
+      }
+      if (key.find('*') == std::string::npos) continue;
+      out.push_back(
+          {"D503",
+           util::format("std::%s keyed on a pointer type (%s) orders by "
+                        "allocation address: iteration is nondeterministic "
+                        "run to run -- key on a name or stable id instead",
+                        word, trim_copy(key).c_str())});
+    }
+  }
+}
+
+void rule_d504(const std::string& line, int /*lineno*/,
+               std::vector<std::pair<std::string, std::string>>& out) {
+  for (const char* word : {"accumulate", "reduce", "transform_reduce"}) {
+    if (find_word(line, word) == std::string::npos) continue;
+    out.push_back(
+        {"D504",
+         util::format("std::%s hides (or, for reduce, unspecifies) the "
+                      "floating-point summation order; numeric reductions "
+                      "belong in the repo's explicit loops or whitelisted "
+                      "deterministic helpers",
+                      word)});
+  }
+}
+
+void rule_d505(const std::string& line, int /*lineno*/, bool whitelisted,
+               std::vector<std::pair<std::string, std::string>>& out) {
+  if (whitelisted) return;
+  if (find_word(line, "getenv") == std::string::npos) return;
+  out.push_back(
+      {"D505", "getenv outside the option-resolution layer "
+               "(util/parallel.cpp, util/log.cpp): configuration must "
+               "flow through options structs so the run manifest "
+               "captures it"});
+}
+
+// --- allow / expect comments ------------------------------------------
+
+/// Extract every "detlint:<verb>(D5xx ...)" marker from comment text.
+std::vector<std::pair<std::string, std::string>> markers(
+    const std::string& comment, const std::string& verb) {
+  std::vector<std::pair<std::string, std::string>> out;
+  const std::string tag = "detlint:" + verb + "(";
+  for (size_t pos = comment.find(tag); pos != std::string::npos;
+       pos = comment.find(tag, pos + 1)) {
+    const size_t open = pos + tag.size();
+    const size_t close = comment.find(')', open);
+    if (close == std::string::npos) continue;
+    const std::string body = comment.substr(open, close - open);
+    const size_t sp = body.find_first_of(" \t");
+    const std::string code = sp == std::string::npos ? body : body.substr(0, sp);
+    const std::string reason =
+        sp == std::string::npos ? "" : trim_copy(body.substr(sp));
+    out.push_back({code, reason});
+  }
+  return out;
+}
+
+/// detlint:allow(code ...) markers that apply to `lineno` (1-based): same
+/// line, or a contiguous run of comment-only lines directly above.
+std::vector<std::pair<std::string, std::string>> allows_for(
+    const std::vector<SourceLine>& lines, int lineno) {
+  std::vector<std::pair<std::string, std::string>> out;
+  const auto collect = [&out](const SourceLine& l) {
+    for (auto& m : markers(l.comment, "allow")) out.push_back(std::move(m));
+  };
+  collect(lines[static_cast<size_t>(lineno - 1)]);
+  for (int i = lineno - 1; i >= 1; --i) {
+    const SourceLine& above = lines[static_cast<size_t>(i - 1)];
+    const bool comment_only =
+        trim_copy(above.code).empty() && !above.comment.empty();
+    if (!comment_only) break;
+    collect(above);
+  }
+  return out;
+}
+
+// --- per-file scan ----------------------------------------------------
+
+struct FileResult {
+  std::vector<Finding> findings;          // unsuppressed
+  std::vector<Suppression> suppressions;  // allow comments that fired
+  std::vector<Finding> expected;          // detlint:expect markers
+};
+
+bool getenv_whitelisted(const std::string& path) {
+  const std::string norm = fs::path(path).generic_string();
+  return ends_with(norm, "util/parallel.cpp") ||
+         ends_with(norm, "util/log.cpp");
+}
+
+FileResult scan_file(const std::string& path, const std::string& text) {
+  FileResult res;
+  const std::vector<SourceLine> lines = split_lines(text);
+  const bool d505_ok = getenv_whitelisted(path);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const int lineno = static_cast<int>(i) + 1;
+    for (const auto& [code, reason] : markers(lines[i].comment, "expect"))
+      res.expected.push_back({path, lineno, code, reason});
+
+    // Preprocessor directives are exempt: `#include <unordered_map>` is
+    // not a use, and the rules target expression/declaration contexts.
+    const std::string trimmed = trim_copy(lines[i].code);
+    if (!trimmed.empty() && trimmed[0] == '#') continue;
+
+    std::vector<std::pair<std::string, std::string>> hits;
+    rule_d501(lines[i].code, lineno, hits);
+    rule_d502(lines[i].code, lineno, hits);
+    rule_d503(lines[i].code, lineno, hits);
+    rule_d504(lines[i].code, lineno, hits);
+    rule_d505(lines[i].code, lineno, d505_ok, hits);
+    if (hits.empty()) continue;
+
+    const auto allows = allows_for(lines, lineno);
+    for (const auto& [code, message] : hits) {
+      const auto it = std::find_if(
+          allows.begin(), allows.end(),
+          [&code](const auto& a) { return a.first == code; });
+      if (it != allows.end()) {
+        res.suppressions.push_back({path, lineno, code, it->second});
+      } else {
+        res.findings.push_back({path, lineno, code, message});
+      }
+    }
+  }
+  return res;
+}
+
+// --- input collection -------------------------------------------------
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h" || ext == ".hh" || ext == ".inl";
+}
+
+/// Deck of files to scan: positional paths (files or trees) plus the
+/// source files of a compile_commands.json.  Sorted + deduped, so the
+/// scan order -- and every report byte -- is independent of filesystem
+/// enumeration order.
+std::vector<std::string> collect(const std::vector<std::string>& paths,
+                                 const std::string& compdb) {
+  // Absolute, normalized paths so the same file reached through the
+  // compdb and through a positional tree dedupes.
+  const auto canon = [](const fs::path& p) {
+    return fs::absolute(p).lexically_normal().generic_string();
+  };
+  std::set<std::string> files;
+  for (const std::string& p : paths) {
+    if (fs::is_directory(p)) {
+      for (const auto& e : fs::recursive_directory_iterator(p))
+        if (e.is_regular_file() && lintable(e.path()))
+          files.insert(canon(e.path()));
+    } else {
+      files.insert(canon(p));
+    }
+  }
+  if (!compdb.empty()) {
+    // Scope compdb entries to the positional trees (when given): the
+    // determinism rules bind src/, not tests or tools, but generated TUs
+    // under a scanned tree must not escape by being absent on disk walks.
+    std::vector<std::string> roots;
+    for (const std::string& p : paths)
+      if (fs::is_directory(p)) roots.push_back(canon(p) + "/");
+    std::ifstream in(compdb);
+    if (!in.good())
+      throw dramstress::ModelError("detlint: cannot open compdb " + compdb);
+    std::ostringstream text;
+    text << in.rdbuf();
+    const util::json::Value root = util::json::parse(text.str());
+    for (const util::json::Value& entry : root.array) {
+      const util::json::Value* file = entry.find("file");
+      const util::json::Value* dir = entry.find("directory");
+      if (file == nullptr || !file->is_string()) continue;
+      fs::path p = file->string;
+      if (p.is_relative() && dir != nullptr && dir->is_string())
+        p = fs::path(dir->string) / p;
+      if (!lintable(p)) continue;
+      const std::string c = canon(p);
+      const bool in_scope =
+          roots.empty() ||
+          std::any_of(roots.begin(), roots.end(), [&c](const std::string& r) {
+            return c.compare(0, r.size(), r) == 0;
+          });
+      if (in_scope) files.insert(c);
+    }
+  }
+  return {files.begin(), files.end()};
+}
+
+// --- report -----------------------------------------------------------
+
+void write_report(const std::string& path, const std::vector<Finding>& findings,
+                  const std::vector<Suppression>& suppressions,
+                  size_t files_scanned) {
+  util::json::Writer w;
+  w.begin_object();
+  w.key("detlint_version").value(1l);
+  w.key("files_scanned").value(static_cast<long>(files_scanned));
+  w.key("findings");
+  w.begin_array();
+  for (const Finding& f : findings) {
+    w.begin_object();
+    w.key("file").value(f.file);
+    w.key("line").value(static_cast<long>(f.line));
+    w.key("code").value(f.code);
+    w.key("message").value(f.message);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("suppressions");
+  w.begin_array();
+  for (const Suppression& s : suppressions) {
+    w.begin_object();
+    w.key("file").value(s.file);
+    w.key("line").value(static_cast<long>(s.line));
+    w.key("code").value(s.code);
+    w.key("reason").value(s.reason);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good())
+    throw dramstress::ModelError("detlint: cannot write report " + path);
+  out << w.str() << '\n';
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--compdb FILE] [--report FILE] [--self-test] "
+               "PATH...\n"
+               "scan C++ sources for determinism-rule violations "
+               "(D501..D505, docs/LINT.md)\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string compdb;
+  std::string report_path;
+  bool self_test = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--compdb" && i + 1 < argc) {
+      compdb = argv[++i];
+    } else if (a == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (a == "--self-test") {
+      self_test = true;
+    } else if (!a.empty() && a[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.empty() && compdb.empty()) return usage(argv[0]);
+
+  try {
+    const std::vector<std::string> files = collect(paths, compdb);
+    if (files.empty()) {
+      std::fprintf(stderr, "detlint: nothing to scan\n");
+      return 2;
+    }
+    std::vector<Finding> findings;
+    std::vector<Finding> expected;
+    std::vector<Suppression> suppressions;
+    for (const std::string& f : files) {
+      std::ifstream in(f);
+      if (!in.good()) {
+        std::fprintf(stderr, "detlint: cannot open %s\n", f.c_str());
+        return 2;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      FileResult res = scan_file(f, text.str());
+      findings.insert(findings.end(), res.findings.begin(),
+                      res.findings.end());
+      expected.insert(expected.end(), res.expected.begin(),
+                      res.expected.end());
+      suppressions.insert(suppressions.end(), res.suppressions.begin(),
+                          res.suppressions.end());
+    }
+
+    if (self_test) {
+      // Exact match between seeded expect markers and produced findings:
+      // a missed violation and a spurious finding both fail.
+      const auto key = [](const Finding& f) {
+        return f.file + ":" + util::format("%d", f.line) + ":" + f.code;
+      };
+      std::set<std::string> want;
+      std::set<std::string> got;
+      for (const Finding& f : expected) want.insert(key(f));
+      for (const Finding& f : findings) got.insert(key(f));
+      int bad = 0;
+      for (const std::string& k : want) {
+        if (got.count(k) != 0) continue;
+        ++bad;
+        std::fprintf(stderr, "self-test MISSED expected finding %s\n",
+                     k.c_str());
+      }
+      for (const std::string& k : got) {
+        if (want.count(k) != 0) continue;
+        ++bad;
+        std::fprintf(stderr, "self-test SPURIOUS finding %s\n", k.c_str());
+      }
+      std::printf("detlint self-test: %zu expected, %zu produced, %d "
+                  "mismatch(es) over %zu file(s)\n",
+                  want.size(), got.size(), bad, files.size());
+      return bad == 0 ? 0 : 1;
+    }
+
+    for (const Finding& f : findings)
+      std::printf("%s:%d: %s: %s\n", f.file.c_str(), f.line, f.code.c_str(),
+                  f.message.c_str());
+    if (!report_path.empty())
+      write_report(report_path, findings, suppressions, files.size());
+    std::printf("detlint: %zu finding(s), %zu suppression(s) over %zu "
+                "file(s)\n",
+                findings.size(), suppressions.size(), files.size());
+    return findings.empty() ? 0 : 1;
+  } catch (const dramstress::Error& e) {
+    std::fprintf(stderr, "detlint: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "detlint: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,20 @@
+// detlint self-test corpus: D501, unordered containers.
+// Not compiled -- scanned by `detlint --self-test` (tools/CMakeLists.txt);
+// each seeded violation carries a detlint:expect marker on its line.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Registry {
+  std::unordered_map<std::string, int> by_name;  // detlint:expect(D501)
+  std::unordered_set<int> live;                  // detlint:expect(D501)
+};
+
+// The escape hatch: a justified allow suppresses the finding, so no
+// expect marker here -- a spurious finding on this line fails the
+// self-test, proving the suppression path works.
+// detlint:allow(D501 corpus: lookup-only index, never iterated)
+std::unordered_map<const void*, int> lookup_only_index;
+
+// Prose and literals never fire: unordered_map<int, int> in a comment.
+const char* kDoc = "unordered_map<int, int> in a string literal";

@@ -1,0 +1,34 @@
+// detlint self-test corpus: D502, nondeterminism sources.
+// Not compiled -- scanned by `detlint --self-test`.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int wall_clock_sins() {
+  std::srand(42);                            // detlint:expect(D502)
+  int x = std::rand();                       // detlint:expect(D502)
+  x += rand();                               // detlint:expect(D502)
+  std::random_device entropy;                // detlint:expect(D502)
+  x += static_cast<int>(entropy());
+  auto wall = std::chrono::system_clock::now();  // detlint:expect(D502)
+  (void)wall;
+  auto hi = std::chrono::high_resolution_clock::now();  // detlint:expect(D502)
+  (void)hi;
+  std::time_t t = std::time(nullptr);        // detlint:expect(D502)
+  struct tm* lt = std::localtime(&t);        // detlint:expect(D502)
+  (void)lt;
+  return x;
+}
+
+struct Lane {
+  double time(int lane) const { return 0.0 * lane; }  // declaration: clean
+};
+
+double sanctioned(const Lane& l) {
+  // steady_clock is monotonic and sanctioned for timeouts; method calls
+  // named time() are not the C library.
+  auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  return l.time(0);
+}

@@ -1,0 +1,18 @@
+// detlint self-test corpus: D503, pointer-keyed ordered containers.
+// Not compiled -- scanned by `detlint --self-test`.
+#include <map>
+#include <set>
+#include <string>
+
+struct Device;
+
+std::map<const Device*, int> by_address;     // detlint:expect(D503)
+std::set<Device*> live_devices;              // detlint:expect(D503)
+std::multimap<void*, int> scratch;           // detlint:expect(D503)
+
+// Pointer *values* are fine -- only the key's ordering matters.
+std::map<std::string, Device*> by_name;
+
+// Name-keyed containers are the sanctioned replacement.
+std::map<std::string, int> ranks;
+std::set<int> ids;

@@ -1,0 +1,25 @@
+// detlint self-test corpus: D504, hidden floating-point reductions.
+// Not compiled -- scanned by `detlint --self-test`.
+#include <numeric>
+#include <vector>
+
+double hidden_sums(const std::vector<double>& v) {
+  double a = std::accumulate(v.begin(), v.end(), 0.0);  // detlint:expect(D504)
+  double b = std::reduce(v.begin(), v.end());           // detlint:expect(D504)
+  double c = std::transform_reduce(                     // detlint:expect(D504)
+      v.begin(), v.end(), 0.0, [](double x, double y) { return x + y; },
+      [](double x) { return x * x; });
+  return a + b + c;
+}
+
+double whitelisted_helper(const std::vector<double>& v) {
+  // detlint:allow(D504 corpus: whitelisted deterministic helper)
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+// The sanctioned form: an explicit loop with reviewable order.
+double explicit_sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}

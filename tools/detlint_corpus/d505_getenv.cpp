@@ -1,0 +1,11 @@
+// detlint self-test corpus: D505, getenv outside option resolution.
+// Not compiled -- scanned by `detlint --self-test`.  This file is not
+// util/parallel.cpp or util/log.cpp, so getenv fires.
+#include <cstdlib>
+
+const char* sneaky_config() {
+  return std::getenv("DRAMSTRESS_SNEAKY");  // detlint:expect(D505)
+}
+
+// detlint:allow(D505 corpus: demonstrating the escape hatch)
+const char* allowed_config() { return std::getenv("DRAMSTRESS_ALLOWED"); }

@@ -1,17 +1,39 @@
 #!/usr/bin/env bash
-# Run clang-tidy (profile: .clang-tidy) over the library and tool sources
-# using the compilation database that CMake exports.
+# Static analysis over the library and tool sources:
+#   1. detlint -- the in-repo determinism linter (D5xx, docs/LINT.md),
+#      built from tools/detlint.cpp; any unsuppressed finding fails.
+#   2. clang-tidy (profile: .clang-tidy) over the compilation database
+#      that CMake exports.
 #
 #   tools/lint.sh [build-dir]      default build dir: build
 #
-# Exits 0 with a notice when no clang-tidy binary is installed, so the
-# script is safe to call unconditionally from CI images that lack the
-# clang tooling; everything else propagates clang-tidy's exit status.
+# detlint always runs (it is built by the repo's own toolchain); the
+# clang-tidy stage exits 0 with a notice when no clang-tidy binary is
+# installed, so the script is safe to call unconditionally from CI images
+# that lack the clang tooling.  Everything else propagates the tools'
+# exit status.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 build_dir="${1:-build}"
 
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "lint.sh: $build_dir/compile_commands.json missing;" \
+       "configure first: cmake -B $build_dir -S ." >&2
+  exit 2
+fi
+
+# --- determinism linter ------------------------------------------------
+detlint="$build_dir/tools/detlint"
+if [[ ! -x "$detlint" ]]; then
+  echo "lint.sh: building detlint"
+  cmake --build "$build_dir" --target detlint -j > /dev/null
+fi
+echo "lint.sh: detlint over src/ (db: $build_dir)"
+"$detlint" --compdb "$build_dir/compile_commands.json" \
+    --report "$build_dir/detlint.json" src
+
+# --- clang-tidy --------------------------------------------------------
 tidy=""
 for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
                  clang-tidy-15 clang-tidy-14; do
@@ -23,12 +45,6 @@ done
 if [[ -z "$tidy" ]]; then
   echo "lint.sh: no clang-tidy binary found; skipping static analysis" >&2
   exit 0
-fi
-
-if [[ ! -f "$build_dir/compile_commands.json" ]]; then
-  echo "lint.sh: $build_dir/compile_commands.json missing;" \
-       "configure first: cmake -B $build_dir -S ." >&2
-  exit 2
 fi
 
 # Library + tool translation units; tests are covered by the compiler's

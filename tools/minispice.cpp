@@ -26,6 +26,7 @@
 #include "util/error.hpp"
 #include "util/units.hpp"
 #include "verify/netlist_lint.hpp"
+#include "verify/preflight.hpp"
 
 using namespace dramstress;
 using namespace dramstress::circuit;
@@ -86,8 +87,15 @@ int main(int raw_argc, char** raw_argv) {
     if (lint) {
       verify::LintOptions opt;
       opt.source_lines = &deck.device_lines;
-      const verify::VerifyReport report =
+      verify::VerifyReport report =
           verify::NetlistLinter(opt).lint(*deck.netlist);
+      // Numeric pre-flight (E4xx).  minispice runs the fixed-step path,
+      // so the adaptive-only checks (E403/E404) are skipped.
+      verify::PreflightOptions pre;
+      pre.adaptive = false;
+      pre.t_stop = deck.tran_stop;
+      pre.source_lines = &deck.device_lines;
+      report.merge(verify::preflight_numeric(*deck.netlist, pre));
       std::fputs(report.str().c_str(), stdout);
       return report.ok() ? 0 : 1;
     }

@@ -18,7 +18,11 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 echo "=== tier-1: static netlist verification gate ==="
 # The shipped column and every defect placeholder must lint clean, with
 # warnings fatal (docs/LINT.md): a diagnostic here means the netlist
-# builder and the defect taxonomy disagree.
+# builder and the defect taxonomy disagree.  This includes the numeric
+# pre-flight (E4xx) under the flow's own SimSettings.  The determinism
+# linter runs inside the full ctest above (Detlint.Src / Detlint.Corpus);
+# Clang thread-safety analysis and clang-tidy run via tools/lint.sh in
+# the CI lint job.
 ./build/tools/dramstress --verify=strict
 
 echo "=== tier-1: adaptive-engine accuracy gate ==="
