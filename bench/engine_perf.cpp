@@ -11,7 +11,12 @@
 //    the batched ensemble engine (adaptive + sparse + N lanes per solve),
 //  * observability overhead: the adaptive+sparse plane workload with metric
 //    and span collection on vs. suspended (obs::set_collecting); the
-//    acceptance ceiling is <2% overhead.
+//    acceptance ceiling is <2% overhead,
+//  * the Table 1 rung: BR at 3 Vdd values x 7 defects x 2 bitlines, the
+//    surrogate warm-start chain vs. cold classic searches, counted in full
+//    transients (table1_transients in the JSON); the acceptance floor is a
+//    >= 5x transient reduction with every BR within the bisection tolerance
+//    of its classic value.
 //
 // All comparisons are written to BENCH_engine.json (wall time and
 // points/sec per variant plus the speedups), together with the full metric
@@ -27,14 +32,20 @@
 // takes the best of N runs per ladder rung (default 2 -- scheduler noise
 // on a loaded host easily exceeds the rung-to-rung differences),
 // --out=PATH overrides the JSON destination, --skip-micro skips the
-// google-benchmark microbenches.
+// google-benchmark microbenches, --skip-table1 skips the Table 1 rung
+// (its transient counts are deterministic, so there is no --reps
+// interaction to worry about).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "analysis/border.hpp"
 #include "analysis/result_plane.hpp"
 #include "analysis/vsa.hpp"
 #include "defect/defect.hpp"
@@ -197,6 +208,138 @@ SweepTiming time_plane_engine_once(const analysis::PlaneOptions& opt,
   return t;
 }
 
+// --- Table 1 rung: surrogate warm-start chains vs. cold classic searches --
+
+struct Table1Timing {
+  long transients_classic = 0;   // cold classic searches, all rows
+  long transients_surrogate = 0; // warm-chained surrogate searches, all rows
+  double wall_classic_s = 0.0;
+  double wall_surrogate_s = 0.0;
+  double worst_mismatch_dec = 0.0;  // max |log10(br_on / br_off)| over rows
+  double reduction() const {
+    return transients_surrogate > 0
+               ? static_cast<double>(transients_classic) / transients_surrogate
+               : 0.0;
+  }
+};
+
+/// The Table 1 workload: the border resistance of every defect on both
+/// bitlines at Vdd = {2.1, 2.4, 2.7} V, holding the detection condition
+/// fixed at the one found by a classic analyze at nominal (shared by both
+/// arms and excluded from the counts).  The classic arm re-runs the full
+/// cold search at every Vdd, which is what the campaign did before the
+/// surrogate; the surrogate arm chains warm starts: the nominal row reuses
+/// the analyze BR outright, 2.1 V is hinted by the nominal BR, 2.7 V by
+/// log-linear continuation of the (2.1, 2.4) trend, and the complement side
+/// borrows the true side's same-Vdd BR when the two sides' nominal BRs
+/// agree to within 0.1 decades.  Transient counts are deterministic; wall
+/// times are informational only.
+Table1Timing run_table1_rung() {
+  dram::DramColumn column;
+  const std::vector<defect::DefectKind> kinds = {
+      defect::DefectKind::O1, defect::DefectKind::O2, defect::DefectKind::O3,
+      defect::DefectKind::Sg, defect::DefectKind::Sv, defect::DefectKind::B1,
+      defect::DefectKind::B2};
+  const double vdds[] = {2.1, 2.4, 2.7};
+
+  Table1Timing total;
+  for (defect::DefectKind k : kinds) {
+    double true_side_br[3] = {-1, -1, -1};
+    for (dram::Side side : {dram::Side::True, dram::Side::Comp}) {
+      const defect::Defect d{k, side};
+      analysis::BorderOptions classic;
+      classic.surrogate.enabled = false;
+      analysis::BorderResult fixed;
+      {
+        dram::ColumnSimulator sim(column, stress::nominal_condition());
+        fixed = analysis::analyze_defect(column, d, sim, classic);
+      }
+      if (!fixed.br.has_value()) {
+        std::printf("  %-9s: not detectable at nominal, skipped\n",
+                    d.name().c_str());
+        continue;
+      }
+      const auto range = defect::default_sweep_range(k);
+
+      // Classic arm: a cold search per Vdd (the fig5 sweep idiom).
+      long t0 = dram::thread_transients();
+      auto c0 = std::chrono::steady_clock::now();
+      std::vector<double> br_off;
+      for (double vdd : vdds) {
+        stress::StressCondition sc = stress::nominal_condition();
+        sc.vdd = vdd;
+        dram::ColumnSimulator sim(column, sc);
+        auto r = analysis::find_border_resistance(column, d, sim,
+                                                  fixed.condition, range,
+                                                  classic);
+        br_off.push_back(r.br.value_or(-1));
+      }
+      const long off = dram::thread_transients() - t0;
+      total.wall_classic_s +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - c0)
+              .count();
+
+      // Surrogate arm: nominal Vdd first (the analyze BR is already the
+      // answer there), then the chained warm searches.
+      t0 = dram::thread_transients();
+      c0 = std::chrono::steady_clock::now();
+      const double order[] = {2.4, 2.1, 2.7};
+      double br_at[3] = {-1, -1, -1};  // indexed like vdds
+      std::optional<double> slope = fixed.margin_slope;
+      for (double vdd : order) {
+        const int vi = vdd == 2.1 ? 0 : vdd == 2.4 ? 1 : 2;
+        if (vdd == 2.4) {
+          br_at[1] = *fixed.br;
+          continue;
+        }
+        stress::StressCondition sc = stress::nominal_condition();
+        sc.vdd = vdd;
+        dram::ColumnSimulator sim(column, sc);
+        std::optional<double> hint = fixed.br;
+        const bool sides_agree =
+            side == dram::Side::Comp && true_side_br[vi] > 0 &&
+            true_side_br[1] > 0 &&
+            std::abs(std::log10(*fixed.br / true_side_br[1])) < 0.1;
+        if (sides_agree)
+          hint = true_side_br[vi];
+        else if (vdd == 2.1 && br_at[1] > 0)
+          hint = br_at[1];
+        else if (vdd == 2.7 && br_at[1] > 0)
+          hint = br_at[0] > 0 ? br_at[1] * (br_at[1] / br_at[0]) : br_at[1];
+        analysis::BorderOptions warm;
+        warm.surrogate.enabled = true;
+        warm.bracket_hint = hint;
+        warm.margin_slope_hint = slope;
+        auto r = analysis::find_border_resistance(column, d, sim,
+                                                  fixed.condition, range,
+                                                  warm);
+        br_at[vi] = r.br.value_or(-1);
+        if (r.br.has_value()) slope = r.margin_slope;
+      }
+      if (side == dram::Side::True)
+        for (int i = 0; i < 3; ++i) true_side_br[i] = br_at[i];
+      const long on = dram::thread_transients() - t0;
+      total.wall_surrogate_s +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - c0)
+              .count();
+
+      total.transients_classic += off;
+      total.transients_surrogate += on;
+      double mism = 0.0;
+      for (int i = 0; i < 3; ++i)
+        if (br_off[static_cast<size_t>(i)] > 0 && br_at[i] > 0)
+          mism = std::max(mism, std::abs(std::log10(
+                                    br_at[i] / br_off[static_cast<size_t>(i)])));
+      total.worst_mismatch_dec = std::max(total.worst_mismatch_dec, mism);
+      std::printf(
+          "  %-9s: classic %3ld  surrogate %3ld  (%5.2fx)  "
+          "mismatch %.4f dec\n",
+          d.name().c_str(), off, on, static_cast<double>(off) / on, mism);
+    }
+  }
+  return total;
+}
+
 void append_timing(util::json::Writer& w, const SweepTiming& t) {
   w.begin_object();
   w.key("wall_s").value(t.wall_s);
@@ -210,7 +353,7 @@ void write_json(const std::string& path, const analysis::PlaneOptions& opt,
                 const SweepTiming& fixed_sparse,
                 const SweepTiming& adaptive_sparse, const SweepTiming& ensemble,
                 int ensemble_batch, int ladder_reps, const SweepTiming& obs_on,
-                const SweepTiming& obs_off,
+                const SweepTiming& obs_off, const Table1Timing* table1,
                 const obs::MetricsSnapshot& metrics) {
   util::json::Writer w;
   w.begin_object();
@@ -257,6 +400,21 @@ void write_json(const std::string& path, const analysis::PlaneOptions& opt,
                  ? 100.0 * (obs_on.wall_s - obs_off.wall_s) / obs_off.wall_s
                  : 0.0);
   w.end_object();
+  if (table1) {
+    w.key("table1").begin_object();
+    w.key("defects").value(7);
+    w.key("sides").value(2);
+    w.key("vdd_values").begin_array();
+    w.value(2.1).value(2.4).value(2.7);
+    w.end_array();
+    w.key("table1_transients").value(table1->transients_surrogate);
+    w.key("table1_transients_classic").value(table1->transients_classic);
+    w.key("table1_reduction").value(table1->reduction());
+    w.key("worst_br_mismatch_decades").value(table1->worst_mismatch_dec);
+    w.key("wall_classic_s").value(table1->wall_classic_s);
+    w.key("wall_surrogate_s").value(table1->wall_surrogate_s);
+    w.end_object();
+  }
   // Full metric dump of the instrumented adaptive run: the same shape as a
   // run manifest's `metrics` object (docs/OBSERVABILITY.md).
   w.key("metrics");
@@ -282,6 +440,7 @@ int main(int argc, char** argv) {
   int batch = 12;              // ensemble-rung lane count (measured best)
   int reps = 2;                // best-of-N per ladder rung
   bool skip_micro = false;
+  bool skip_table1 = false;
 #ifndef DRAMSTRESS_BENCH_OUT_DIR
 #define DRAMSTRESS_BENCH_OUT_DIR "."
 #endif
@@ -300,6 +459,8 @@ int main(int argc, char** argv) {
       out_path = argv[i] + 6;
     else if (std::strcmp(argv[i], "--skip-micro") == 0)
       skip_micro = true;
+    else if (std::strcmp(argv[i], "--skip-table1") == 0)
+      skip_table1 = true;
   }
   if (batch < 1) batch = 1;
   if (reps < 1) reps = 1;
@@ -391,9 +552,20 @@ int main(int argc, char** argv) {
     std::printf("  collection off       : %8.3f s  (overhead %+.2f%%)\n",
                 obs_off.wall_s, overhead_pct);
 
+    Table1Timing table1;
+    if (!skip_table1) {
+      std::printf("Table 1 rung (BR at 3 Vdd x 7 defects x 2 bitlines, "
+                  "full transients):\n");
+      table1 = run_table1_rung();
+      std::printf("  total: classic %ld transients, surrogate %ld "
+                  "(%.2fx reduction), worst BR mismatch %.4f decades\n",
+                  table1.transients_classic, table1.transients_surrogate,
+                  table1.reduction(), table1.worst_mismatch_dec);
+    }
+
     write_json(out_path, opt, pool, serial, parallel, fixed_dense,
                fixed_sparse, adaptive_sparse, ensemble, batch, reps, obs_on,
-               obs_off, metrics);
+               obs_off, skip_table1 ? nullptr : &table1, metrics);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/surrogate.hpp"
+
 #include "numeric/interp.hpp"
 #include "numeric/rootfind.hpp"
 #include "obs/metrics.hpp"
@@ -28,6 +30,8 @@ BorderResult find_border_resistance(dram::DramColumn& column,
                                     const DetectionCondition& cond,
                                     const defect::SweepRange& range,
                                     const BorderOptions& opt) {
+  if (opt.surrogate.enabled)
+    return surrogate_find_border(column, d, sim, cond, range, opt);
   OBS_SPAN("border.find");
   require(opt.scan_points >= 3, "find_border_resistance: need >= 3 scan points");
   BorderResult result;
@@ -71,6 +75,7 @@ BorderResult find_border_resistance(dram::DramColumn& column,
     double widen = step;
     if (fails_at(lo) == series) {
       // The boundary, if any, lies below the hint bracket: walk down.
+      obs::count("border.bracket.miss");
       while (true) {
         if (lo <= range.lo * (1.0 + 1e-12)) {
           if (series) {  // fails all the way down to range.lo
@@ -86,6 +91,7 @@ BorderResult find_border_resistance(dram::DramColumn& column,
       }
     } else if (fails_at(hi) != series) {
       // The boundary lies above the hint bracket: walk up.
+      obs::count("border.bracket.miss");
       while (true) {
         if (hi >= range.hi * (1.0 - 1e-12)) {
           if (!series) {  // shunt fails all the way up to range.hi
@@ -145,6 +151,7 @@ BorderResult find_border_resistance(dram::DramColumn& column,
 BorderResult analyze_defect(dram::DramColumn& column, const defect::Defect& d,
                             const dram::ColumnSimulator& sim,
                             const BorderOptions& opt) {
+  if (opt.surrogate.enabled) return analyze_defect_surrogate(column, d, sim, opt);
   OBS_SPAN("border.analyze");
   const defect::SweepRange range = defect::default_sweep_range(d.kind);
   // Construct the candidate conditions at a mid-range reference (their

@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "analysis/detection.hpp"
+#include "analysis/surrogate_options.hpp"
 #include "defect/defect.hpp"
 
 namespace dramstress::util::json {
@@ -36,6 +37,17 @@ struct BorderOptions {
   /// fails-everywhere verdicts.  Affects probe count, not the verdict,
   /// for the monotone fail(R) predicates the detection conditions produce.
   std::optional<double> bracket_hint;
+  /// Companion to bracket_hint for the surrogate path: the sense-margin
+  /// slope d(margin)/d(ln R) near the hinted BR (BorderResult::margin_slope
+  /// of the neighbouring search).  Lets the surrogate take a Newton step
+  /// instead of a geometric walk; ignored by the classic search.
+  std::optional<double> margin_slope_hint;
+  /// Surrogate-accelerated search (analysis/surrogate.hpp).  When enabled
+  /// (the default, see default_surrogate_enabled), find_border_resistance
+  /// and analyze_defect dispatch to the margin-root-finding path; disabled,
+  /// the classic scan+bisection below runs byte-identically to before the
+  /// surrogate existed.
+  SurrogateOptions surrogate;
 };
 
 struct BorderResult {
@@ -47,6 +59,12 @@ struct BorderResult {
   DetectionCondition condition;
   /// True if the test fails across the entire sweep range.
   bool fails_everywhere = false;
+  /// Sense-margin slope d(margin)/d(ln R) at the border, reported by the
+  /// surrogate search (unset on the classic path).  Feed it into the next
+  /// neighbouring search's margin_slope_hint together with bracket_hint.
+  /// Search-internal state, deliberately NOT serialized by append_json:
+  /// the campaign payload schema is unchanged by the surrogate.
+  std::optional<double> margin_slope;
 
   /// Width of the failing range in decades of resistance (the coverage
   /// proxy the paper's criterion maximizes); 0 when br is absent.

@@ -49,10 +49,27 @@ int saturation_count(const dram::ColumnSimulator& sim, dram::Side side, int x,
 
 bool condition_fails(const dram::ColumnSimulator& sim, dram::Side side,
                      const DetectionCondition& cond) {
+  return condition_outcome(sim, side, cond).fails;
+}
+
+ConditionOutcome condition_outcome(const dram::ColumnSimulator& sim,
+                                   dram::Side side,
+                                   const DetectionCondition& cond) {
   const double init =
       dram::physical_level(side, cond.init_logical, sim.conditions().vdd);
   const dram::RunResult rr = sim.run(cond.ops, init, side);
-  return rr.last_read_bit() != cond.expected;
+  ConditionOutcome out;
+  // Sign the *last read's* differential so that positive means "read what
+  // was expected": a read returns 1 when bt - bc > 0, so expecting 0 flips
+  // the sign.
+  for (size_t i = rr.ops.size(); i-- > 0;) {
+    if (!rr.ops[i].bit.has_value()) continue;
+    out.fails = *rr.ops[i].bit != cond.expected;
+    out.margin = cond.expected == 1 ? rr.ops[i].sense_margin
+                                    : -rr.ops[i].sense_margin;
+    return out;
+  }
+  throw ModelError("condition_outcome: sequence contains no read");
 }
 
 std::vector<DetectionCondition> candidate_conditions(

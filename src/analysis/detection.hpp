@@ -63,6 +63,21 @@ int saturation_count(const dram::ColumnSimulator& sim, dram::Side side, int x,
 bool condition_fails(const dram::ColumnSimulator& sim, dram::Side side,
                      const DetectionCondition& cond);
 
+/// Boolean verdict plus the continuous sense margin behind it, from the
+/// same single transient.  `margin` is the final read's bitline
+/// differential signed so that margin > 0 <=> the read agrees with
+/// cond.expected (the condition passes); its magnitude says how far the
+/// sense decision was from flipping.  The surrogate border search
+/// (analysis/surrogate.hpp) root-finds on this margin over R instead of
+/// bisecting the boolean, which is where its probe savings come from.
+struct ConditionOutcome {
+  bool fails = false;
+  double margin = 0.0;  // V, bitline differential
+};
+ConditionOutcome condition_outcome(const dram::ColumnSimulator& sim,
+                                   dram::Side side,
+                                   const DetectionCondition& cond);
+
 /// A condition is a valid test only if it *passes* on the defect-free
 /// column under the same stress condition (otherwise it flags healthy
 /// devices).  Call with no defect injected.

@@ -69,15 +69,19 @@ FastCellModel FastCellModel::calibrate(dram::DramColumn& column,
     std::vector<double> xs;
     std::vector<double> ys;
     defect::Injection inj(column, d, rs.front());
+    VsaOptions vopt;
+    vopt.tolerance = opt.vsa_tol;
     for (double r : rs) {
       inj.set_value(r);
       xs.push_back(std::log10(r));
-      ys.push_back(extract_vsa(sim, d.side).threshold);
+      ys.push_back(extract_vsa(sim, d.side, vopt).threshold);
     }
     p.vsa_vs_log10r = numeric::PiecewiseLinear(xs, ys);
     p.vsa_varies = true;
   } else {
-    p.vsa_const = extract_vsa(sim, d.side).threshold;
+    VsaOptions vopt;
+    vopt.tolerance = opt.vsa_tol;
+    p.vsa_const = extract_vsa(sim, d.side, vopt).threshold;
     p.vsa_varies = false;
   }
 

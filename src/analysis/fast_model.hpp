@@ -24,6 +24,7 @@ struct FastCalibOptions {
   double r1 = 100e3;  // series-fit probe resistances
   double r2 = 400e3;
   int vsa_points = 5;       // samples of the Vsa(R) curve (series defects)
+  double vsa_tol = 3e-3;    // V, Vsa extraction tolerance per sample
   double leak_probe = 20e-6;  // s, idle window used to measure leakage
 };
 
@@ -69,11 +70,16 @@ public:
   /// Quiet time: leakage plus shunt decay.
   void idle(double seconds);
 
+  /// Sense threshold at the current defect resistance (the calibrated
+  /// Vsa(R) curve for series defects, a constant for shunts).  Public so
+  /// the surrogate border search can form a model-scale pass margin
+  /// (vc - threshold) without round-tripping through read().
+  double vsa_threshold() const;
+
   const FastModelParams& params() const { return params_; }
   const defect::Defect& defect() const { return d_; }
 
 private:
-  double vsa_threshold() const;
   /// Shunt far-node voltage (Sg -> 0, Sv -> vdd, B1 -> vbl, B2 -> 0).
   double shunt_level() const;
   void exponential_write(double target, double tau_extra_r);

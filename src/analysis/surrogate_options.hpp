@@ -1,0 +1,44 @@
+// Knobs for the surrogate-accelerated border search (analysis/surrogate.hpp),
+// split into their own header so BorderOptions can embed them without
+// border.hpp depending on the surrogate module itself.
+#pragma once
+
+namespace dramstress::analysis {
+
+/// Process-wide defaults, set once by the CLI (--surrogate / --no-surrogate /
+/// --surrogate-tol) before any work starts.  They exist so every
+/// BorderOptions constructed anywhere in the flow -- optimizer probes,
+/// campaign units, tools -- picks the session's choice up without threading
+/// a flag through each call site.  Reading them is lock-free; setting them
+/// after analyses started is a race and unsupported.
+bool default_surrogate_enabled();
+void set_default_surrogate_enabled(bool on);
+double default_surrogate_tol();
+void set_default_surrogate_tol(double tol);
+
+struct SurrogateOptions {
+  /// Master switch.  Off reproduces the classic scan+bisection search
+  /// byte-for-byte (the surrogate code is never entered).
+  bool enabled = default_surrogate_enabled();
+  /// Bracket tolerance on ln(R) for the surrogate root refinement -- the
+  /// same quantity (and default) as BorderOptions::log_tol, kept separate
+  /// so the two searches can be tightened independently.
+  double tol = default_surrogate_tol();
+  /// Hard cap of real transient probes per border search before the
+  /// search declares itself lost and falls back to the classic path.
+  int max_probes = 24;
+  /// Candidate pruning (analyze path): a candidate whose *predicted*
+  /// failing range lies more than this many decades below the predicted
+  /// best is not searched with real transients.  Must stay well above the
+  /// 0.15-decade measured tie window so a mispredicted near-tie cannot be
+  /// pruned; <= 0 disables pruning.
+  double prune_margin_decades = 0.5;
+  /// Cheap-calibration overrides for the fast-model prior: fewer Vsa(R)
+  /// knots and a coarser extraction tolerance than the model's analysis
+  /// defaults, because the prior only has to land the first probe within
+  /// about one coarse-grid step of the answer.
+  int vsa_knots = 2;
+  double vsa_tol = 0.05;  // V
+};
+
+}  // namespace dramstress::analysis

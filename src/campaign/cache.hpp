@@ -50,8 +50,9 @@ private:
 };
 
 /// Schema version of cache objects and journal records; part of every
-/// object wrapper so a format change invalidates cleanly.
-inline constexpr int kCacheVersion = 1;
+/// object wrapper so a format change invalidates cleanly.  v2: unit
+/// payloads wrap the analysis object as {"transients": N, "result": ...}.
+inline constexpr int kCacheVersion = 2;
 
 class ResultCache {
 public:

@@ -41,8 +41,11 @@ std::string defect_label(const defect::Defect& d) {
 }
 
 /// Compute one unit from scratch on a fresh column.  Returns the JSON
-/// payload.  Throws (ConvergenceError and friends) on failure -- the
-/// retry loop around this is the fault-tolerance layer.
+/// payload: {"transients": N, "result": {...analysis output...}} -- the
+/// full-transient count is part of the cached record so a later resume
+/// reports the same cost accounting as the run that computed it.  Throws
+/// (ConvergenceError and friends) on failure -- the retry loop around
+/// this is the fault-tolerance layer.
 std::string compute_unit(const CampaignPlan& plan, const WorkUnit& u,
                          const dram::TechnologyParams& tech,
                          const dram::SimSettings& settings) {
@@ -51,12 +54,16 @@ std::string compute_unit(const CampaignPlan& plan, const WorkUnit& u,
   const defect::SweepRange range = defect::default_sweep_range(d.kind);
   dram::DramColumn column(tech);
   dram::ColumnSimulator sim(column, p.condition, settings);
-  util::json::Writer w;
+  const long t0 = dram::thread_transients();
+  util::json::Writer inner;
   switch (u.kind) {
     case UnitKind::Border: {
+      analysis::BorderOptions bo;
+      bo.surrogate.enabled = plan.spec.surrogate_enabled;
+      bo.surrogate.tol = plan.spec.surrogate_tol;
       const analysis::BorderResult r =
-          analysis::analyze_defect(column, d, sim, analysis::BorderOptions{});
-      analysis::append_json(w, r, range);
+          analysis::analyze_defect(column, d, sim, bo);
+      analysis::append_json(inner, r, range);
       break;
     }
     case UnitKind::Planes: {
@@ -70,27 +77,45 @@ std::string compute_unit(const CampaignPlan& plan, const WorkUnit& u,
       po.threads = 1;
       const analysis::PlaneSet s =
           analysis::generate_plane_set(column, d, sim, po);
-      analysis::append_json(w, s);
+      analysis::append_json(inner, s);
       break;
     }
     case UnitKind::Optimize: {
       stress::OptimizerOptions oo;
       oo.settings = settings;
+      oo.border.surrogate.enabled = plan.spec.surrogate_enabled;
+      oo.border.surrogate.tol = plan.spec.surrogate_tol;
       const stress::OptimizationResult r =
           stress::optimize_stresses(column, d, p.condition, oo);
-      stress::append_json(w, r, range);
+      stress::append_json(inner, r, range);
       break;
     }
   }
+  // Units run one-per-thread, so the thread-local counter delta is the
+  // unit's exact cost even when the runner is parallel.
+  util::json::Writer w;
+  w.begin_object();
+  w.key("transients").value(dram::thread_transients() - t0);
+  w.key("result");
+  util::json::append(w, util::json::parse(inner.str()));
+  w.end_object();
   return w.str();
+}
+
+/// The analysis object inside a unit payload (payloads wrap it with the
+/// transient count; tolerate the bare pre-wrapper shape too).
+const util::json::Value* payload_result(const util::json::Value& v) {
+  const util::json::Value* r = v.find("result");
+  return r != nullptr ? r : &v;
 }
 
 /// Does a border payload show a detectable fault anywhere in the range?
 /// (br present, or the test fails across the whole sweep.)
 bool border_shows_fault(const std::string& payload) {
   const util::json::Value v = util::json::parse(payload);
-  const util::json::Value* br = v.find("br");
-  const util::json::Value* fe = v.find("fails_everywhere");
+  const util::json::Value* res = payload_result(v);
+  const util::json::Value* br = res->find("br");
+  const util::json::Value* fe = res->find("fails_everywhere");
   return (br != nullptr && br->is_number()) ||
          (fe != nullptr && fe->is_bool() && fe->boolean);
 }
@@ -314,6 +339,11 @@ CampaignResult CampaignRunner::run() {
     util::json::Writer w;
     w.begin_object();
     w.key("campaign").value(plan_.spec.name);
+    w.key("surrogate").begin_object();
+    w.key("enabled").value(plan_.spec.surrogate_enabled);
+    w.key("tol").value(plan_.spec.surrogate_tol);
+    w.end_object();
+    long transients_total = 0;
     w.key("units");
     w.begin_array();
     for (const WorkUnit& u : plan_.units) {
@@ -328,13 +358,24 @@ CampaignResult CampaignRunner::run() {
                                 ? "done"
                                 : to_string(out.status));
       if (!out.payload.empty()) {
+        const util::json::Value v = util::json::parse(out.payload);
+        if (const util::json::Value* t = v.find("transients");
+            t != nullptr && t->is_number()) {
+          const long n = static_cast<long>(t->number);
+          w.key("transients").value(n);
+          transients_total += n;
+        }
         w.key("result");
-        util::json::append(w, util::json::parse(out.payload));
+        util::json::append(w, *payload_result(v));
       }
       if (!out.error.empty()) w.key("error").value(out.error);
       w.end_object();
     }
     w.end_array();
+    // Cost accounting across the whole matrix: cached units contribute
+    // the count recorded when they were computed, so the total is stable
+    // across resumes.
+    w.key("transients_total").value(transients_total);
     w.end_object();
     result.report_path = (fs::path(run_dir_) / "report.json").string();
     write_text_file(result.report_path, w.str());

@@ -264,7 +264,7 @@ std::optional<CampaignSpec> parse_spec(const std::string& text,
   }
   check_keys(ctx, root,
              {"name", "defects", "points", "analyses", "planes", "settings",
-              "retry"},
+              "surrogate", "retry"},
              "spec");
 
   CampaignSpec spec;
@@ -300,6 +300,13 @@ std::optional<CampaignSpec> parse_spec(const std::string& text,
     number_in(ctx, *st, "lte_tol", 1e-8, 1.0, &spec.settings.lte_tol,
               "\"settings\"");
     number_in(ctx, *st, "dt", 1e-13, 1e-6, &spec.settings.dt, "\"settings\"");
+  }
+  if (const Value* sg = member(ctx, root, "surrogate", Value::Kind::Object,
+                               "an object", /*required=*/false, "spec")) {
+    check_keys(ctx, *sg, {"enabled", "tol"}, "\"surrogate\"");
+    flag_in(ctx, *sg, "enabled", &spec.surrogate_enabled, "\"surrogate\"");
+    number_in(ctx, *sg, "tol", 1e-4, 1.0, &spec.surrogate_tol,
+              "\"surrogate\"");
   }
   if (const Value* rt = member(ctx, root, "retry", Value::Kind::Object,
                                "an object", /*required=*/false, "spec")) {
@@ -364,6 +371,10 @@ std::string spec_json(const CampaignSpec& spec) {
   w.key("lte_tol").value(spec.settings.lte_tol);
   w.key("dt").value(spec.settings.dt);
   w.key("reuse_jacobian").value(spec.settings.reuse_jacobian);
+  w.end_object();
+  w.key("surrogate").begin_object();
+  w.key("enabled").value(spec.surrogate_enabled);
+  w.key("tol").value(spec.surrogate_tol);
   w.end_object();
   w.key("retry").begin_object();
   w.key("max_attempts").value(spec.retry.max_attempts);

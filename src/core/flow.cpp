@@ -108,12 +108,21 @@ OptimizationResult StressFlow::optimize(const Defect& d) {
 BorderResult StressFlow::mirrored_border(
     const Defect& comp_defect,
     const analysis::DetectionCondition& true_condition,
-    const stress::StressCondition& sc) {
+    const stress::StressCondition& sc, std::optional<double> hint,
+    std::optional<double> slope) {
   dram::ColumnSimulator sim(column_, sc, options_.settings);
   const auto range = defect::default_sweep_range(comp_defect.kind);
+  analysis::BorderOptions bopt = options_.border;
+  // The classic search honours bracket_hint too, but historically ran
+  // un-hinted here; apply the warm start only on the surrogate path so
+  // --no-surrogate stays byte-identical with the pre-surrogate flow.
+  if (bopt.surrogate.enabled) {
+    bopt.bracket_hint = hint;
+    bopt.margin_slope_hint = slope;
+  }
   return analysis::find_border_resistance(
       column_, comp_defect, sim, stress::mirror_condition(true_condition),
-      range, options_.border);
+      range, bopt);
 }
 
 Table1 StressFlow::table1(const std::vector<defect::DefectKind>& kinds) {
@@ -147,9 +156,11 @@ Table1 StressFlow::table1(const std::vector<defect::DefectKind>& kinds) {
     Table1Row comp = row;
     comp.defect = dc;
     const BorderResult nom_c =
-        mirrored_border(dc, r.nominal_border.condition, nominal_);
+        mirrored_border(dc, r.nominal_border.condition, nominal_,
+                        r.nominal_border.br, r.nominal_border.margin_slope);
     const BorderResult str_c =
-        mirrored_border(dc, r.stressed_border.condition, r.stressed_sc);
+        mirrored_border(dc, r.stressed_border.condition, r.stressed_sc,
+                        r.stressed_border.br, r.stressed_border.margin_slope);
     comp.nominal_br = nom_c.br;
     comp.stressed_br = str_c.br;
     comp.nominal_condition =

@@ -88,11 +88,16 @@ public:
                     defect::DefectKind::B2});
 
   /// Border resistance of a mirrored condition on the comp side under an
-  /// arbitrary corner (used by table1; exposed for tests).
-  analysis::BorderResult mirrored_border(const defect::Defect& comp_defect,
-                                         const analysis::DetectionCondition&
-                                             true_condition,
-                                         const stress::StressCondition& sc);
+  /// arbitrary corner (used by table1; exposed for tests).  `hint`/`slope`
+  /// warm-start the search from the true-side result: the comp cell is the
+  /// electrical mirror, so its border lands within a step of the true
+  /// side's (see BorderOptions::bracket_hint / margin_slope_hint).
+  analysis::BorderResult mirrored_border(
+      const defect::Defect& comp_defect,
+      const analysis::DetectionCondition& true_condition,
+      const stress::StressCondition& sc,
+      std::optional<double> hint = std::nullopt,
+      std::optional<double> slope = std::nullopt);
 
 private:
   dram::TechnologyParams tech_;

@@ -11,6 +11,17 @@
 
 namespace dramstress::dram {
 
+namespace {
+thread_local long t_transients = 0;
+}  // namespace
+
+long thread_transients() { return t_transients; }
+
+void count_transients(long n) {
+  t_transients += n;
+  obs::count("sim.transients", n);
+}
+
 using circuit::MnaSystem;
 using circuit::TransientOptions;
 using circuit::TransientSim;
@@ -57,6 +68,7 @@ const char* op_wall_metric(const CompiledSchedule& sched, int op_index) {
 RunResult ColumnSimulator::run(const OpSequence& seq, double vc_init,
                                Side side) const {
   OBS_SPAN("column.run");
+  count_transients();
   DramColumn& col = *column_;
   const CompiledSchedule sched =
       compile_sequence(col, cond_, side, seq, settings_.timing);
@@ -144,7 +156,8 @@ RunResult ColumnSimulator::run(const OpSequence& seq, double vc_init,
       if (sm.t > sim.time() + eps) sim.run(sm.t);
       OpResult& op = result.ops[static_cast<size_t>(sm.op_index)];
       if (sm.kind == CompiledSchedule::Sample::Kind::ReadBit) {
-        op.bit = sim.voltage(col.bt()) > sim.voltage(col.bc()) ? 1 : 0;
+        op.sense_margin = sim.voltage(col.bt()) - sim.voltage(col.bc());
+        op.bit = op.sense_margin > 0.0 ? 1 : 0;
       } else {
         op.vc = sim.voltage(col.cell_node(side));
       }

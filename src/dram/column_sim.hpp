@@ -43,6 +43,12 @@ struct OpResult {
   OpKind kind = OpKind::R;
   /// Logical value returned by the sense path (reads only).
   std::optional<int> bit;
+  /// Bitline differential V(bt) - V(bc) at the read-decision sample (reads
+  /// only, 0 otherwise).  `bit` is exactly `sense_margin > 0` -- the same
+  /// comparison the sampler makes -- so the margin is a continuous measure
+  /// of how close the read was to flipping.  The surrogate border search
+  /// root-finds on it instead of bisecting the boolean.
+  double sense_margin = 0.0;
   /// Addressed-cell storage voltage right after the active window.
   double vc = 0.0;
 };
@@ -59,6 +65,19 @@ struct RunResult {
   /// Bit of the last read in the sequence; throws if none.
   int last_read_bit() const;
 };
+
+/// Count of full transient runs executed by the *calling thread* since it
+/// started: one per ColumnSimulator::run call, one per active lane of an
+/// ensemble batch.  The process-wide total is mirrored into the
+/// `sim.transients` obs counter; this thread-local view exists so callers
+/// that own a whole work item on one thread (the campaign runner, the
+/// surrogate search) can meter the item by differencing around it.
+long thread_transients();
+
+/// Record `n` transient runs against the calling thread's total and the
+/// `sim.transients` counter (internal: ColumnSimulator and the ensemble
+/// runner are the only intended callers).
+void count_transients(long n = 1);
 
 class ColumnSimulator {
 public:

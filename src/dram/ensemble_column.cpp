@@ -78,6 +78,7 @@ std::vector<EnsembleRunResult> EnsembleColumnSim::run_batch(
   if (!sched) return results;
   obs::count("ensemble.runs");
   obs::count("ensemble.lanes", active_count);
+  count_transients(active_count);
 
   TransientOptions topt;
   topt.dt = st.dt;
@@ -159,8 +160,9 @@ std::vector<EnsembleRunResult> EnsembleColumnSim::run_batch(
         DramColumn& col = sims_[l]->column();
         OpResult& op = results[l].ops[static_cast<size_t>(sm.op_index)];
         if (sm.kind == CompiledSchedule::Sample::Kind::ReadBit) {
-          op.bit =
-              sim.voltage(l, col.bt()) > sim.voltage(l, col.bc()) ? 1 : 0;
+          op.sense_margin =
+              sim.voltage(l, col.bt()) - sim.voltage(l, col.bc());
+          op.bit = op.sense_margin > 0.0 ? 1 : 0;
         } else {
           op.vc = sim.voltage(l, col.cell_node(side));
         }

@@ -1,5 +1,6 @@
 #include "numeric/interp.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/error.hpp"
@@ -30,6 +31,141 @@ double PiecewiseLinear::operator()(double x) const {
   }
   const double t = (x - x_[lo]) / (x_[hi] - x_[lo]);
   return y_[lo] + t * (y_[hi] - y_[lo]);
+}
+
+MonotoneCubic::MonotoneCubic(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  require(x_.size() == y_.size(), "MonotoneCubic: size mismatch");
+  require(x_.size() >= 2, "MonotoneCubic: need at least two knots");
+  for (size_t i = 1; i < x_.size(); ++i)
+    require(x_[i] > x_[i - 1], "MonotoneCubic: x must be strictly increasing");
+
+  const size_t n = x_.size();
+  std::vector<double> h(n - 1);
+  std::vector<double> s(n - 1);  // secant slopes
+  for (size_t i = 0; i + 1 < n; ++i) {
+    h[i] = x_[i + 1] - x_[i];
+    s[i] = (y_[i + 1] - y_[i]) / h[i];
+  }
+
+  d_.assign(n, 0.0);
+  if (n == 2) {
+    d_[0] = d_[1] = s[0];
+  } else {
+    // Interior slopes: Fritsch-Carlson weighted harmonic mean; zero at
+    // local extrema (secants of opposite sign) so no interval overshoots.
+    for (size_t i = 1; i + 1 < n; ++i) {
+      if (s[i - 1] == 0.0 || s[i] == 0.0 || (s[i - 1] > 0.0) != (s[i] > 0.0)) {
+        d_[i] = 0.0;
+      } else {
+        const double w1 = 2.0 * h[i] + h[i - 1];
+        const double w2 = h[i] + 2.0 * h[i - 1];
+        d_[i] = (w1 + w2) / (w1 / s[i - 1] + w2 / s[i]);
+      }
+    }
+    // Endpoint slopes: one-sided three-point estimate, clipped to keep the
+    // first/last interval shape-preserving.
+    auto endpoint = [](double h0, double h1, double s0, double s1) {
+      double d = ((2.0 * h0 + h1) * s0 - h0 * s1) / (h0 + h1);
+      if ((d > 0.0) != (s0 > 0.0) || s0 == 0.0) d = 0.0;
+      else if ((s0 > 0.0) != (s1 > 0.0) && std::fabs(d) > 3.0 * std::fabs(s0))
+        d = 3.0 * s0;
+      return d;
+    };
+    d_[0] = endpoint(h[0], h[1], s[0], s[1]);
+    d_[n - 1] = endpoint(h[n - 2], h[n - 3], s[n - 2], s[n - 3]);
+  }
+}
+
+double MonotoneCubic::operator()(double x) const {
+  require(!x_.empty(), "MonotoneCubic: empty curve");
+  if (x <= x_.front()) return y_.front();
+  if (x >= x_.back()) return y_.back();
+  size_t lo = 0;
+  size_t hi = x_.size() - 1;
+  while (hi - lo > 1) {
+    const size_t mid = (lo + hi) / 2;
+    if (x_[mid] <= x)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  const double h = x_[hi] - x_[lo];
+  const double t = (x - x_[lo]) / h;
+  const double t2 = t * t;
+  const double t3 = t2 * t;
+  const double h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+  const double h10 = t3 - 2.0 * t2 + t;
+  const double h01 = -2.0 * t3 + 3.0 * t2;
+  const double h11 = t3 - t2;
+  return h00 * y_[lo] + h10 * h * d_[lo] + h01 * y_[hi] + h11 * h * d_[hi];
+}
+
+std::optional<double> MonotoneCubic::first_zero(double lo, double hi) const {
+  lo = std::max(lo, x_.front());
+  hi = std::min(hi, x_.back());
+  if (!(lo < hi)) return std::nullopt;
+  for (size_t i = 0; i + 1 < x_.size(); ++i) {
+    const double a = std::max(lo, x_[i]);
+    const double b = std::min(hi, x_[i + 1]);
+    if (!(a < b)) continue;
+    double fa = (*this)(a);
+    double fb = (*this)(b);
+    if (fa == 0.0) return a;
+    if (fb == 0.0 && b == hi) return b;
+    if ((fa > 0.0) == (fb > 0.0)) continue;
+    // Bisect the interpolant inside the sign-changing span.
+    double xa = a;
+    double xb = b;
+    for (int it = 0; it < 60 && xb - xa > 1e-12 * (1.0 + std::fabs(xa));
+         ++it) {
+      const double xm = 0.5 * (xa + xb);
+      const double fm = (*this)(xm);
+      if (fm == 0.0) return xm;
+      if ((fm > 0.0) == (fa > 0.0)) {
+        xa = xm;
+        fa = fm;
+      } else {
+        xb = xm;
+      }
+    }
+    return 0.5 * (xa + xb);
+  }
+  return std::nullopt;
+}
+
+bool MonotoneCubic::data_monotone(double eps) const {
+  double up = 0.0;    // largest rise between consecutive knots
+  double down = 0.0;  // largest drop
+  for (size_t i = 1; i < y_.size(); ++i) {
+    const double step = y_[i] - y_[i - 1];
+    up = std::max(up, step);
+    down = std::max(down, -step);
+  }
+  // Monotone up to eps: the counter-direction excursion stays below eps.
+  return std::min(up, down) <= eps;
+}
+
+double MonotoneCubic::interval_error_bound(size_t i) const {
+  require(i + 1 < x_.size(), "MonotoneCubic: interval index out of range");
+  const size_t n = x_.size();
+  if (n < 4) return 0.0;
+  // Third divided difference over knots [j, j+3].
+  auto dd3 = [&](size_t j) {
+    double f01 = (y_[j + 1] - y_[j]) / (x_[j + 1] - x_[j]);
+    double f12 = (y_[j + 2] - y_[j + 1]) / (x_[j + 2] - x_[j + 1]);
+    double f23 = (y_[j + 3] - y_[j + 2]) / (x_[j + 3] - x_[j + 2]);
+    double f012 = (f12 - f01) / (x_[j + 2] - x_[j]);
+    double f123 = (f23 - f12) / (x_[j + 3] - x_[j + 1]);
+    return (f123 - f012) / (x_[j + 3] - x_[j]);
+  };
+  double worst = 0.0;
+  // Stencils [j, j+3] touching interval [i, i+1]: j in [i-2, i+1], clamped.
+  const size_t j_lo = i >= 2 ? i - 2 : 0;
+  const size_t j_hi = std::min(i + 1, n - 4);
+  for (size_t j = j_lo; j <= j_hi; ++j) worst = std::max(worst, std::fabs(dd3(j)));
+  const double h = x_[i + 1] - x_[i];
+  return h * h * h * worst;
 }
 
 std::optional<double> first_crossing(const PiecewiseLinear& a,

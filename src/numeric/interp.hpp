@@ -27,6 +27,49 @@ private:
   std::vector<double> y_;
 };
 
+/// Monotone shape-preserving cubic Hermite interpolant (PCHIP with the
+/// Fritsch-Carlson slope limiter).  Where the sample data is monotone the
+/// interpolant is monotone too -- no overshoot, no spurious extrema -- so a
+/// sign change of the interpolant between two knots implies a sign change
+/// of the data, which is what the surrogate border search relies on when it
+/// turns a fitted curve into a bracket (analysis/surrogate.hpp).
+class MonotoneCubic {
+public:
+  MonotoneCubic() = default;
+  /// x strictly increasing, sizes equal and >= 2 (2 knots = linear).
+  MonotoneCubic(std::vector<double> x, std::vector<double> y);
+
+  /// Evaluate with flat extrapolation beyond the sample range.
+  double operator()(double x) const;
+
+  /// Smallest zero of the interpolant in [lo, hi] (clamped to the sample
+  /// range): scans knot intervals for a sign change of the knot values and
+  /// bisects the interpolant inside the first changing interval.  Returns
+  /// nullopt when no knot interval changes sign.
+  std::optional<double> first_zero(double lo, double hi) const;
+
+  /// True when the knot values are monotone (either direction) up to
+  /// `eps`: every consecutive step against the dominant direction is
+  /// smaller than eps.  The surrogate's shape check.
+  bool data_monotone(double eps = 0.0) const;
+
+  /// Interpolation-error scale of interval i (between knots i and i+1):
+  /// h_i^3 * max |third divided difference| over the stencils touching the
+  /// interval -- the magnitude the cubic's truncation term grows with.
+  /// Zero when fewer than 4 knots exist.
+  double interval_error_bound(size_t i) const;
+
+  size_t size() const { return x_.size(); }
+  const std::vector<double>& xs() const { return x_; }
+  const std::vector<double>& ys() const { return y_; }
+  bool empty() const { return x_.empty(); }
+
+private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<double> d_;  // limited knot slopes
+};
+
 /// First x (smallest) where curves a and b cross, i.e. where
 /// a(x) - b(x) changes sign, scanning the union of their sample ranges on a
 /// uniform grid of `samples` points between x_lo and x_hi.  Returns nullopt

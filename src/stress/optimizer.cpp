@@ -65,15 +65,18 @@ double failing_decades_at(dram::DramColumn& column, const defect::Defect& d,
                           const StressCondition& sc,
                           const DetectionCondition& cond,
                           const OptimizerOptions& opt,
-                          std::optional<double>* hint = nullptr) {
+                          std::optional<double>* hint = nullptr,
+                          std::optional<double>* slope = nullptr) {
   dram::ColumnSimulator sim(column, sc, opt.settings);
   if (!analysis::condition_valid_on_healthy(sim, d.side, cond)) return 0.0;
   const auto range = defect::default_sweep_range(d.kind);
   analysis::BorderOptions bopt = opt.border;
   if (hint != nullptr) bopt.bracket_hint = *hint;
+  if (slope != nullptr) bopt.margin_slope_hint = *slope;
   const BorderResult br =
       analysis::find_border_resistance(column, d, sim, cond, range, bopt);
   if (hint != nullptr && br.br.has_value()) *hint = br.br;
+  if (slope != nullptr && br.margin_slope.has_value()) *slope = br.margin_slope;
   return br.failing_decades(range);
 }
 
@@ -128,14 +131,16 @@ OptimizationResult optimize_stresses(dram::DramColumn& column,
       indices.push_back(p.nominal_index);
       double best_value = p.candidates[p.nominal_index].value;
       double best_score = -1.0;
-      // Seed the first corner's search from the nominal-corner BR; each
-      // later corner warm-starts from the previous one's result.
+      // Seed the first corner's search from the nominal-corner BR (and its
+      // margin slope, when the surrogate found one); each later corner
+      // warm-starts from the previous one's result.
       std::optional<double> hint = result.nominal_border.br;
+      std::optional<double> slope = result.nominal_border.margin_slope;
       for (size_t idx : indices) {
         StressCondition sc = stressed;
         set_axis(sc, axis, p.candidates[idx].value);
         const double score =
-            failing_decades_at(column, d, sc, cond, opt, &hint);
+            failing_decades_at(column, d, sc, cond, opt, &hint, &slope);
         util::log_debug(util::format(
             "BR-compare %s %s=%.4g: failing decades %.3f", d.name().c_str(),
             to_string(axis), p.candidates[idx].value, score));
@@ -198,6 +203,7 @@ OptimizationResult optimize_stresses(dram::DramColumn& column,
       const auto range = defect::default_sweep_range(d.kind);
       analysis::BorderOptions bopt = opt.border;
       bopt.bracket_hint = result.nominal_border.br;
+      bopt.margin_slope_hint = result.nominal_border.margin_slope;
       result.stressed_border = analysis::find_border_resistance(
           column, d, sim, cond, range, bopt);
     }

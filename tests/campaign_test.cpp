@@ -413,9 +413,13 @@ TEST(CampaignRunnerTest, RetryRecoversFromTransientFault) {
   EXPECT_EQ(r.quarantined, 0);
   EXPECT_EQ(r.outcomes[0].status, UnitStatus::Done);
   EXPECT_EQ(r.outcomes[0].attempts, 2);
-  // The recovered unit still produced a real payload.
+  // The recovered unit still produced a real payload, wrapped with its
+  // transient count.
   const util::json::Value v = util::json::parse(r.outcomes[0].payload);
-  EXPECT_NE(v.find("br"), nullptr);
+  ASSERT_NE(v.find("transients"), nullptr);
+  EXPECT_GT(v.find("transients")->number, 0.0);
+  ASSERT_NE(v.find("result"), nullptr);
+  EXPECT_NE(v.find("result")->find("br"), nullptr);
 }
 
 TEST(CampaignRunnerTest, SecondRunIsFullyCachedAndByteIdentical) {

@@ -23,6 +23,11 @@
 // adaptive engine (default 5e-4; tighter tracks the fixed-step reference
 // closer at the cost of more steps).
 //
+// --surrogate / --no-surrogate switches the surrogate-accelerated border
+// search (docs/ANALYSIS.md) on or off process-wide (default: on;
+// --no-surrogate reproduces the classic scan+bisection byte-for-byte);
+// --surrogate-tol X sets its ln(R) bracket tolerance (default 0.02).
+//
 // --verify runs the static netlist verification (docs/LINT.md) over the
 // column and every defect placeholder before the command, failing on
 // errors; --verify=strict also fails on warnings.  With no command,
@@ -44,6 +49,7 @@
 #include <sstream>
 
 #include "analysis/result_plane.hpp"
+#include "analysis/surrogate_options.hpp"
 #include "campaign/runner.hpp"
 #include "circuit/spice_reader.hpp"  // parse_spice_number
 #include "core/flow.hpp"
@@ -65,6 +71,8 @@ int usage() {
                "[--batch N]\n"
                "                  [--adaptive|--no-adaptive] [--lte-tol X] "
                "[--verify[=strict]]\n"
+               "                  [--surrogate|--no-surrogate] "
+               "[--surrogate-tol X]\n"
                "                  [--metrics FILE] [--trace FILE] "
                "[--r-points N]\n"
                "       dramstress campaign run <spec.json> [--out DIR] "
@@ -78,7 +86,9 @@ int usage() {
                "  --metrics/--trace write a run manifest / span trace "
                "(docs/OBSERVABILITY.md)\n"
                "  campaign: resumable batch runs with a result cache "
-               "(docs/CAMPAIGN.md)\n");
+               "(docs/CAMPAIGN.md)\n"
+               "  --no-surrogate: classic border searches only "
+               "(docs/ANALYSIS.md)\n");
   return 2;
 }
 
@@ -98,16 +108,18 @@ struct EngineFlags {
   }
 };
 
-/// Strip --threads[=| ]N, --batch[=| ]N, --adaptive/--no-adaptive and
-/// --lte-tol[=| ]X from argv, applying them to the sweep pool / ensemble
-/// default / `flags`.  Returns the remaining positional arguments; false on
-/// a malformed flag.
+/// Strip --threads[=| ]N, --batch[=| ]N, --adaptive/--no-adaptive,
+/// --lte-tol[=| ]X, --surrogate/--no-surrogate and --surrogate-tol[=| ]X
+/// from argv, applying them to the sweep pool / ensemble default / the
+/// surrogate process defaults / `flags`.  Returns the remaining positional
+/// arguments; false on a malformed flag.
 bool extract_flags(int argc, char** argv, std::vector<char*>* args,
                    EngineFlags* flags) {
   for (int i = 0; i < argc; ++i) {
     const char* a = argv[i];
     const char* value = nullptr;
     bool is_tol = false;
+    bool is_surrogate_tol = false;
     bool is_r_points = false;
     bool is_batch = false;
     std::string* path = nullptr;
@@ -117,6 +129,14 @@ bool extract_flags(int argc, char** argv, std::vector<char*>* args,
     }
     if (std::strcmp(a, "--no-adaptive") == 0) {
       flags->adaptive = false;
+      continue;
+    }
+    if (std::strcmp(a, "--surrogate") == 0) {
+      analysis::set_default_surrogate_enabled(true);
+      continue;
+    }
+    if (std::strcmp(a, "--no-surrogate") == 0) {
+      analysis::set_default_surrogate_enabled(false);
       continue;
     }
     if (std::strcmp(a, "--verify") == 0) {
@@ -159,6 +179,13 @@ bool extract_flags(int argc, char** argv, std::vector<char*>* args,
       if (i + 1 >= argc) return false;
       value = argv[++i];
       is_tol = true;
+    } else if (std::strncmp(a, "--surrogate-tol=", 16) == 0) {
+      value = a + 16;
+      is_surrogate_tol = true;
+    } else if (std::strcmp(a, "--surrogate-tol") == 0) {
+      if (i + 1 >= argc) return false;
+      value = argv[++i];
+      is_surrogate_tol = true;
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
       value = a + 10;
     } else if (std::strcmp(a, "--threads") == 0) {
@@ -180,6 +207,11 @@ bool extract_flags(int argc, char** argv, std::vector<char*>* args,
       const double tol = std::strtod(value, &end);
       if (end == value || *end != '\0' || tol <= 0.0) return false;
       flags->lte_tol = tol;
+    } else if (is_surrogate_tol) {
+      const double tol = std::strtod(value, &end);
+      if (end == value || *end != '\0' || tol <= 0.0 || tol > 1.0)
+        return false;
+      analysis::set_default_surrogate_tol(tol);
     } else if (is_r_points) {
       const long n = std::strtol(value, &end, 10);
       if (end == value || *end != '\0' || n < 2) return false;
