@@ -45,9 +45,12 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "analysis/border.hpp"
 #include "analysis/result_plane.hpp"
 #include "analysis/vsa.hpp"
+#include "campaign/cache_index.hpp"
 #include "defect/defect.hpp"
 #include "circuit/mna.hpp"
 #include "dram/column_sim.hpp"
@@ -340,6 +343,90 @@ Table1Timing run_table1_rung() {
   return total;
 }
 
+// --- shared-cache rung: the microsecond answer path of the service --------
+
+struct CacheTiming {
+  double hit_us = 0.0;       // memory-tier hit (the daemon's repeat path)
+  double disk_hit_us = 0.0;  // cold-index hit: disk load + promotion
+  int objects = 0;
+  long lookups = 0;
+  size_t payload_bytes = 0;
+};
+
+/// Time SharedCache lookups against a store of realistic unit payloads.
+/// `cache_hit_us` is the number docs/SERVICE.md stakes the daemon's
+/// "microseconds, without touching the simulator" claim on; the CI gate
+/// holds it under an absolute ceiling (bench/engine_perf, ci.yml).
+CacheTiming run_cache_rung() {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "dramstress_bench_cache";
+  fs::remove_all(dir);
+
+  // A payload shaped like a real cached unit: the v2 wrapper around a
+  // border-analysis result object.
+  util::json::Writer pw;
+  pw.begin_object();
+  pw.key("transients").value(412);
+  pw.key("result").begin_object();
+  pw.key("unit").value("border/O3@nominal");
+  pw.key("detectable").value(true);
+  pw.key("br").value(187234.5612);
+  pw.key("margin_slope").value(-0.0841);
+  pw.key("condition").begin_object();
+  pw.key("vdd").value(2.4);
+  pw.key("temp_c").value(27.0);
+  pw.key("tcyc").value(60e-9);
+  pw.key("duty").value(0.5);
+  pw.end_object();
+  pw.end_object();
+  pw.end_object();
+  const std::string payload = pw.str();
+
+  CacheTiming t;
+  t.objects = 64;
+  t.payload_bytes = payload.size();
+  verify::VerifyReport report;
+  std::vector<campaign::CacheKey> keys;
+  {
+    campaign::SharedCache cache(dir.string());
+    for (int i = 0; i < t.objects; ++i) {
+      campaign::KeyHasher h;
+      h.feed("bench-unit").feed(static_cast<long>(i));
+      keys.push_back(h.key());
+      cache.store(keys.back(), payload);
+    }
+
+    // Memory-tier hits: round-robin over the hot set so the LRU list is
+    // actually exercised instead of hammering one entry.
+    t.lookups = 200000;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (long i = 0; i < t.lookups; ++i) {
+      auto hit = cache.lookup(keys[static_cast<size_t>(i) % keys.size()],
+                              &report);
+      benchmark::DoNotOptimize(hit);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    t.hit_us = std::chrono::duration<double>(t1 - t0).count() * 1e6 /
+               static_cast<double>(t.lookups);
+  }
+
+  // Cold index (a daemon fresh after restart): every hit pays the disk
+  // load once, then lives in memory.
+  campaign::SharedCache cold(dir.string());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const campaign::CacheKey& k : keys) {
+    auto hit = cold.lookup(k, &report);
+    benchmark::DoNotOptimize(hit);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  t.disk_hit_us = std::chrono::duration<double>(t1 - t0).count() * 1e6 /
+                  static_cast<double>(t.objects);
+
+  fs::remove_all(dir);
+  return t;
+}
+
 void append_timing(util::json::Writer& w, const SweepTiming& t) {
   w.begin_object();
   w.key("wall_s").value(t.wall_s);
@@ -354,6 +441,7 @@ void write_json(const std::string& path, const analysis::PlaneOptions& opt,
                 const SweepTiming& adaptive_sparse, const SweepTiming& ensemble,
                 int ensemble_batch, int ladder_reps, const SweepTiming& obs_on,
                 const SweepTiming& obs_off, const Table1Timing* table1,
+                const CacheTiming& cache,
                 const obs::MetricsSnapshot& metrics) {
   util::json::Writer w;
   w.begin_object();
@@ -415,6 +503,13 @@ void write_json(const std::string& path, const analysis::PlaneOptions& opt,
     w.key("wall_surrogate_s").value(table1->wall_surrogate_s);
     w.end_object();
   }
+  w.key("shared_cache").begin_object();
+  w.key("objects").value(cache.objects);
+  w.key("lookups").value(cache.lookups);
+  w.key("payload_bytes").value(static_cast<long>(cache.payload_bytes));
+  w.key("cache_hit_us").value(cache.hit_us);
+  w.key("disk_hit_us").value(cache.disk_hit_us);
+  w.end_object();
   // Full metric dump of the instrumented adaptive run: the same shape as a
   // run manifest's `metrics` object (docs/OBSERVABILITY.md).
   w.key("metrics");
@@ -552,6 +647,15 @@ int main(int argc, char** argv) {
     std::printf("  collection off       : %8.3f s  (overhead %+.2f%%)\n",
                 obs_off.wall_s, overhead_pct);
 
+    // The shared-cache rung is cheap and deterministic in shape (pure
+    // store/lookup, no simulation), so it always runs.
+    const CacheTiming cache = run_cache_rung();
+    std::printf("shared-cache rung (%d objects, %ld lookups, %zu-byte "
+                "payload):\n",
+                cache.objects, cache.lookups, cache.payload_bytes);
+    std::printf("  memory-tier hit      : %8.3f us\n", cache.hit_us);
+    std::printf("  cold-index disk hit  : %8.3f us\n", cache.disk_hit_us);
+
     Table1Timing table1;
     if (!skip_table1) {
       std::printf("Table 1 rung (BR at 3 Vdd x 7 defects x 2 bitlines, "
@@ -565,7 +669,7 @@ int main(int argc, char** argv) {
 
     write_json(out_path, opt, pool, serial, parallel, fixed_dense,
                fixed_sparse, adaptive_sparse, ensemble, batch, reps, obs_on,
-               obs_off, skip_table1 ? nullptr : &table1, metrics);
+               obs_off, skip_table1 ? nullptr : &table1, cache, metrics);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
 
@@ -125,11 +126,19 @@ void ResultCache::store(const CacheKey& key,
 
   const std::string path = object_path(key);
   const std::string tmp = path + ".tmp";
+  // Fault point (docs/SERVICE.md): a `corrupt` action damages the object
+  // on its way to disk while this call still reports success -- the
+  // silent-bit-rot scenario the E310 load-time check exists for.
+  const bool corrupt_object =
+      util::fault::hit("campaign.cache.store") == util::fault::Action::Corrupt;
   {
     std::ofstream f(tmp, std::ios::trunc);
     if (!f.good())
       throw ModelError("campaign cache: cannot write " + tmp);
-    f << w.str() << '\n';
+    if (corrupt_object)
+      f << w.str().substr(0, w.str().size() / 2) << "<<corrupt";
+    else
+      f << w.str() << '\n';
     f.flush();
     if (!f.good())
       throw ModelError("campaign cache: write to " + tmp + " failed");
@@ -180,6 +189,17 @@ void Journal::append(const JournalEntry& entry) {
   util::MutexLock lock(mu_);
   std::ofstream f(path_, std::ios::app);
   if (!f.good()) throw ModelError("campaign journal: cannot append " + path_);
+  // Fault point (docs/SERVICE.md): a `tear` action reproduces a crash
+  // mid-write -- half a record lands on disk (no newline), then the
+  // "process" dies (Injected propagates out of the run like a kill would).
+  // Replay must shrug the torn line off as an E310 warning.
+  if (util::fault::hit("campaign.journal.append") ==
+      util::fault::Action::Tear) {
+    f << line.substr(0, line.size() / 2);
+    f.flush();
+    throw util::fault::Injected(
+        "fault injected at campaign.journal.append (journal line torn)");
+  }
   f << line << '\n';
   f.flush();
   if (!f.good())

@@ -1,0 +1,259 @@
+#include "campaign/cache_index.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::campaign {
+
+namespace fs = std::filesystem;
+namespace util = dramstress::util;
+
+namespace {
+
+/// Fixed per-entry bookkeeping charge against the memory budget (map node,
+/// LRU node, string header); exactness does not matter, boundedness does.
+constexpr size_t kEntryOverhead = 128;
+
+}  // namespace
+
+SharedCache::SharedCache(std::string dir, SharedCacheOptions opt)
+    : disk_(std::move(dir)), opt_(opt) {
+  // Resume the persisted use sequence so last-use order stays meaningful
+  // across daemon restarts.  Corrupt lines (a torn tail after a kill) are
+  // simply skipped -- the worst case is an object aging artificially.
+  std::ifstream f(usage_path());
+  std::string line;
+  long max_seq = 0;
+  while (f.good() && std::getline(f, line)) {
+    if (line.empty()) continue;
+    try {
+      const util::json::Value v = util::json::parse(line);
+      if (const util::json::Value* s = v.find("seq");
+          s != nullptr && s->is_number())
+        max_seq = std::max(max_seq, static_cast<long>(s->number));
+    } catch (const Error&) {
+      // tolerated: see above
+    }
+  }
+  util::MutexLock lock(mu_);
+  next_seq_ = max_seq + 1;
+}
+
+SharedCache::~SharedCache() {
+  try {
+    flush_usage();
+  } catch (...) {
+    // Destructor: losing buffered last-use records only perturbs future
+    // eviction order, never correctness.
+  }
+}
+
+std::string SharedCache::usage_path() const {
+  return (fs::path(disk_.dir()) / "usage.jsonl").string();
+}
+
+void SharedCache::record_use(uint64_t hash) {
+  pending_uses_.emplace_back(CacheKey{hash}.hex(), next_seq_++);
+  if (static_cast<int>(pending_uses_.size()) >= opt_.usage_flush_every)
+    flush_usage_locked();
+}
+
+void SharedCache::insert_memory(uint64_t hash, const std::string& payload) {
+  const auto it = entries_.find(hash);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  lru_.push_front(hash);
+  entries_[hash] = Entry{payload, lru_.begin()};
+  memory_bytes_ += payload.size() + kEntryOverhead;
+  while (memory_bytes_ > opt_.max_memory_bytes && !lru_.empty()) {
+    const uint64_t victim = lru_.back();
+    const auto vit = entries_.find(victim);
+    memory_bytes_ -= vit->second.payload.size() + kEntryOverhead;
+    entries_.erase(vit);
+    lru_.pop_back();
+    ++stats_.evictions;
+    obs::count("service.cache.evict");
+  }
+}
+
+std::optional<std::string> SharedCache::lookup(const CacheKey& key,
+                                               verify::VerifyReport* report) {
+  {
+    util::MutexLock lock(mu_);
+    const auto it = entries_.find(key.hash);
+    if (it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      record_use(key.hash);
+      ++stats_.mem_hits;
+      obs::count("service.cache.hit_mem");
+      return it->second.payload;
+    }
+  }
+  // Disk load outside the lock: an object read must not stall concurrent
+  // memory hits.  Two threads racing the same cold key both read the
+  // object -- duplicated work, identical bytes, no harm.
+  std::optional<std::string> payload = disk_.load(key, report);
+  util::MutexLock lock(mu_);
+  if (!payload.has_value()) {
+    ++stats_.misses;
+    obs::count("service.cache.miss");
+    return std::nullopt;
+  }
+  insert_memory(key.hash, *payload);
+  record_use(key.hash);
+  ++stats_.disk_hits;
+  obs::count("service.cache.hit_disk");
+  return payload;
+}
+
+void SharedCache::store(const CacheKey& key,
+                        const std::string& payload_json) {
+  disk_.store(key, payload_json);
+  util::MutexLock lock(mu_);
+  insert_memory(key.hash, payload_json);
+  record_use(key.hash);
+  ++stats_.stores;
+  obs::count("service.cache.store");
+}
+
+bool SharedCache::in_memory(const CacheKey& key) const {
+  util::MutexLock lock(mu_);
+  return entries_.count(key.hash) != 0;
+}
+
+SharedCacheStats SharedCache::stats() const {
+  util::MutexLock lock(mu_);
+  SharedCacheStats s = stats_;
+  s.memory_bytes = memory_bytes_;
+  s.memory_entries = entries_.size();
+  return s;
+}
+
+void SharedCache::flush_usage_locked() {
+  if (pending_uses_.empty()) return;
+  std::ofstream f(usage_path(), std::ios::app);
+  if (!f.good())
+    throw ModelError("shared cache: cannot append " + usage_path());
+  for (const auto& [hex, seq] : pending_uses_)
+    f << "{\"key\": \"" << hex << "\", \"seq\": " << seq << "}\n";
+  f.flush();
+  if (!f.good())
+    throw ModelError("shared cache: write to " + usage_path() + " failed");
+  pending_uses_.clear();
+}
+
+void SharedCache::flush_usage() {
+  util::MutexLock lock(mu_);
+  flush_usage_locked();
+}
+
+int SharedCache::gc_lru(size_t max_disk_bytes,
+                        verify::VerifyReport* report) {
+  flush_usage();
+
+  // Last-use sequence per key from the usage journal (later records win).
+  std::map<std::string, long> last_use;
+  {
+    std::ifstream f(usage_path());
+    std::string line;
+    while (f.good() && std::getline(f, line)) {
+      if (line.empty()) continue;
+      try {
+        const util::json::Value v = util::json::parse(line);
+        const util::json::Value* k = v.find("key");
+        const util::json::Value* s = v.find("seq");
+        if (k != nullptr && k->is_string() && s != nullptr && s->is_number())
+          last_use[k->string] =
+              std::max(last_use[k->string], static_cast<long>(s->number));
+      } catch (const Error&) {
+        // a torn tail line is expected after a kill; skip it
+      }
+    }
+  }
+
+  // Inventory the objects directory: (last-use seq, key, bytes) --
+  // never-used objects sort oldest, ties break on the key so the policy
+  // is deterministic.
+  struct Object {
+    long seq = 0;
+    std::string stem;
+    fs::path path;
+    size_t bytes = 0;
+  };
+  std::vector<Object> objects;
+  size_t total = 0;
+  std::error_code ec;
+  for (const fs::directory_entry& e :
+       fs::directory_iterator(fs::path(disk_.dir()) / "objects", ec)) {
+    if (e.path().extension() != ".json") continue;
+    Object o;
+    o.stem = e.path().stem().string();
+    o.path = e.path();
+    std::error_code sz;
+    o.bytes = static_cast<size_t>(fs::file_size(e.path(), sz));
+    if (sz) o.bytes = 0;
+    const auto it = last_use.find(o.stem);
+    o.seq = it == last_use.end() ? 0 : it->second;
+    total += o.bytes;
+    objects.push_back(std::move(o));
+  }
+  std::sort(objects.begin(), objects.end(),
+            [](const Object& a, const Object& b) {
+              return a.seq != b.seq ? a.seq < b.seq : a.stem < b.stem;
+            });
+
+  int removed = 0;
+  std::map<std::string, bool> survivors;
+  for (const Object& o : objects) survivors[o.stem] = true;
+  for (const Object& o : objects) {
+    if (total <= max_disk_bytes) break;
+    std::error_code rm;
+    fs::remove(o.path, rm);
+    if (rm) {
+      if (report != nullptr) {
+        verify::Diagnostic d;
+        d.code = verify::Code::CacheCorrupt;
+        d.severity = verify::Severity::Warning;
+        d.message = "gc: cannot remove " + o.path.string() + ": " +
+                    rm.message();
+        report->add(d);
+      }
+      continue;
+    }
+    total -= o.bytes;
+    survivors.erase(o.stem);
+    ++removed;
+    obs::count("service.cache.gc_removed");
+  }
+
+  // Compact the usage journal to the survivors (one line each), so it
+  // does not grow without bound across gc cycles.
+  {
+    const std::string tmp = usage_path() + ".tmp";
+    std::ofstream f(tmp, std::ios::trunc);
+    if (f.good()) {
+      for (const auto& [stem, alive] : survivors) {
+        (void)alive;
+        const auto it = last_use.find(stem);
+        if (it != last_use.end())
+          f << "{\"key\": \"" << stem << "\", \"seq\": " << it->second
+            << "}\n";
+      }
+      f.flush();
+    }
+    if (f.good()) {
+      std::error_code mv;
+      fs::rename(tmp, usage_path(), mv);
+    }
+  }
+  return removed;
+}
+
+}  // namespace dramstress::campaign

@@ -1,0 +1,128 @@
+// Shared cross-campaign result cache: an in-memory index over the on-disk
+// content-addressed store (cache.hpp).
+//
+// The service's contract is that a repeated work unit is answered in
+// microseconds without touching the simulator.  The disk tier alone cannot
+// give that -- a hit costs open+read+parse -- so SharedCache keeps hot
+// payloads in a byte-budgeted memory tier:
+//
+//   lookup:  memory map hit -> LRU-promote, return (the microsecond path,
+//            measured by bench/engine_perf as `cache_hit_us`);
+//            memory miss -> disk load (E310-checked), promote into memory.
+//   store:   write-through -- the disk object lands first (atomic
+//            tmp+rename, so a kill mid-store never leaves a half object),
+//            then the memory tier is primed.
+//
+// Eviction.  The memory tier evicts least-recently-used entries past its
+// byte budget.  The disk tier is reclaimed two ways: the mark-and-sweep
+// `campaign gc` verb (ResultCache::sweep, spec-driven liveness) is
+// preserved unchanged, and gc_lru() adds the service policy -- last-use
+// order is tracked in an append-only usage journal (<cache>/usage.jsonl,
+// buffered on the hit path and flushed on drain), and objects are removed
+// oldest-first until the tier fits the requested byte budget.
+//
+// Thread-safe throughout: one instance is shared by every worker and
+// connection thread of the service.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/cache.hpp"
+#include "util/annotations.hpp"
+
+namespace dramstress::campaign {
+
+struct SharedCacheOptions {
+  /// Byte budget of the in-memory tier (payload bytes + per-entry
+  /// overhead); least-recently-used entries are evicted past it.
+  size_t max_memory_bytes = 64ull << 20;
+  /// Buffered last-use records are flushed to usage.jsonl every this many
+  /// records (and on flush_usage/destruction), so the hit path almost
+  /// never pays a file append.
+  int usage_flush_every = 256;
+};
+
+struct SharedCacheStats {
+  long mem_hits = 0;    // answered from the memory tier
+  long disk_hits = 0;   // answered from disk, promoted into memory
+  long misses = 0;      // absent from both tiers
+  long stores = 0;      // write-through stores
+  long evictions = 0;   // memory-tier LRU evictions
+  size_t memory_bytes = 0;
+  size_t memory_entries = 0;
+};
+
+class SharedCache {
+public:
+  explicit SharedCache(std::string dir, SharedCacheOptions opt = {});
+  ~SharedCache();  // flushes buffered usage records (best-effort)
+
+  SharedCache(const SharedCache&) = delete;
+  SharedCache& operator=(const SharedCache&) = delete;
+
+  /// Payload of `key`, or nullopt on miss in both tiers.  Disk corruption
+  /// is reported into `report` (E310) and treated as a miss, exactly like
+  /// the bare disk tier.
+  std::optional<std::string> lookup(const CacheKey& key,
+                                    verify::VerifyReport* report)
+      DS_EXCLUDES(mu_);
+
+  /// Write-through store: disk object first, then the memory tier.
+  void store(const CacheKey& key, const std::string& payload_json)
+      DS_EXCLUDES(mu_);
+
+  /// True when `key` currently lives in the memory tier (tests).
+  bool in_memory(const CacheKey& key) const DS_EXCLUDES(mu_);
+
+  SharedCacheStats stats() const DS_EXCLUDES(mu_);
+
+  /// Append the buffered last-use records to usage.jsonl.  Called on
+  /// service drain; safe to call at any time.
+  void flush_usage() DS_EXCLUDES(mu_);
+
+  /// Disk-tier LRU eviction: remove objects, least recently used first
+  /// (per the usage journal; objects never recorded count as oldest, tie
+  /// broken by key for determinism), until the objects directory fits
+  /// `max_disk_bytes`.  Compacts usage.jsonl to the survivors.  Returns
+  /// the number of objects removed.
+  int gc_lru(size_t max_disk_bytes, verify::VerifyReport* report)
+      DS_EXCLUDES(mu_);
+
+  /// The backing content-addressed disk tier (the `campaign gc`
+  /// mark-and-sweep verb operates on this directly).
+  const ResultCache& disk() const { return disk_; }
+
+private:
+  struct Entry {
+    std::string payload;
+    std::list<uint64_t>::iterator lru_pos;  // position in lru_
+  };
+
+  void record_use(uint64_t hash) DS_REQUIRES(mu_);
+  void insert_memory(uint64_t hash, const std::string& payload)
+      DS_REQUIRES(mu_);
+  void flush_usage_locked() DS_REQUIRES(mu_);
+  std::string usage_path() const;
+
+  ResultCache disk_;
+  SharedCacheOptions opt_;
+
+  mutable util::Mutex mu_;
+  std::map<uint64_t, Entry> entries_ DS_GUARDED_BY(mu_);
+  std::list<uint64_t> lru_ DS_GUARDED_BY(mu_);  // front = most recent
+  size_t memory_bytes_ DS_GUARDED_BY(mu_) = 0;
+  long next_seq_ DS_GUARDED_BY(mu_) = 1;  // persisted use sequence
+  /// Buffered (key hex, seq) last-use records awaiting a flush.
+  std::vector<std::pair<std::string, long>> pending_uses_
+      DS_GUARDED_BY(mu_);
+  SharedCacheStats stats_ DS_GUARDED_BY(mu_);
+};
+
+}  // namespace dramstress::campaign

@@ -1,17 +1,10 @@
 #include "campaign/runner.hpp"
 
-#include <chrono>
 #include <filesystem>
-#include <fstream>
 
-#include "analysis/border.hpp"
-#include "analysis/result_plane.hpp"
 #include "campaign/cache.hpp"
-#include "dram/column.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
-#include "obs/version.hpp"
-#include "stress/optimizer.hpp"
 #include "util/annotations.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
@@ -21,116 +14,6 @@ namespace dramstress::campaign {
 
 namespace fs = std::filesystem;
 namespace util = dramstress::util;
-
-const char* to_string(UnitStatus status) {
-  switch (status) {
-    case UnitStatus::Done: return "done";
-    case UnitStatus::Cached: return "cached";
-    case UnitStatus::Quarantined: return "quarantined";
-    case UnitStatus::Skipped: return "skipped";
-  }
-  return "?";
-}
-
-namespace {
-
-std::string defect_label(const defect::Defect& d) {
-  std::string s = defect::to_string(d.kind);
-  if (d.side == dram::Side::Comp) s += ".comp";
-  return s;
-}
-
-/// Compute one unit from scratch on a fresh column.  Returns the JSON
-/// payload: {"transients": N, "result": {...analysis output...}} -- the
-/// full-transient count is part of the cached record so a later resume
-/// reports the same cost accounting as the run that computed it.  Throws
-/// (ConvergenceError and friends) on failure -- the retry loop around
-/// this is the fault-tolerance layer.
-std::string compute_unit(const CampaignPlan& plan, const WorkUnit& u,
-                         const dram::TechnologyParams& tech,
-                         const dram::SimSettings& settings) {
-  const defect::Defect& d = plan.defect_of(u);
-  const StressPoint& p = plan.point_of(u);
-  const defect::SweepRange range = defect::default_sweep_range(d.kind);
-  dram::DramColumn column(tech);
-  dram::ColumnSimulator sim(column, p.condition, settings);
-  const long t0 = dram::thread_transients();
-  util::json::Writer inner;
-  switch (u.kind) {
-    case UnitKind::Border: {
-      analysis::BorderOptions bo;
-      bo.surrogate.enabled = plan.spec.surrogate_enabled;
-      bo.surrogate.tol = plan.spec.surrogate_tol;
-      const analysis::BorderResult r =
-          analysis::analyze_defect(column, d, sim, bo);
-      analysis::append_json(inner, r, range);
-      break;
-    }
-    case UnitKind::Planes: {
-      analysis::PlaneOptions po;
-      po.num_r_points = plan.spec.plane_r_points;
-      po.ops_per_point = plan.spec.plane_ops_per_point;
-      po.r_lo = range.lo;
-      po.r_hi = range.hi;
-      // The campaign already parallelizes over units; a nested plane
-      // sweep would oversubscribe the machine.
-      po.threads = 1;
-      const analysis::PlaneSet s =
-          analysis::generate_plane_set(column, d, sim, po);
-      analysis::append_json(inner, s);
-      break;
-    }
-    case UnitKind::Optimize: {
-      stress::OptimizerOptions oo;
-      oo.settings = settings;
-      oo.border.surrogate.enabled = plan.spec.surrogate_enabled;
-      oo.border.surrogate.tol = plan.spec.surrogate_tol;
-      const stress::OptimizationResult r =
-          stress::optimize_stresses(column, d, p.condition, oo);
-      stress::append_json(inner, r, range);
-      break;
-    }
-  }
-  // Units run one-per-thread, so the thread-local counter delta is the
-  // unit's exact cost even when the runner is parallel.
-  util::json::Writer w;
-  w.begin_object();
-  w.key("transients").value(dram::thread_transients() - t0);
-  w.key("result");
-  util::json::append(w, util::json::parse(inner.str()));
-  w.end_object();
-  return w.str();
-}
-
-/// The analysis object inside a unit payload (payloads wrap it with the
-/// transient count; tolerate the bare pre-wrapper shape too).
-const util::json::Value* payload_result(const util::json::Value& v) {
-  const util::json::Value* r = v.find("result");
-  return r != nullptr ? r : &v;
-}
-
-/// Does a border payload show a detectable fault anywhere in the range?
-/// (br present, or the test fails across the whole sweep.)
-bool border_shows_fault(const std::string& payload) {
-  const util::json::Value v = util::json::parse(payload);
-  const util::json::Value* res = payload_result(v);
-  const util::json::Value* br = res->find("br");
-  const util::json::Value* fe = res->find("fails_everywhere");
-  return (br != nullptr && br->is_number()) ||
-         (fe != nullptr && fe->is_bool() && fe->boolean);
-}
-
-void write_text_file(const fs::path& path, const std::string& text) {
-  std::ofstream f(path, std::ios::trunc);
-  if (!f.good())
-    throw ModelError("campaign: cannot write " + path.string());
-  f << text << '\n';
-  f.flush();
-  if (!f.good())
-    throw ModelError("campaign: write to " + path.string() + " failed");
-}
-
-}  // namespace
 
 CampaignRunner::CampaignRunner(CampaignPlan plan,
                                const dram::TechnologyParams& tech,
@@ -164,7 +47,8 @@ CampaignResult CampaignRunner::run() {
   }
   // Persist the spec next to the journal so `campaign status` (and a
   // human) can see what the run directory belongs to.
-  write_text_file(fs::path(run_dir_) / "spec.json", spec_json(plan_.spec));
+  write_text_file((fs::path(run_dir_) / "spec.json").string(),
+                  spec_json(plan_.spec));
 
   ResultCache cache(cache_dir_);
   Journal journal(journal_path);
@@ -254,56 +138,20 @@ CampaignResult CampaignRunner::run() {
       }
     }
 
-    // 4. Compute, with bounded retries.  Each retry perturbs the Newton
-    //    damping and relaxes the iteration budget -- a continuation
-    //    strategy for operating points near non-convergence.
-    dram::SimSettings settings = plan_.spec.settings;
-    const RetryPolicy& retry = plan_.spec.retry;
-    const auto start = std::chrono::steady_clock::now();
-    std::string err;
-    bool succeeded = false;  // UnitStatus::Done is the enum default, so the
-                             // post-loop branch must not key off out.status
-    for (int attempt = 1; attempt <= retry.max_attempts; ++attempt) {
-      if (attempt > 1) {
-        settings.newton.max_step *= retry.damping_backoff;
-        settings.newton.max_iter += settings.newton.max_iter / 2;
-        obs::count("campaign.unit_retried");
-        util::MutexLock lock(mu);
-        ++result.retried;
-      }
-      out.attempts = attempt;
-      try {
-        if (opt_.fault_injector) opt_.fault_injector(u, attempt);
-        out.payload = compute_unit(plan_, u, tech_, settings);
-        succeeded = true;
-        break;
-      } catch (const std::exception& e) {
-        err = e.what();
-      }
-      const double elapsed =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        start)
-              .count();
-      if (retry.timeout_s > 0 && elapsed > retry.timeout_s) {
-        err = util::format(
-            "exceeded the per-unit timeout of %g s after attempt %d (last "
-            "error: %s)",
-            retry.timeout_s, attempt, err.c_str());
-        break;
-      }
-    }
+    // 4. Compute, with bounded retries (unit_exec.hpp: the retry /
+    //    continuation loop is shared with the service scheduler).
+    out = compute_with_retries(plan_, u, tech_, opt_.fault_injector);
 
     util::MutexLock lock(mu);
-    if (succeeded) {
-      out.status = UnitStatus::Done;
+    result.retried += out.attempts - 1;
+    if (out.status == UnitStatus::Done) {
       cache.store(u.key, out.payload);
       journal.append({u.id, key_hex, "done", out.attempts, ""});
       obs::count("campaign.unit_done");
       ++result.done;
     } else {
-      out.status = UnitStatus::Quarantined;
-      out.error = err;
-      journal.append({u.id, key_hex, "quarantined", out.attempts, err});
+      journal.append(
+          {u.id, key_hex, "quarantined", out.attempts, out.error});
       obs::count("campaign.unit_quarantined");
       ++result.quarantined;
     }
@@ -333,75 +181,15 @@ CampaignResult CampaignRunner::run() {
     for (const size_t i : ready) resolved[i] = 1;
   }
 
-  // 5. Reports.  report.json holds only inputs-determined content so a
+  // 5. Reports (unit_exec.hpp: serialization shared with the service
+  //    scheduler).  report.json holds only inputs-determined content so a
   //    resumed or differently-threaded run reproduces it byte for byte.
-  {
-    util::json::Writer w;
-    w.begin_object();
-    w.key("campaign").value(plan_.spec.name);
-    w.key("surrogate").begin_object();
-    w.key("enabled").value(plan_.spec.surrogate_enabled);
-    w.key("tol").value(plan_.spec.surrogate_tol);
-    w.end_object();
-    long transients_total = 0;
-    w.key("units");
-    w.begin_array();
-    for (const WorkUnit& u : plan_.units) {
-      const UnitOutcome& out = result.outcomes[u.index];
-      w.begin_object();
-      w.key("id").value(u.id);
-      w.key("key").value(u.key.hex());
-      w.key("kind").value(to_string(u.kind));
-      w.key("defect").value(defect_label(plan_.defect_of(u)));
-      w.key("point").value(plan_.point_of(u).name);
-      w.key("status").value(out.status == UnitStatus::Cached
-                                ? "done"
-                                : to_string(out.status));
-      if (!out.payload.empty()) {
-        const util::json::Value v = util::json::parse(out.payload);
-        if (const util::json::Value* t = v.find("transients");
-            t != nullptr && t->is_number()) {
-          const long n = static_cast<long>(t->number);
-          w.key("transients").value(n);
-          transients_total += n;
-        }
-        w.key("result");
-        util::json::append(w, *payload_result(v));
-      }
-      if (!out.error.empty()) w.key("error").value(out.error);
-      w.end_object();
-    }
-    w.end_array();
-    // Cost accounting across the whole matrix: cached units contribute
-    // the count recorded when they were computed, so the total is stable
-    // across resumes.
-    w.key("transients_total").value(transients_total);
-    w.end_object();
-    result.report_path = (fs::path(run_dir_) / "report.json").string();
-    write_text_file(result.report_path, w.str());
-  }
-  {
-    util::json::Writer w;
-    w.begin_object();
-    w.key("campaign").value(plan_.spec.name);
-    w.key("failures");
-    w.begin_array();
-    for (const WorkUnit& u : plan_.units) {
-      const UnitOutcome& out = result.outcomes[u.index];
-      if (out.status != UnitStatus::Quarantined) continue;
-      w.begin_object();
-      w.key("id").value(u.id);
-      w.key("key").value(u.key.hex());
-      w.key("attempts").value(out.attempts);
-      w.key("error").value(out.error);
-      w.end_object();
-    }
-    w.end_array();
-    w.end_object();
-    result.failure_report_path =
-        (fs::path(run_dir_) / "failures.json").string();
-    write_text_file(result.failure_report_path, w.str());
-  }
+  result.report_path = (fs::path(run_dir_) / "report.json").string();
+  write_text_file(result.report_path, report_json(plan_, result.outcomes));
+  result.failure_report_path =
+      (fs::path(run_dir_) / "failures.json").string();
+  write_text_file(result.failure_report_path,
+                  failures_json(plan_, result.outcomes));
   return result;
 }
 

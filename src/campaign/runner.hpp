@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "campaign/plan.hpp"
+#include "campaign/unit_exec.hpp"
 #include "dram/technology.hpp"
 #include "util/error.hpp"
 #include "verify/diagnostic.hpp"
@@ -39,22 +40,6 @@ namespace dramstress::campaign {
 /// clean journal boundary (real kills are exercised by the CI job).
 struct CampaignInterrupted : Error {
   using Error::Error;
-};
-
-enum class UnitStatus {
-  Done,         // computed this run
-  Cached,       // served from the result cache
-  Quarantined,  // exhausted retries / timed out; in the failure report
-  Skipped,      // a dependency failed or made the unit provably futile
-};
-
-const char* to_string(UnitStatus status);
-
-struct UnitOutcome {
-  UnitStatus status = UnitStatus::Done;
-  int attempts = 0;     // computation attempts this run (0 when cached)
-  std::string payload;  // JSON payload (empty when quarantined/skipped)
-  std::string error;    // quarantine reason / skip reason
 };
 
 struct RunnerOptions {

@@ -1,0 +1,84 @@
+#include "service/client.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "service/socket.hpp"
+#include "util/error.hpp"
+
+namespace dramstress::service {
+
+using dramstress::ModelError;
+
+namespace {
+
+/// Read until EOF or timeout.  The daemon closes after its response
+/// (Connection: close), so EOF is the normal end of an exchange.
+std::string read_until_eof(Conn& conn, int timeout_ms) {
+  std::string bytes;
+  char buf[4096];
+  for (;;) {
+    const long r = conn.read_some(buf, sizeof(buf), timeout_ms);
+    if (r <= 0) break;  // EOF or stalled daemon: return what arrived
+    bytes.append(buf, static_cast<size_t>(r));
+  }
+  return bytes;
+}
+
+}  // namespace
+
+Response parse_response(const std::string& bytes) {
+  const size_t head_end = bytes.find("\r\n\r\n");
+  if (head_end == std::string::npos)
+    throw ModelError("service: malformed response (no header/body split)");
+  const size_t line_end = bytes.find("\r\n");
+  const std::string status_line = bytes.substr(0, line_end);
+  // "HTTP/1.1 NNN Reason"
+  const size_t sp = status_line.find(' ');
+  if (status_line.rfind("HTTP/1.", 0) != 0 || sp == std::string::npos ||
+      status_line.size() < sp + 4)
+    throw ModelError("service: malformed response status line '" +
+                     status_line + "'");
+  Response r;
+  r.status = std::stoi(status_line.substr(sp + 1, 3));
+  r.body = bytes.substr(head_end + 4);
+  // Trim to Content-Length when present (EOF framing otherwise).
+  const size_t cl = bytes.find("Content-Length:");
+  if (cl != std::string::npos && cl < head_end) {
+    const size_t eol = bytes.find("\r\n", cl);
+    const std::string len = bytes.substr(cl + 15, eol - cl - 15);
+    const size_t n = static_cast<size_t>(std::stoll(len));
+    if (r.body.size() > n) r.body.resize(n);
+  }
+  return r;
+}
+
+Response request(const std::string& socket_path, const Request& req,
+                 int timeout_ms) {
+  Conn conn = unix_connect(socket_path, timeout_ms);
+  if (!conn.write_all(serialize_request(req), timeout_ms))
+    throw ModelError("service: daemon went away mid-request");
+  const std::string bytes = read_until_eof(conn, timeout_ms);
+  if (bytes.empty())
+    throw ModelError("service: daemon closed without a response");
+  return parse_response(bytes);
+}
+
+std::string raw_exchange(const std::string& socket_path,
+                         const std::string& bytes, int timeout_ms,
+                         int pause_ms) {
+  Conn conn = unix_connect(socket_path, timeout_ms);
+  if (pause_ms > 0 && bytes.size() > 1) {
+    const size_t half = bytes.size() / 2;
+    if (!conn.write_all(bytes.substr(0, half), timeout_ms)) return "";
+    std::this_thread::sleep_for(std::chrono::milliseconds(pause_ms));
+    // The daemon may already have timed the read out and responded; a
+    // failed second half is part of the scenario, not an error.
+    (void)conn.write_all(bytes.substr(half), timeout_ms);
+  } else {
+    if (!conn.write_all(bytes, timeout_ms)) return "";
+  }
+  return read_until_eof(conn, timeout_ms);
+}
+
+}  // namespace dramstress::service

@@ -1,0 +1,37 @@
+// Client side of the campaign service protocol: one request, one
+// response, over a fresh unix-socket connection (the daemon speaks one
+// request per connection; see protocol.hpp).
+//
+// Used by the CLI's `submit` / `watch` / `shutdown` verbs and by the
+// service tests; the raw-bytes variant lets the protocol fuzz tests send
+// deliberately malformed frames through the same transport.
+#pragma once
+
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace dramstress::service {
+
+/// Send `req` to the daemon at `socket_path` and return its response.
+/// Throws ModelError when the daemon is unreachable or the connection
+/// dies mid-exchange; a protocol-level rejection is a *response* (4xx
+/// status, E32x diagnostics in the body), not a throw.
+Response request(const std::string& socket_path, const Request& req,
+                 int timeout_ms = 5000);
+
+/// Send raw bytes (possibly malformed on purpose) and return the
+/// daemon's raw response bytes (empty when the daemon just closed).
+/// `pause_ms` > 0 sleeps between the two halves of the payload -- the
+/// slow-loris shape the protocol tests drive.
+std::string raw_exchange(const std::string& socket_path,
+                         const std::string& bytes, int timeout_ms = 5000,
+                         int pause_ms = 0);
+
+/// Parse an HTTP/1.1 response off the wire bytes (status line + headers +
+/// body; Content-Length-framed or EOF-delimited).  Throws ModelError on
+/// bytes that are not a response -- the daemon always sends well-formed
+/// responses, so this is a client-side invariant, not input validation.
+Response parse_response(const std::string& bytes);
+
+}  // namespace dramstress::service

@@ -1,0 +1,289 @@
+#include "service/protocol.hpp"
+
+#include <algorithm>
+
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::service {
+
+namespace util = dramstress::util;
+
+namespace {
+
+std::string trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+/// Printable ASCII, no separators: the charset we accept for tokens
+/// (method) and targets.  Everything else is framing junk.
+bool token_ok(const std::string& s) {
+  if (s.empty()) return false;
+  for (const unsigned char c : s)
+    if (c <= ' ' || c >= 0x7f) return false;
+  return true;
+}
+
+}  // namespace
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string serialize_response(const Response& r) {
+  std::string out = util::format("HTTP/1.1 %d %s\r\n", r.status,
+                                 status_reason(r.status));
+  out += "Content-Type: application/json\r\n";
+  out += util::format("Content-Length: %zu\r\n", r.body.size());
+  out += "Connection: close\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+std::string serialize_request(const Request& req) {
+  std::string out = req.method + " " + req.target + " HTTP/1.1\r\n";
+  for (const auto& [k, v] : req.headers) out += k + ": " + v + "\r\n";
+  if (!req.body.empty())
+    out += util::format("Content-Length: %zu\r\n", req.body.size());
+  out += "\r\n";
+  out += req.body;
+  return out;
+}
+
+std::string error_body(const verify::VerifyReport& report) {
+  util::json::Writer w;
+  w.begin_object();
+  std::string first;
+  for (const verify::Diagnostic& d : report.diagnostics())
+    if (first.empty() && d.severity == verify::Severity::Error)
+      first = d.str();
+  if (first.empty() && !report.diagnostics().empty())
+    first = report.diagnostics().front().str();
+  w.key("error").value(first);
+  w.key("diagnostics").begin_array();
+  for (const verify::Diagnostic& d : report.diagnostics()) w.value(d.str());
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+RequestParser::RequestParser(ProtocolLimits limits) : limits_(limits) {}
+
+void RequestParser::fail(verify::Code code, int line,
+                         const std::string& message) {
+  verify::Diagnostic d;
+  d.code = code;
+  d.severity = verify::Severity::Error;
+  d.message = message;
+  d.spice_line = line;
+  report_.add(d);
+  state_ = State::Failed;
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+}
+
+void RequestParser::fail_truncated(const std::string& why) {
+  if (state_ != State::NeedMore) return;
+  fail(verify::Code::ProtoTimeout, std::max(1, head_lines_ + 1),
+       "request truncated: " + why);
+}
+
+int RequestParser::http_status() const {
+  if (state_ != State::Failed) return 200;
+  for (const verify::Diagnostic& d : report_.diagnostics()) {
+    if (d.code == verify::Code::ProtoLimit) return 413;
+    if (d.code == verify::Code::ProtoTimeout) return 408;
+  }
+  return 400;
+}
+
+RequestParser::State RequestParser::feed(const char* data, size_t n) {
+  if (state_ != State::NeedMore) return state_;
+  size_t off = 0;
+  while (off < n && state_ == State::NeedMore) {
+    if (!in_body_) {
+      // Accumulate head bytes up to the blank line, bounded.
+      const size_t room = limits_.max_header_bytes + 4 - buffer_.size();
+      const size_t take = std::min(n - off, room);
+      buffer_.append(data + off, take);
+      off += take;
+      const size_t end = buffer_.find("\r\n\r\n");
+      if (end == std::string::npos) {
+        if (buffer_.size() >= limits_.max_header_bytes + 4) {
+          fail(verify::Code::ProtoLimit, 1,
+               util::format("header block exceeds %zu bytes",
+                            limits_.max_header_bytes));
+        }
+        continue;  // need more head bytes (or just failed)
+      }
+      const std::string extra = buffer_.substr(end + 4);
+      buffer_.resize(end + 2);  // keep one trailing CRLF for line splits
+      if (!parse_head()) continue;  // failed: diagnostics already added
+      in_body_ = true;
+      buffer_ = extra;
+      if (buffer_.size() > body_expected_) {
+        fail(verify::Code::ProtoFraming, head_lines_ + 1,
+             "bytes past the declared Content-Length");
+        continue;
+      }
+      finish_body();
+    } else {
+      const size_t want = body_expected_ - buffer_.size();
+      const size_t take = std::min(n - off, want);
+      buffer_.append(data + off, take);
+      off += take;
+      if (off < n && buffer_.size() == body_expected_) {
+        fail(verify::Code::ProtoFraming, head_lines_ + 1,
+             "bytes past the declared Content-Length");
+        continue;
+      }
+      finish_body();
+    }
+  }
+  return state_;
+}
+
+void RequestParser::finish_body() {
+  if (buffer_.size() < body_expected_) return;  // still NeedMore
+  req_.body = std::move(buffer_);
+  buffer_.clear();
+  state_ = State::Done;
+}
+
+bool RequestParser::parse_head() {
+  // buffer_ = request line + header lines, each "\r\n"-terminated.
+  int lineno = 0;
+  size_t pos = 0;
+  bool saw_content_length = false;
+  while (pos < buffer_.size()) {
+    const size_t eol = buffer_.find("\r\n", pos);
+    if (eol == std::string::npos) break;  // trailing CRLF consumed above
+    const std::string line = buffer_.substr(pos, eol - pos);
+    pos = eol + 2;
+    ++lineno;
+    head_lines_ = lineno;
+    if (line.find('\r') != std::string::npos ||
+        line.find('\n') != std::string::npos) {
+      fail(verify::Code::ProtoFraming, lineno, "bare CR in header line");
+      return false;
+    }
+    if (lineno == 1) {
+      if (line.size() > limits_.max_request_line) {
+        fail(verify::Code::ProtoLimit, 1,
+             util::format("request line exceeds %zu bytes",
+                          limits_.max_request_line));
+        return false;
+      }
+      const size_t sp1 = line.find(' ');
+      const size_t sp2 =
+          sp1 == std::string::npos ? std::string::npos
+                                   : line.find(' ', sp1 + 1);
+      if (sp1 == std::string::npos || sp2 == std::string::npos ||
+          line.find(' ', sp2 + 1) != std::string::npos) {
+        fail(verify::Code::ProtoFraming, 1,
+             "request line is not 'METHOD target HTTP/1.1'");
+        return false;
+      }
+      req_.method = line.substr(0, sp1);
+      req_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const std::string version = line.substr(sp2 + 1);
+      if (!token_ok(req_.method) || !token_ok(req_.target)) {
+        fail(verify::Code::ProtoFraming, 1,
+             "method or target holds control or non-ASCII bytes");
+        return false;
+      }
+      if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+        fail(verify::Code::ProtoFraming, 1,
+             "unsupported protocol version '" + version + "'");
+        return false;
+      }
+      if (req_.target[0] != '/') {
+        fail(verify::Code::ProtoFraming, 1,
+             "target must be origin-form (start with '/')");
+        return false;
+      }
+      continue;
+    }
+    // Header line.
+    if (static_cast<int>(req_.headers.size()) >= limits_.max_headers) {
+      fail(verify::Code::ProtoLimit, lineno,
+           util::format("more than %d header lines", limits_.max_headers));
+      return false;
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      fail(verify::Code::ProtoFraming, lineno, "header line has no ':'");
+      return false;
+    }
+    const std::string name = lower(line.substr(0, colon));
+    if (!token_ok(name) || name.find(' ') != std::string::npos ||
+        name.find('\t') != std::string::npos) {
+      fail(verify::Code::ProtoFraming, lineno,
+           "header name holds blanks or control bytes");
+      return false;
+    }
+    const std::string value = trim(line.substr(colon + 1));
+    if (name == "content-length" && saw_content_length &&
+        req_.headers["content-length"] != value) {
+      fail(verify::Code::ProtoFraming, lineno,
+           "conflicting Content-Length headers");
+      return false;
+    }
+    if (name == "content-length") saw_content_length = true;
+    req_.headers[name] = value;  // last wins otherwise (harmless here)
+  }
+  if (req_.method.empty()) {
+    fail(verify::Code::ProtoFraming, 1, "empty request head");
+    return false;
+  }
+  if (req_.headers.count("transfer-encoding") != 0) {
+    fail(verify::Code::ProtoFraming, head_lines_,
+         "chunked transfer encoding is not supported; send "
+         "Content-Length");
+    return false;
+  }
+  body_expected_ = 0;
+  if (saw_content_length) {
+    const std::string& cl = req_.headers["content-length"];
+    if (cl.empty() || cl.find_first_not_of("0123456789") !=
+                          std::string::npos ||
+        cl.size() > 12) {
+      fail(verify::Code::ProtoFraming, head_lines_,
+           "Content-Length is not a plain decimal byte count");
+      return false;
+    }
+    body_expected_ = static_cast<size_t>(std::stoll(cl));
+    if (body_expected_ > limits_.max_body_bytes) {
+      fail(verify::Code::ProtoLimit, head_lines_,
+           util::format("declared body of %zu bytes exceeds the %zu-byte "
+                        "limit",
+                        body_expected_, limits_.max_body_bytes));
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dramstress::service

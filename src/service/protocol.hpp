@@ -1,0 +1,114 @@
+// Wire protocol of the campaign service: a deliberately small HTTP/1.1
+// subset over a local stream socket.
+//
+// HTTP because every language can speak it to the daemon with no client
+// library; a subset because the daemon only ever needs `METHOD target`
+// plus a JSON body -- no chunked transfer, no continuation lines, no
+// pipelining (one request per connection, like the CGI-era servers the
+// protocol tests torture).
+//
+// The parser is incremental (feed() bytes as they arrive off the socket)
+// and total: *no* input can make it throw, overrun a limit unchecked, or
+// consume unbounded memory.  Malformed input is rejected through the same
+// diagnostics engine as campaign specs -- docs/LINT.md catalogues the
+// codes:
+//
+//   E320  framing: bad request line, header without ':', bare CR, junk
+//         Content-Length, unsupported transfer encoding
+//   E321  limits: request line / header block / body / header count over
+//         the configured ceiling (the slow-loris and zip-bomb guard)
+//   E322  truncation: the peer stopped (EOF or read timeout) mid-request;
+//         raised by the socket layer via `fail(...)`
+//   E323  semantics: well-formed request the daemon cannot serve (unknown
+//         route, wrong method, bad body) -- raised by the router
+//
+// Diagnostics carry the 1-based *request line number* in the Diagnostic
+// `spice_line` slot (the renderer just says "line N"), so a client sees
+// "error[E320] line 3: header line has no ':'" against its own bytes.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "verify/diagnostic.hpp"
+
+namespace dramstress::service {
+
+/// Hard ceilings of the request parser.  Defaults fit the service's real
+/// traffic (campaign specs are a few KB) with headroom; every one of them
+/// is load-bearing in the protocol fuzz tests.
+struct ProtocolLimits {
+  size_t max_request_line = 4096;
+  size_t max_header_bytes = 16 * 1024;  // header block incl. request line
+  int max_headers = 64;
+  size_t max_body_bytes = 4ull << 20;
+};
+
+/// One parsed request.  Header names are lower-cased (HTTP is
+/// case-insensitive there); values are trimmed of surrounding blanks.
+struct Request {
+  std::string method;
+  std::string target;  // origin-form, e.g. "/status/1a2b..."
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+struct Response {
+  int status = 200;
+  std::string body;  // JSON document (the service speaks nothing else)
+};
+
+const char* status_reason(int status);  // 200 -> "OK", 400 -> "Bad Request"
+
+/// Serialize `r` as an HTTP/1.1 response with Content-Length framing.
+std::string serialize_response(const Response& r);
+
+/// Serialize `req` as an HTTP/1.1 request (the client side).  A body gets
+/// a Content-Length header automatically.
+std::string serialize_request(const Request& req);
+
+/// JSON error body carrying every diagnostic of `report`:
+/// {"error": "<first error rendered>", "diagnostics": ["...", ...]}.
+std::string error_body(const verify::VerifyReport& report);
+
+/// Incremental, total request parser.  Feed raw bytes; the parser stops
+/// consuming at the first violation and never throws on input.
+class RequestParser {
+public:
+  enum class State { NeedMore, Done, Failed };
+
+  explicit RequestParser(ProtocolLimits limits = {});
+
+  /// Consume `n` bytes.  Returns the state after consumption; once Done
+  /// or Failed further feeds are no-ops (one request per connection).
+  State feed(const char* data, size_t n);
+
+  /// Record an externally detected failure (EOF / timeout mid-request)
+  /// as an E322 and move to Failed.  No-op once Done/Failed.
+  void fail_truncated(const std::string& why);
+
+  State state() const { return state_; }
+  const Request& request() const { return req_; }  // valid once Done
+  const verify::VerifyReport& report() const { return report_; }
+
+  /// HTTP status a failed parse maps to (400 framing/semantic, 413 too
+  /// large, 408 timeout); 200 when not Failed.
+  int http_status() const;
+
+private:
+  void fail(verify::Code code, int line, const std::string& message);
+  bool parse_head();  // buffer_ holds the full head: parse it
+  void finish_body();
+
+  ProtocolLimits limits_;
+  State state_ = State::NeedMore;
+  bool in_body_ = false;
+  size_t body_expected_ = 0;
+  std::string buffer_;  // head bytes until blank line, then body bytes
+  int head_lines_ = 0;  // lines in the head (for E32x line numbers)
+  Request req_;
+  verify::VerifyReport report_;
+};
+
+}  // namespace dramstress::service

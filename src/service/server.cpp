@@ -1,0 +1,405 @@
+#include "service/server.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "campaign/cache_index.hpp"
+#include "campaign/plan.hpp"
+#include "campaign/scheduler.hpp"
+#include "campaign/spec.hpp"
+#include "dram/column.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "service/socket.hpp"
+#include "util/annotations.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace dramstress::service {
+
+namespace fs = std::filesystem;
+namespace util = dramstress::util;
+using dramstress::ModelError;
+
+namespace {
+
+/// One-diagnostic E323 response: a well-formed request the daemon cannot
+/// serve (unknown route, wrong method, missing body field).
+Response semantic_error(int status, const std::string& message) {
+  verify::VerifyReport report;
+  verify::Diagnostic d;
+  d.code = verify::Code::ProtoSemantic;
+  d.severity = verify::Severity::Error;
+  d.message = message;
+  d.spice_line = 1;
+  report.add(d);
+  return Response{status, error_body(report)};
+}
+
+void append_session(util::json::Writer& w,
+                    const campaign::SessionStatus& st) {
+  w.begin_object();
+  w.key("id").value(st.id);
+  w.key("client").value(st.client);
+  w.key("campaign").value(st.campaign);
+  w.key("state").value(st.state);
+  if (!st.error.empty()) w.key("error").value(st.error);
+  w.key("total").value(st.total);
+  w.key("done").value(st.done);
+  w.key("cached").value(st.cached);
+  w.key("quarantined").value(st.quarantined);
+  w.key("skipped").value(st.skipped);
+  w.key("retried").value(st.retried);
+  w.key("pending").value(st.pending);
+  w.key("finished").value(st.finished);
+  if (!st.report_path.empty()) w.key("report").value(st.report_path);
+  if (!st.failure_report_path.empty())
+    w.key("failure_report").value(st.failure_report_path);
+  w.end_object();
+}
+
+std::string session_body(const campaign::SessionStatus& st) {
+  util::json::Writer w;
+  append_session(w, st);
+  return w.str();
+}
+
+/// cv over util::Mutex; opt out of the analysis locally (see scheduler).
+void cv_wait_for(std::condition_variable_any& cv, util::Mutex& mu,
+                 std::chrono::milliseconds d) DS_NO_THREAD_SAFETY_ANALYSIS {
+  cv.wait_for(mu, d);
+}
+
+}  // namespace
+
+struct Server::Impl {
+  dram::TechnologyParams tech;
+  ServerOptions opt;
+  campaign::SharedCache cache;
+  campaign::Scheduler sched;
+  UnixListener listener;
+  std::chrono::steady_clock::time_point started =
+      std::chrono::steady_clock::now();
+
+  util::Mutex mu;
+  std::condition_variable_any cv_shutdown;
+  bool draining DS_GUARDED_BY(mu) = false;  // /shutdown or shutdown() seen
+  bool closed DS_GUARDED_BY(mu) = false;    // drain done; io threads exit
+
+  static campaign::SharedCacheOptions cache_options(
+      const ServerOptions& o) {
+    campaign::SharedCacheOptions co;
+    co.max_memory_bytes = o.cache_mem_bytes;
+    return co;
+  }
+
+  static campaign::SchedulerOptions sched_options(const ServerOptions& o) {
+    campaign::SchedulerOptions so;
+    so.workers = o.workers;
+    return so;
+  }
+
+  Impl(const dram::TechnologyParams& t, ServerOptions o)
+      : tech(t),
+        opt(std::move(o)),
+        cache(opt.cache_dir, cache_options(opt)),
+        sched(tech, &cache, sched_options(opt)),
+        listener(opt.socket_path) {
+    std::error_code ec;
+    fs::create_directories(opt.runs_dir, ec);
+    if (ec)
+      throw ModelError("service: cannot create " + opt.runs_dir + ": " +
+                       ec.message());
+  }
+
+  bool is_draining() {
+    util::MutexLock lock(mu);
+    return draining;
+  }
+
+  void request_shutdown() {
+    {
+      util::MutexLock lock(mu);
+      draining = true;
+    }
+    cv_shutdown.notify_all();
+  }
+
+  // --- routes -----------------------------------------------------------
+
+  Response submit(const Request& req) {
+    util::json::Value body;
+    try {
+      body = util::json::parse(req.body);
+    } catch (const util::json::ParseError& e) {
+      verify::VerifyReport report;
+      verify::Diagnostic d;
+      d.code = verify::Code::ProtoSemantic;
+      d.severity = verify::Severity::Error;
+      d.message = std::string("request body is not valid JSON: ") + e.what();
+      d.spice_line = util::json::line_of(req.body, e.offset());
+      report.add(d);
+      return Response{400, error_body(report)};
+    }
+    if (!body.is_object())
+      return semantic_error(400, "submit body must be a JSON object");
+    std::string client = "default";
+    if (const util::json::Value* c = body.find("client")) {
+      if (!c->is_string() || c->string.empty())
+        return semantic_error(400, "\"client\" must be a non-empty string");
+      client = c->string;
+    }
+    const util::json::Value* spec_v = body.find("spec");
+    if (spec_v == nullptr || !spec_v->is_object())
+      return semantic_error(400, "submit body needs a \"spec\" object");
+
+    // Canonical spec text: re-emitted through the byte-stable writer, so
+    // the session id depends on spec *content*, not the client's
+    // whitespace, and E30x line numbers refer to a shape the client can
+    // reproduce by pretty-printing its own spec.
+    util::json::Writer sw;
+    util::json::append(sw, *spec_v);
+    const std::string spec_text = sw.str();
+
+    verify::VerifyReport report;
+    std::optional<campaign::CampaignSpec> spec =
+        campaign::parse_spec(spec_text, &report);
+    if (!spec.has_value()) return Response{400, error_body(report)};
+
+    campaign::KeyHasher h;
+    h.feed(client);
+    h.feed(spec_text);
+    const std::string id = h.key().hex();
+    const std::string run_dir = (fs::path(opt.runs_dir) / id).string();
+
+    dram::DramColumn column(tech);
+    campaign::CampaignPlan plan = campaign::expand(*spec, column);
+    try {
+      const campaign::SessionStatus st =
+          sched.submit(client, std::move(plan), run_dir, id);
+      obs::count("service.submit");
+      return Response{202, session_body(st)};
+    } catch (const ModelError& e) {
+      return semantic_error(503, e.what());
+    }
+  }
+
+  Response status_all() {
+    const campaign::SchedulerStatus st = sched.status();
+    const campaign::SharedCacheStats cs = cache.stats();
+    util::json::Writer w;
+    w.begin_object();
+    w.key("workers").value(st.workers);
+    w.key("accepting").value(st.accepting && !is_draining());
+    w.key("dispatched").value(st.dispatched);
+    w.key("deduplicated").value(st.deduplicated);
+    w.key("cache").begin_object();
+    w.key("mem_hits").value(cs.mem_hits);
+    w.key("disk_hits").value(cs.disk_hits);
+    w.key("misses").value(cs.misses);
+    w.key("stores").value(cs.stores);
+    w.key("evictions").value(cs.evictions);
+    w.key("memory_bytes").value(cs.memory_bytes);
+    w.key("memory_entries").value(cs.memory_entries);
+    w.end_object();
+    w.key("sessions").begin_array();
+    for (const campaign::SessionStatus& s : st.sessions)
+      append_session(w, s);
+    w.end_array();
+    w.end_object();
+    return Response{200, w.str()};
+  }
+
+  Response status_one(const std::string& id) {
+    const std::optional<campaign::SessionStatus> st = sched.session(id);
+    if (!st.has_value())
+      return semantic_error(404, "unknown session '" + id + "'");
+    return Response{200, session_body(*st)};
+  }
+
+  Response report_of(const std::string& id) {
+    const std::optional<campaign::SessionStatus> st = sched.session(id);
+    if (!st.has_value())
+      return semantic_error(404, "unknown session '" + id + "'");
+    if (!st->finished || st->report_path.empty())
+      return semantic_error(
+          409, "session '" + id + "' has no report yet (state: " +
+                   st->state + ")");
+    std::ifstream f(st->report_path);
+    if (!f.good())
+      return semantic_error(500,
+                            "cannot read report " + st->report_path);
+    std::ostringstream text;
+    text << f.rdbuf();
+    return Response{200, text.str()};
+  }
+
+  Response metrics() {
+    obs::ManifestInfo info;
+    info.tool = "dramstress";
+    info.command = "serve";
+    info.settings_number["workers"] = sched.status().workers;
+    info.settings_number["io_threads"] = opt.io_threads;
+    const std::chrono::duration<double> up =
+        std::chrono::steady_clock::now() - started;
+    info.duration_s = up.count();
+    return Response{200, obs::manifest_json(info, obs::metrics_snapshot())};
+  }
+
+  Response gc(const Request& req) {
+    util::json::Value body;
+    try {
+      body = util::json::parse(req.body);
+    } catch (const util::json::ParseError& e) {
+      return semantic_error(400, std::string("gc body is not valid JSON: ") +
+                                     e.what());
+    }
+    const util::json::Value* mb =
+        body.is_object() ? body.find("max_bytes") : nullptr;
+    if (mb == nullptr || !mb->is_number() || mb->number < 0)
+      return semantic_error(
+          400, "gc body needs a non-negative \"max_bytes\" number");
+    verify::VerifyReport report;
+    const int removed =
+        cache.gc_lru(static_cast<size_t>(mb->number), &report);
+    util::json::Writer w;
+    w.begin_object();
+    w.key("removed").value(removed);
+    w.key("diagnostics").begin_array();
+    for (const verify::Diagnostic& d : report.diagnostics())
+      w.value(d.str());
+    w.end_array();
+    w.end_object();
+    return Response{200, w.str()};
+  }
+
+  Response handle(const Request& req) {
+    obs::count("service.request");
+    const std::string& t = req.target;
+    if (t == "/submit")
+      return req.method == "POST"
+                 ? submit(req)
+                 : semantic_error(405, "/submit wants POST");
+    if (t == "/status")
+      return req.method == "GET"
+                 ? status_all()
+                 : semantic_error(405, "/status wants GET");
+    if (t.rfind("/status/", 0) == 0)
+      return req.method == "GET"
+                 ? status_one(t.substr(8))
+                 : semantic_error(405, "/status/<id> wants GET");
+    if (t.rfind("/report/", 0) == 0)
+      return req.method == "GET"
+                 ? report_of(t.substr(8))
+                 : semantic_error(405, "/report/<id> wants GET");
+    if (t == "/metrics")
+      return req.method == "GET"
+                 ? metrics()
+                 : semantic_error(405, "/metrics wants GET");
+    if (t == "/gc")
+      return req.method == "POST" ? gc(req)
+                                  : semantic_error(405, "/gc wants POST");
+    if (t == "/shutdown") {
+      if (req.method != "POST")
+        return semantic_error(405, "/shutdown wants POST");
+      request_shutdown();
+      obs::count("service.shutdown");
+      return Response{202, "{\"draining\": true}"};
+    }
+    return semantic_error(404, "unknown route '" + req.method + " " + t +
+                                   "'");
+  }
+
+  // --- connection handling ----------------------------------------------
+
+  void handle_conn(Conn conn) {
+    RequestParser parser(opt.limits);
+    char buf[4096];
+    while (parser.state() == RequestParser::State::NeedMore) {
+      const long r =
+          conn.read_some(buf, sizeof(buf), opt.read_timeout_ms);
+      if (r < 0) {
+        parser.fail_truncated("peer stalled mid-request");
+        obs::count("service.slow_loris");
+        break;
+      }
+      if (r == 0) {
+        parser.fail_truncated("connection closed mid-request");
+        break;
+      }
+      parser.feed(buf, static_cast<size_t>(r));
+    }
+    Response resp;
+    if (parser.state() == RequestParser::State::Done) {
+      try {
+        resp = handle(parser.request());
+      } catch (const std::exception& e) {
+        resp = semantic_error(500, std::string("internal error: ") +
+                                       e.what());
+      }
+    } else {
+      resp.status = parser.http_status();
+      resp.body = error_body(parser.report());
+      obs::count("service.bad_request");
+    }
+    conn.write_all(serialize_response(resp), opt.read_timeout_ms);
+  }
+
+  void io_loop() {
+    for (;;) {
+      {
+        util::MutexLock lock(mu);
+        if (closed) return;
+      }
+      Conn conn = listener.accept_conn(100);
+      if (!conn.valid()) continue;
+      try {
+        handle_conn(std::move(conn));
+      } catch (const std::exception&) {
+        // A connection-level socket error costs that connection only.
+        obs::count("service.conn_error");
+      }
+    }
+  }
+
+  void serve() {
+    std::vector<std::thread> io;
+    io.reserve(static_cast<size_t>(opt.io_threads));
+    for (int i = 0; i < opt.io_threads; ++i)
+      io.emplace_back([this] { io_loop(); });
+    {
+      util::MutexLock lock(mu);
+      while (!draining)
+        cv_wait_for(cv_shutdown, mu, std::chrono::milliseconds(200));
+    }
+    // Drain: no new submits (the scheduler refuses them), running
+    // campaigns finish and write their reports, then the cache's buffered
+    // usage records land on disk.  Status queries keep working throughout.
+    sched.drain();
+    cache.flush_usage();
+    {
+      util::MutexLock lock(mu);
+      closed = true;
+    }
+    for (std::thread& t : io) t.join();
+  }
+};
+
+Server::Server(const dram::TechnologyParams& tech, ServerOptions opt)
+    : impl_(std::make_unique<Impl>(tech, std::move(opt))) {}
+
+Server::~Server() = default;
+
+void Server::serve() { impl_->serve(); }
+
+void Server::shutdown() { impl_->request_shutdown(); }
+
+Response Server::handle(const Request& req) { return impl_->handle(req); }
+
+}  // namespace dramstress::service

@@ -1,0 +1,78 @@
+// The campaign service daemon (`dramstress serve`, docs/SERVICE.md).
+//
+// A long-running process that accepts campaign specs from many clients
+// over a unix socket, schedules their work-unit DAGs onto one shared
+// worker pool (campaign/scheduler.hpp) and answers repeated work from the
+// shared result cache (campaign/cache_index.hpp) in microseconds without
+// touching the simulator.
+//
+// Routes (one JSON request per connection; protocol.hpp):
+//   POST /submit    {"client": "...", "spec": {...}}  -> session status
+//   GET  /status                                      -> daemon + sessions
+//   GET  /status/<id>                                 -> one session
+//   GET  /report/<id>                                 -> report.json bytes
+//   GET  /metrics                                     -> obs run manifest
+//   POST /gc        {"max_bytes": N}                  -> disk LRU eviction
+//   POST /shutdown                                    -> graceful drain
+//
+// Sessions are content-addressed: id = FNV-1a(client ":" spec_json), so a
+// resubmit -- same client, same spec, crashed daemon or not -- lands on
+// the same run directory and resumes from its journal instead of starting
+// over.  Kill-and-resume therefore yields byte-identical report.json, the
+// same guarantee `campaign run --resume` gives a single process.
+//
+// Shutdown is a graceful drain: /shutdown stops new submits, running
+// campaigns finish and write their reports, buffered cache-usage records
+// are flushed, then the socket is closed.  A SIGKILL instead loses
+// nothing but in-flight compute: journals and the content-addressed
+// store carry every completed unit across the restart.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dram/technology.hpp"
+#include "service/protocol.hpp"
+
+namespace dramstress::service {
+
+struct ServerOptions {
+  std::string socket_path;  // unix socket to listen on
+  std::string runs_dir;     // session run directories live under here
+  std::string cache_dir;    // shared content-addressed result cache
+  int workers = 0;          // scheduler pool size; 0 = default_threads()
+  int io_threads = 4;       // concurrent connection handlers
+  size_t cache_mem_bytes = 64ull << 20;  // memory tier budget
+  /// Per-read socket timeout: a peer that stalls longer mid-request gets
+  /// an E322 response and the connection back (the slow-loris bound).
+  int read_timeout_ms = 2000;
+  ProtocolLimits limits;
+};
+
+class Server {
+public:
+  Server(const dram::TechnologyParams& tech, ServerOptions opt);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serve until shutdown() (or POST /shutdown) -- then drain: finish
+  /// every accepted session, flush the cache usage journal, close the
+  /// socket.  Blocking; run it on the main thread (the CLI) or a
+  /// dedicated one (tests).
+  void serve();
+
+  /// Request shutdown from any thread; serve() returns after the drain.
+  void shutdown();
+
+  /// Route one parsed request (exposed for tests: the full request->
+  /// response mapping without a socket).
+  Response handle(const Request& req);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dramstress::service

@@ -1,0 +1,139 @@
+#include "service/socket.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace dramstress::service {
+
+namespace {
+
+using dramstress::ModelError;
+
+std::string errno_text() { return std::strerror(errno); }
+
+/// poll() one fd for `events`; true when ready, false on timeout.
+/// Retries EINTR against the original deadline semantics (coarse: each
+/// retry restarts the timeout, acceptable for a local service).
+bool wait_fd(int fd, short events, int timeout_ms) {
+  for (;;) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r > 0) return true;
+    if (r == 0) return false;
+    if (errno != EINTR) throw ModelError("service: poll: " + errno_text());
+  }
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw ModelError("service: socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Conn::~Conn() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+long Conn::read_some(char* buf, size_t n, int timeout_ms) {
+  if (!wait_fd(fd_, POLLIN, timeout_ms)) return -1;
+  for (;;) {
+    const ssize_t r = ::recv(fd_, buf, n, 0);
+    if (r >= 0) return static_cast<long>(r);
+    if (errno == EINTR) continue;
+    throw ModelError("service: recv: " + errno_text());
+  }
+}
+
+bool Conn::write_all(const std::string& bytes, int timeout_ms) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    if (!wait_fd(fd_, POLLOUT, timeout_ms)) return false;
+    const ssize_t r = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (r >= 0) {
+      off += static_cast<size_t>(r);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EPIPE || errno == ECONNRESET) return false;
+    throw ModelError("service: send: " + errno_text());
+  }
+  return true;
+}
+
+UnixListener::UnixListener(std::string path) : path_(std::move(path)) {
+  const sockaddr_un addr = make_addr(path_);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw ModelError("service: socket: " + errno_text());
+  // A stale socket file from a killed daemon blocks bind(); the service
+  // owns its socket path, so unconditionally unlinking is correct.
+  ::unlink(path_.c_str());
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string why = errno_text();
+    ::close(fd_);
+    fd_ = -1;
+    throw ModelError("service: bind " + path_ + ": " + why);
+  }
+  if (::listen(fd_, 64) != 0) {
+    const std::string why = errno_text();
+    ::close(fd_);
+    fd_ = -1;
+    throw ModelError("service: listen " + path_ + ": " + why);
+  }
+  // Non-blocking listener: several threads accept on this fd, and a
+  // blocking accept() would hang the losers of the race poll() wakes.
+  ::fcntl(fd_, F_SETFL, ::fcntl(fd_, F_GETFL, 0) | O_NONBLOCK);
+}
+
+UnixListener::~UnixListener() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+Conn UnixListener::accept_conn(int timeout_ms) {
+  if (!wait_fd(fd_, POLLIN, timeout_ms)) return Conn(-1);
+  for (;;) {
+    const int c = ::accept(fd_, nullptr, nullptr);
+    if (c >= 0) return Conn(c);
+    if (errno == EINTR) continue;
+    // Raced another accepting thread to a lone connection: not an error.
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED)
+      return Conn(-1);
+    throw ModelError("service: accept: " + errno_text());
+  }
+}
+
+Conn unix_connect(const std::string& path, int timeout_ms) {
+  const sockaddr_un addr = make_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw ModelError("service: socket: " + errno_text());
+  (void)timeout_ms;  // local connect() either succeeds or fails at once
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string why = errno_text();
+    ::close(fd);
+    throw ModelError("service: connect " + path + ": " + why +
+                     " (is the daemon running?)");
+  }
+  return Conn(fd);
+}
+
+}  // namespace dramstress::service

@@ -1,0 +1,64 @@
+// Local stream transport of the campaign service: unix-domain sockets.
+//
+// Unix sockets rather than TCP because the daemon is a *local* service:
+// no port allocation races in CI, no accidental network exposure, and
+// filesystem permissions are the access control.  All I/O is
+// poll()-bounded -- a peer that stops sending mid-request (the slow-loris
+// case) costs one connection slot for `timeout_ms`, never a hung daemon.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace dramstress::service {
+
+/// RAII connection fd with timed, signal-safe reads and writes.
+class Conn {
+public:
+  explicit Conn(int fd) : fd_(fd) {}
+  ~Conn();
+
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+  Conn(Conn&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+
+  /// Read up to `n` bytes.  > 0 bytes read; 0 on orderly EOF; -1 when
+  /// `timeout_ms` elapsed without a byte; throws ModelError on a socket
+  /// error.
+  long read_some(char* buf, size_t n, int timeout_ms);
+
+  /// Write all of `bytes`; false when the peer vanished or the timeout
+  /// elapsed mid-write (the response is abandoned, never half-retried).
+  bool write_all(const std::string& bytes, int timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+
+private:
+  int fd_ = -1;
+};
+
+/// Listening unix socket.  Construction unlinks a stale socket file,
+/// binds and listens; destruction closes and unlinks.
+class UnixListener {
+public:
+  explicit UnixListener(std::string path);
+  ~UnixListener();
+
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Accept one connection; invalid Conn on timeout.  Thread-safe: the
+  /// service's connection threads all accept on the shared fd.
+  Conn accept_conn(int timeout_ms);
+
+  const std::string& path() const { return path_; }
+
+private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Connect to a service socket; throws ModelError when nothing listens.
+Conn unix_connect(const std::string& path, int timeout_ms);
+
+}  // namespace dramstress::service

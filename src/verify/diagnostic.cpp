@@ -35,6 +35,10 @@ const char* code_id(Code code) {
     case Code::SpecBadValue: return "E304";
     case Code::SpecUnknownKey: return "W305";
     case Code::CacheCorrupt: return "E310";
+    case Code::ProtoFraming: return "E320";
+    case Code::ProtoLimit: return "E321";
+    case Code::ProtoTimeout: return "E322";
+    case Code::ProtoSemantic: return "E323";
     case Code::ConductanceRatio: return "W401";
     case Code::IndexTwoLoop: return "E402";
     case Code::StiffnessUnresolvable: return "E403";

@@ -43,6 +43,10 @@ enum class Code {
   SpecBadValue,         // E304: spec field value out of range / unknown enum
   SpecUnknownKey,       // W305: spec key not in the schema (ignored)
   CacheCorrupt,         // E310: unreadable cache object / journal record
+  ProtoFraming,         // E320: malformed service request framing
+  ProtoLimit,           // E321: request exceeds a protocol size limit
+  ProtoTimeout,         // E322: request truncated / timed out mid-read
+  ProtoSemantic,        // E323: well-formed request, unserviceable meaning
   ConductanceRatio,     // W401: extreme resistor conductance spread
   IndexTwoLoop,         // E402: capacitor/voltage-source loop (DAE index 2)
   StiffnessUnresolvable,  // E403/W403: fastest RC constant vs dt_min

@@ -48,6 +48,10 @@
 #include <fstream>
 #include <sstream>
 
+#include <atomic>
+#include <csignal>
+#include <thread>
+
 #include "analysis/result_plane.hpp"
 #include "analysis/surrogate_options.hpp"
 #include "campaign/runner.hpp"
@@ -55,7 +59,11 @@
 #include "core/flow.hpp"
 #include "core/report.hpp"
 #include "obs/manifest.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/json.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
 
@@ -79,6 +87,15 @@ int usage() {
                "[--cache DIR] [--resume]\n"
                "       dramstress campaign status <run-dir>\n"
                "       dramstress campaign gc <spec.json> [--cache DIR]\n"
+               "       dramstress serve --socket PATH [--runs DIR] "
+               "[--cache DIR]\n"
+               "                        [--workers N] [--io-threads N] "
+               "[--cache-mem BYTES]\n"
+               "       dramstress submit <spec.json> --socket PATH "
+               "[--client NAME] [--wait]\n"
+               "       dramstress watch <id> --socket PATH\n"
+               "       dramstress status --socket PATH\n"
+               "       dramstress shutdown --socket PATH\n"
                "  defect: o1 o2 o3 sg sv b1 b2 b3   side: true|comp\n"
                "  --verify runs the static netlist checks (docs/LINT.md) "
                "first; strict fails on warnings;\n"
@@ -423,6 +440,266 @@ int run_campaign(int argc, char** argv, const EngineFlags& eng) {
   return usage();
 }
 
+// --- service verbs (docs/SERVICE.md) ----------------------------------
+
+volatile std::sig_atomic_t g_stop_signal = 0;
+void on_stop_signal(int) { g_stop_signal = 1; }
+
+/// Strip --socket/--runs/--cache/--client + numeric service flags from
+/// argv[from..); returns remaining positionals, or nullopt on bad flags.
+struct ServiceFlags {
+  std::string socket;
+  std::string runs = "service-runs";
+  std::string cache = "campaign-cache";
+  std::string client = "default";
+  int workers = 0;
+  int io_threads = 4;
+  size_t cache_mem = 64ull << 20;
+  bool wait = false;
+};
+
+bool extract_service_flags(int argc, char** argv, int from,
+                           std::vector<std::string>* pos,
+                           ServiceFlags* f) {
+  for (int i = from; i < argc; ++i) {
+    const char* a = argv[i];
+    std::string* str = nullptr;
+    const char* num = nullptr;
+    bool is_workers = false, is_io = false, is_mem = false;
+    if (std::strcmp(a, "--wait") == 0) {
+      f->wait = true;
+      continue;
+    }
+    if (std::strncmp(a, "--socket=", 9) == 0) {
+      f->socket = a + 9;
+      continue;
+    }
+    if (std::strcmp(a, "--socket") == 0) {
+      str = &f->socket;
+    } else if (std::strncmp(a, "--runs=", 7) == 0) {
+      f->runs = a + 7;
+      continue;
+    } else if (std::strcmp(a, "--runs") == 0) {
+      str = &f->runs;
+    } else if (std::strncmp(a, "--cache=", 8) == 0) {
+      f->cache = a + 8;
+      continue;
+    } else if (std::strcmp(a, "--cache") == 0) {
+      str = &f->cache;
+    } else if (std::strncmp(a, "--client=", 9) == 0) {
+      f->client = a + 9;
+      continue;
+    } else if (std::strcmp(a, "--client") == 0) {
+      str = &f->client;
+    } else if (std::strncmp(a, "--workers=", 10) == 0) {
+      num = a + 10;
+      is_workers = true;
+    } else if (std::strcmp(a, "--workers") == 0) {
+      if (i + 1 >= argc) return false;
+      num = argv[++i];
+      is_workers = true;
+    } else if (std::strncmp(a, "--io-threads=", 13) == 0) {
+      num = a + 13;
+      is_io = true;
+    } else if (std::strcmp(a, "--io-threads") == 0) {
+      if (i + 1 >= argc) return false;
+      num = argv[++i];
+      is_io = true;
+    } else if (std::strncmp(a, "--cache-mem=", 12) == 0) {
+      num = a + 12;
+      is_mem = true;
+    } else if (std::strcmp(a, "--cache-mem") == 0) {
+      if (i + 1 >= argc) return false;
+      num = argv[++i];
+      is_mem = true;
+    } else if (a[0] == '-') {
+      return false;
+    } else {
+      pos->push_back(a);
+      continue;
+    }
+    if (str) {
+      if (i + 1 >= argc) return false;
+      *str = argv[++i];
+      if (str->empty()) return false;
+      continue;
+    }
+    if (is_mem) {
+      // Accepts engineering suffixes ("64M", "1G") like every other
+      // byte/ohm quantity on this command line.
+      const double v = circuit::parse_spice_number(num);
+      if (!(v > 0)) return false;
+      f->cache_mem = static_cast<size_t>(v);
+      continue;
+    }
+    char* end = nullptr;
+    const long n = std::strtol(num, &end, 10);
+    if (end == num || *end != '\0' || n < 1) return false;
+    if (is_workers) f->workers = static_cast<int>(n);
+    if (is_io) f->io_threads = static_cast<int>(n);
+  }
+  return true;
+}
+
+void print_session_line(const util::json::Value& s) {
+  const auto text = [&s](const char* k) {
+    const util::json::Value* v = s.find(k);
+    return v != nullptr && v->is_string() ? v->string : std::string();
+  };
+  const auto num = [&s](const char* k) {
+    const util::json::Value* v = s.find(k);
+    return v != nullptr && v->is_number() ? static_cast<int>(v->number) : 0;
+  };
+  std::printf(
+      "session %s [%s] '%s': %s -- %d/%d resolved (%d computed, %d "
+      "cached, %d quarantined, %d skipped)\n",
+      text("id").c_str(), text("client").c_str(), text("campaign").c_str(),
+      text("state").c_str(), num("total") - num("pending"), num("total"),
+      num("done"), num("cached"), num("quarantined"), num("skipped"));
+}
+
+int run_serve(const ServiceFlags& f) {
+  service::ServerOptions o;
+  o.socket_path = f.socket;
+  o.runs_dir = f.runs;
+  o.cache_dir = f.cache;
+  o.workers = f.workers;
+  o.io_threads = f.io_threads;
+  o.cache_mem_bytes = f.cache_mem;
+  service::Server server(dram::default_technology(), o);
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+  std::printf("dramstress serve: listening on %s (runs %s, cache %s)\n",
+              f.socket.c_str(), f.runs.c_str(), f.cache.c_str());
+  std::fflush(stdout);
+  std::atomic<bool> done{false};
+  std::thread t([&server, &done] {
+    server.serve();
+    done.store(true);
+  });
+  // serve() returns on POST /shutdown; a SIGINT/SIGTERM triggers the
+  // same graceful drain (running campaigns finish and write reports).
+  while (!done.load()) {
+    if (g_stop_signal != 0) {
+      server.shutdown();
+      g_stop_signal = 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  t.join();
+  std::printf("dramstress serve: drained\n");
+  return 0;
+}
+
+int run_watch(const ServiceFlags& f, const std::string& id);
+
+int run_submit(const ServiceFlags& f, const std::string& spec_path) {
+  std::ifstream file(spec_path);
+  if (!file.good()) {
+    std::fprintf(stderr, "error: cannot read %s\n", spec_path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  util::json::Value spec;
+  try {
+    spec = util::json::parse(text.str());
+  } catch (const util::json::ParseError& e) {
+    std::fprintf(stderr, "error: %s line %d: %s\n", spec_path.c_str(),
+                 util::json::line_of(text.str(), e.offset()), e.what());
+    return 1;
+  }
+  util::json::Writer w;
+  w.begin_object();
+  w.key("client").value(f.client);
+  w.key("spec");
+  util::json::append(w, spec);
+  w.end_object();
+  service::Request req;
+  req.method = "POST";
+  req.target = "/submit";
+  req.body = w.str();
+  const service::Response resp = service::request(f.socket, req);
+  if (resp.status != 202) {
+    std::fprintf(stderr, "error: submit rejected (%d %s):\n%s\n",
+                 resp.status, service::status_reason(resp.status),
+                 resp.body.c_str());
+    return 1;
+  }
+  const util::json::Value st = util::json::parse(resp.body);
+  print_session_line(st);
+  const util::json::Value* id = st.find("id");
+  if (!f.wait || id == nullptr) return 0;
+  return run_watch(f, id->string);
+}
+
+int run_watch(const ServiceFlags& f, const std::string& id) {
+  service::Request req;
+  req.method = "GET";
+  req.target = "/status/" + id;
+  for (;;) {
+    const service::Response resp = service::request(f.socket, req);
+    if (resp.status != 200) {
+      std::fprintf(stderr, "error: %d %s:\n%s\n", resp.status,
+                   service::status_reason(resp.status), resp.body.c_str());
+      return 1;
+    }
+    const util::json::Value st = util::json::parse(resp.body);
+    print_session_line(st);
+    const util::json::Value* fin = st.find("finished");
+    if (fin != nullptr && fin->is_bool() && fin->boolean) {
+      const util::json::Value* state = st.find("state");
+      const util::json::Value* report = st.find("report");
+      if (report != nullptr)
+        std::printf("report: %s\n", report->string.c_str());
+      return state != nullptr && state->string == "finished" ? 0 : 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+}
+
+int run_simple_verb(const ServiceFlags& f, const char* method,
+                    const char* target) {
+  service::Request req;
+  req.method = method;
+  req.target = target;
+  if (std::strcmp(method, "POST") == 0) req.body = "{}";
+  const service::Response resp = service::request(f.socket, req);
+  std::printf("%s\n", resp.body.c_str());
+  return resp.status < 400 ? 0 : 1;
+}
+
+int run_service_verb(const std::string& cmd, int argc, char** argv) {
+  ServiceFlags f;
+  std::vector<std::string> pos;
+  if (!extract_service_flags(argc, argv, 2, &pos, &f)) return usage();
+  if (f.socket.empty()) {
+    std::fprintf(stderr, "error: %s needs --socket PATH\n", cmd.c_str());
+    return 2;
+  }
+  if (cmd == "serve") {
+    if (!pos.empty()) return usage();
+    return run_serve(f);
+  }
+  if (cmd == "submit") {
+    if (pos.size() != 1) return usage();
+    return run_submit(f, pos[0]);
+  }
+  if (cmd == "watch") {
+    if (pos.size() != 1) return usage();
+    return run_watch(f, pos[0]);
+  }
+  if (cmd == "status") {
+    if (!pos.empty()) return usage();
+    return run_simple_verb(f, "GET", "/status");
+  }
+  if (cmd == "shutdown") {
+    if (!pos.empty()) return usage();
+    return run_simple_verb(f, "POST", "/shutdown");
+  }
+  return usage();
+}
+
 int run_command(const std::string& cmd, int argc, char** argv,
                 defect::Defect d, const EngineFlags& eng) {
   const bool verify_only = eng.verify && cmd.empty();
@@ -505,6 +782,15 @@ int run_command(const std::string& cmd, int argc, char** argv,
 
 int main(int raw_argc, char** raw_argv) {
   const auto t0 = std::chrono::steady_clock::now();
+  // Test-only fault points (docs/SERVICE.md); inert unless the
+  // DRAMSTRESS_FAULTS environment variable is set.  Armed before any
+  // worker thread exists.
+  try {
+    util::fault::arm_from_env();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: DRAMSTRESS_FAULTS: %s\n", e.what());
+    return 2;
+  }
   std::vector<char*> args;
   EngineFlags eng;
   if (!extract_flags(raw_argc, raw_argv, &args, &eng)) return usage();
@@ -523,6 +809,9 @@ int main(int raw_argc, char** raw_argv) {
   try {
     if (cmd == "campaign") {
       rc = run_campaign(argc, argv, eng);
+    } else if (cmd == "serve" || cmd == "submit" || cmd == "watch" ||
+               cmd == "status" || cmd == "shutdown") {
+      rc = run_service_verb(cmd, argc, argv);
     } else {
       defect::Defect d{defect::DefectKind::O3, dram::Side::True};
       if (argc > 2 && !parse_defect(argv[2], &d.kind) && cmd != "table1")
